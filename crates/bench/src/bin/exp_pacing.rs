@@ -1,0 +1,76 @@
+//! The price of the Theorem 4.1 condition in practice.
+//!
+//! Section 4 argues the local-delay condition is "easily implementable
+//! using local clocks": after each operation, wait
+//! `d(G)·(c_max − 2·c_min)` on a per-process timer. This experiment pays
+//! that price for real: the threaded counting network is wrapped in
+//! [`cnet_runtime::LocallyPacedCounter`] at increasing delays, and the
+//! table reports throughput, the *measured* per-process completion gaps,
+//! and the audited inconsistency fractions of the recorded histories.
+//!
+//! Run: `cargo run --release -p cnet-bench --bin exp_pacing`
+
+use cnet_bench::Table;
+use cnet_core::fractions::{
+    non_linearizability_fraction, non_sequential_consistency_fraction,
+};
+use cnet_runtime::history::to_ops;
+use cnet_runtime::{drive, LocallyPacedCounter, SharedNetworkCounter, Workload};
+use cnet_topology::construct::bitonic;
+use std::time::Duration;
+
+const THREADS: usize = 4;
+const OPS: usize = 400;
+
+fn main() {
+    let net = bitonic(8).unwrap();
+    println!(
+        "== Local pacing on B(8): throughput vs the Theorem 4.1 timer ({} threads x {} ops) ==\n",
+        THREADS, OPS
+    );
+    let mut table = Table::new(vec![
+        "pace (us)",
+        "throughput (Kops/s)",
+        "median completion gap (us)",
+        "F_nl",
+        "F_nsc",
+    ]);
+    for pace_us in [0u64, 10, 50, 200, 1000] {
+        let paced = LocallyPacedCounter::new(
+            SharedNetworkCounter::new(&net),
+            Duration::from_micros(pace_us),
+        );
+        let start = std::time::Instant::now();
+        let records = drive(&paced, Workload { threads: THREADS, increments_per_thread: OPS });
+        let elapsed = start.elapsed().as_secs_f64();
+        // Median per-process completion gap (robust against timestamping
+        // jitter from preemption between the wrapper's internal clock and
+        // the driver's).
+        let mut gaps: Vec<f64> = Vec::new();
+        for p in 0..THREADS {
+            let mut mine: Vec<_> = records.iter().filter(|r| r.process == p).collect();
+            mine.sort_by(|a, b| a.enter.total_cmp(&b.enter));
+            for pair in mine.windows(2) {
+                gaps.push(pair[1].exit - pair[0].exit);
+            }
+        }
+        gaps.sort_by(f64::total_cmp);
+        let median_gap = gaps.get(gaps.len() / 2).copied().unwrap_or(f64::NAN);
+        let ops = to_ops(&records);
+        table.row(vec![
+            pace_us.to_string(),
+            format!("{:.1}", (THREADS * OPS) as f64 / elapsed / 1.0e3),
+            format!("{:.1}", median_gap * 1.0e6),
+            format!("{:.4}", non_linearizability_fraction(&ops)),
+            format!("{:.4}", non_sequential_consistency_fraction(&ops)),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Reading: the enforced pace shows up directly in the measured completion gaps\n\
+         and caps throughput at ~1/pace per thread — the tangible cost of the paper's\n\
+         local timer. The fractions stay at zero here either way (real schedulers are\n\
+         far gentler than the adversary), which is exactly the paper's point: the\n\
+         timer is cheap insurance whose premium scales with the asynchrony you fear."
+    );
+}

@@ -1,0 +1,67 @@
+//! Schedule artifacts: saving adversarial or simulated schedules to disk
+//! and replaying them later, for reproducible experiments.
+
+use cnet_sim::TimedTokenSpec;
+use serde::{Deserialize, Serialize};
+
+/// A saved schedule: the network it targets plus the token specs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleArtifact {
+    /// The network family (`bitonic`, `periodic`, `tree`, `block`,
+    /// `merger`).
+    pub family: String,
+    /// The fan `w`.
+    pub w: usize,
+    /// A free-form note about how the schedule was produced.
+    pub note: String,
+    /// The token schedules.
+    pub specs: Vec<TimedTokenSpec>,
+}
+
+impl ScheduleArtifact {
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message on serialization failure.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| format!("serialize schedule: {e}"))
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message on malformed input.
+    pub fn from_json(text: &str) -> Result<ScheduleArtifact, String> {
+        serde_json::from_str(text).map_err(|e| format!("parse schedule: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_sim::adversary::bitonic_three_wave;
+    use cnet_topology::construct::bitonic;
+
+    #[test]
+    fn round_trips_through_json() {
+        let net = bitonic(8).unwrap();
+        let sched = bitonic_three_wave(&net, 1.0, 4.0).unwrap();
+        let artifact = ScheduleArtifact {
+            family: "bitonic".to_string(),
+            w: 8,
+            note: "Proposition 5.3 waves at ratio 4".to_string(),
+            specs: sched.specs,
+        };
+        let json = artifact.to_json().unwrap();
+        let back = ScheduleArtifact::from_json(&json).unwrap();
+        assert_eq!(artifact, back);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(ScheduleArtifact::from_json("{").unwrap_err().contains("parse schedule"));
+        assert!(ScheduleArtifact::from_json("{\"family\": 3}").is_err());
+    }
+}

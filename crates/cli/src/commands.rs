@@ -1,0 +1,356 @@
+//! The `cnet` subcommands.
+
+use crate::args::{parse_network, Options};
+use crate::artifact::ScheduleArtifact;
+use cnet_core::audit::audit;
+use cnet_core::conditions::TimingCondition;
+use cnet_core::op::Op;
+use cnet_sim::adversary::{holding_race, three_wave};
+use cnet_sim::engine::run;
+use cnet_sim::timing::TimingParams;
+use cnet_sim::validate::validate;
+use cnet_sim::workload::{generate, WorkloadConfig};
+use cnet_topology::analysis::split::split_sequence;
+use cnet_topology::analysis::{influence_radius, Valencies};
+use cnet_topology::Network;
+use std::fmt::Write as _;
+
+/// The tool's usage text.
+pub fn usage() -> String {
+    "usage: cnet <command> <family> <w> [--flag value ...]\n\
+     \n\
+     commands:\n\
+     \x20 info      structural report: depth, size, split structure, thresholds\n\
+     \x20 dot       Graphviz DOT of the network to stdout\n\
+     \x20 simulate  random timed schedule; flags: --processes --tokens --ratio\n\
+     \x20           --local-delay --seed --save <file>\n\
+     \x20 waves     Theorem 5.11 three-wave adversary; flags: --ell --ratio\n\
+     \x20           --save <file>\n\
+     \x20 race      holding race adversary; flags: --ratio --shared (0/1)\n\
+     \x20           --save <file>\n\
+     \x20 replay    re-run a saved schedule; flags: --from <file>\n\
+     \x20 run       threaded shared-memory run; flags: --threads --ops\n\
+     \n\
+     families: bitonic (b), periodic (p), tree (t), block (l), merger (m)\n"
+        .to_string()
+}
+
+/// Executes an argument vector, returning the rendered output.
+///
+/// # Errors
+///
+/// Returns a user-facing message for any malformed invocation or failed
+/// construction.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let [command, family, w, rest @ ..] = args else {
+        return Err("expected: cnet <command> <family> <w> [flags]".to_string());
+    };
+    let net = parse_network(family, w)?;
+    let opts = Options::parse(rest)?;
+    match command.as_str() {
+        "info" => {
+            opts.allow(&[])?;
+            cmd_info(&net)
+        }
+        "dot" => {
+            opts.allow(&[])?;
+            Ok(cnet_topology::dot::to_dot(&net, "network"))
+        }
+        "simulate" => cmd_simulate(&net, family, w, &opts),
+        "waves" => cmd_waves(&net, family, w, &opts),
+        "race" => cmd_race(&net, family, w, &opts),
+        "replay" => cmd_replay(&net, &opts),
+        "run" => cmd_run(&net, &opts),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Writes the schedule artifact when `--save` was given; returns the
+/// message to prepend to the output.
+fn maybe_save(
+    opts: &Options,
+    family: &str,
+    w: &str,
+    note: &str,
+    specs: &[cnet_sim::TimedTokenSpec],
+) -> Result<String, String> {
+    let Some(path) = opts.get("save") else { return Ok(String::new()) };
+    let artifact = ScheduleArtifact {
+        family: family.to_string(),
+        w: w.parse().map_err(|_| format!("'{w}' is not a valid width"))?,
+        note: note.to_string(),
+        specs: specs.to_vec(),
+    };
+    std::fs::write(path, artifact.to_json()?)
+        .map_err(|e| format!("write {path}: {e}"))?;
+    Ok(format!("schedule saved to {path}\n"))
+}
+
+fn cmd_info(net: &Network) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{net}");
+    let _ = writeln!(out, "  fan-in:       {}", net.fan_in());
+    let _ = writeln!(out, "  fan-out:      {}", net.fan_out());
+    let _ = writeln!(out, "  size:         {} balancers", net.size());
+    let _ = writeln!(out, "  depth d(G):   {}", net.depth());
+    let _ = writeln!(out, "  shallowness:  {}", net.shallowness());
+    let _ = writeln!(out, "  uniform:      {}", net.is_uniform());
+    let _ = writeln!(out, "  regular:      {}", net.is_regular());
+    if let Ok(irad) = influence_radius(net) {
+        let _ = writeln!(out, "  irad(G):      {irad}");
+        let _ = writeln!(
+            out,
+            "  MPT97 necessary threshold (c_max/c_min): {:.3}",
+            net.depth() as f64 / irad as f64 + 1.0
+        );
+    }
+    let val = Valencies::compute(net);
+    if let Ok(sd) = cnet_topology::analysis::split_depth(net, &val) {
+        let _ = writeln!(out, "  split depth:  {sd}");
+    }
+    if let Ok(seq) = split_sequence(net) {
+        let _ = writeln!(out, "  split number: {}", seq.split_number());
+        let depths: Vec<String> =
+            (0..seq.split_number()).map(|l| seq.stage_depth(l).to_string()).collect();
+        let _ = writeln!(out, "  stage depths: {}", depths.join(", "));
+        let _ = writeln!(
+            out,
+            "  continuously complete / uniformly splittable: {} / {}",
+            seq.is_continuously_complete(),
+            seq.is_continuously_uniformly_splittable()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  Theorem 4.1 local-delay bound: C_L > {}·(c_max − 2·c_min)",
+        net.depth()
+    );
+    Ok(out)
+}
+
+fn cmd_simulate(net: &Network, family: &str, w: &str, opts: &Options) -> Result<String, String> {
+    opts.allow(&["processes", "tokens", "ratio", "local-delay", "seed", "save"])?;
+    let cfg = WorkloadConfig {
+        processes: opts.usize_or("processes", net.fan_in().min(8))?,
+        tokens_per_process: opts.usize_or("tokens", 5)?,
+        c_min: 1.0,
+        c_max: opts.f64_or("ratio", 2.0)?,
+        local_delay: opts.f64_or("local-delay", 0.0)?,
+        start_spread: 3.0,
+    };
+    if cfg.c_max < cfg.c_min {
+        return Err("--ratio must be at least 1".to_string());
+    }
+    let specs = generate(net, &cfg, opts.u64_or("seed", 0)?);
+    let mut out = maybe_save(opts, family, w, "random workload schedule", &specs)?;
+    let exec = run(net, &specs).map_err(|e| e.to_string())?;
+    validate(net, &exec).map_err(|e| format!("execution failed validation: {e}"))?;
+    out.push_str(&render_execution(net, &exec));
+    Ok(out)
+}
+
+fn cmd_waves(net: &Network, family: &str, w: &str, opts: &Options) -> Result<String, String> {
+    opts.allow(&["ell", "ratio", "save"])?;
+    let ell = opts.usize_or("ell", 1)?;
+    let probe = three_wave(net, ell, 1.0, 1.0e6).map_err(|e| e.to_string())?;
+    let ratio = opts.f64_or("ratio", probe.required_ratio + 0.01)?;
+    let sched = three_wave(net, ell, 1.0, ratio).map_err(|e| e.to_string())?;
+    let mut out = maybe_save(
+        opts,
+        family,
+        w,
+        &format!("Theorem 5.11 three-wave schedule, ell={ell}, ratio={ratio}"),
+        &sched.specs,
+    )?;
+    let exec = run(net, &sched.specs).map_err(|e| e.to_string())?;
+    validate(net, &exec).map_err(|e| format!("execution failed validation: {e}"))?;
+    let _ = writeln!(
+        out,
+        "three-wave adversary at level {ell}: threshold ratio {:.3}, using {:.3}",
+        sched.required_ratio, ratio
+    );
+    out.push_str(&render_execution(net, &exec));
+    Ok(out)
+}
+
+fn cmd_race(net: &Network, family: &str, w: &str, opts: &Options) -> Result<String, String> {
+    opts.allow(&["ratio", "shared", "save"])?;
+    let shared = opts.usize_or("shared", 1)? != 0;
+    let ratio = opts.f64_or("ratio", net.depth() as f64 + 1.01)?;
+    let race = holding_race(net, 1.0, ratio, shared).map_err(|e| e.to_string())?;
+    let mut out = maybe_save(
+        opts,
+        family,
+        w,
+        &format!("holding-race schedule, ratio={ratio}, shared={shared}"),
+        &race.specs,
+    )?;
+    let exec = run(net, &race.specs).map_err(|e| e.to_string())?;
+    validate(net, &exec).map_err(|e| format!("execution failed validation: {e}"))?;
+    let _ = writeln!(
+        out,
+        "holding race: threshold ratio {:.3}, using {:.3}, shared chaser: {shared}",
+        race.required_ratio, ratio
+    );
+    out.push_str(&render_execution(net, &exec));
+    Ok(out)
+}
+
+fn cmd_replay(net: &Network, opts: &Options) -> Result<String, String> {
+    opts.allow(&["from"])?;
+    let path = opts.get("from").ok_or("replay needs --from <file>")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let artifact = ScheduleArtifact::from_json(&text)?;
+    if artifact.w != net.fan_out().max(net.fan_in()) {
+        return Err(format!(
+            "artifact targets w={}, but the requested network has fan {}/{}",
+            artifact.w,
+            net.fan_in(),
+            net.fan_out()
+        ));
+    }
+    let exec = run(net, &artifact.specs).map_err(|e| e.to_string())?;
+    validate(net, &exec).map_err(|e| format!("execution failed validation: {e}"))?;
+    let mut out = format!("replayed {} ({}):\n", path, artifact.note);
+    out.push_str(&render_execution(net, &exec));
+    Ok(out)
+}
+
+fn cmd_run(net: &Network, opts: &Options) -> Result<String, String> {
+    opts.allow(&["threads", "ops"])?;
+    let workload = cnet_runtime::Workload {
+        threads: opts.usize_or("threads", 4)?,
+        increments_per_thread: opts.usize_or("ops", 1000)?,
+    };
+    let counter = cnet_runtime::SharedNetworkCounter::new(net);
+    let records = cnet_runtime::drive(&counter, workload);
+    let ops = cnet_runtime::history::to_ops(&records);
+    let mut values: Vec<u64> = records.iter().map(|r| r.value).collect();
+    values.sort_unstable();
+    let dense = values == (0..values.len() as u64).collect::<Vec<_>>();
+    let mut out = format!(
+        "threaded run: {} threads x {} ops, values dense: {dense}\n\n",
+        workload.threads, workload.increments_per_thread
+    );
+    let _ = write!(out, "{}", audit(&ops));
+    Ok(out)
+}
+
+fn render_execution(net: &Network, exec: &cnet_sim::TimedExecution) -> String {
+    let params = TimingParams::measure(exec);
+    let ops = Op::from_execution(exec);
+    let report = audit(&ops);
+    let mut out = String::new();
+    let _ = writeln!(out, "\nmeasured timing parameters:");
+    let fmt_opt = |v: Option<f64>| v.map_or("inf".to_string(), |x| format!("{x:.3}"));
+    let _ = writeln!(out, "  c_min = {}", fmt_opt(params.c_min));
+    let _ = writeln!(out, "  c_max = {}", fmt_opt(params.c_max));
+    let _ = writeln!(out, "  C_L   = {}", fmt_opt(params.local_delay));
+    let _ = writeln!(out, "  C_g   = {}", fmt_opt(params.global_delay));
+    let _ = writeln!(out, "\ntiming conditions:");
+    let mut conditions = vec![
+        TimingCondition::RatioAtMostTwo,
+        TimingCondition::global_delay(net),
+        TimingCondition::local_delay(net),
+        TimingCondition::mpt_sufficient(net),
+    ];
+    if let Ok(c) = TimingCondition::mpt_necessary(net) {
+        conditions.push(c);
+    }
+    for c in conditions {
+        let _ = writeln!(out, "  [{}] {c}  —  {}", if c.holds(&params) { "x" } else { " " }, c.role());
+    }
+    let _ = writeln!(out, "\nconsistency audit:");
+    let _ = write!(out, "{report}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    #[test]
+    fn info_reports_structure() {
+        let out = call(&["info", "bitonic", "8"]).unwrap();
+        assert!(out.contains("depth d(G):   6"));
+        assert!(out.contains("split number: 3"));
+        assert!(out.contains("irad(G):      3"));
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out = call(&["dot", "tree", "4"]).unwrap();
+        assert!(out.starts_with("digraph"));
+    }
+
+    #[test]
+    fn simulate_renders_audit() {
+        let out = call(&["simulate", "bitonic", "4", "--ratio", "1.5", "--seed", "3"]).unwrap();
+        assert!(out.contains("linearizable:            true"));
+        assert!(out.contains("c_max"));
+    }
+
+    #[test]
+    fn waves_find_violations_above_threshold() {
+        let out = call(&["waves", "bitonic", "8", "--ell", "1"]).unwrap();
+        assert!(out.contains("linearizable:            false"));
+        assert!(out.contains("sequentially consistent: false"));
+    }
+
+    #[test]
+    fn race_detects_inversion() {
+        let out = call(&["race", "bitonic", "2", "--ratio", "2.5"]).unwrap();
+        assert!(out.contains("linearizable:            false"));
+    }
+
+    #[test]
+    fn run_audits_threaded_history() {
+        let out = call(&["run", "bitonic", "4", "--threads", "2", "--ops", "50"]).unwrap();
+        assert!(out.contains("values dense: true"));
+        assert!(out.contains("operations:              100"));
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        assert!(call(&["info"]).is_err());
+        assert!(call(&["info", "bitonic", "6"]).unwrap_err().contains("unsupported width"));
+        assert!(call(&["frobnicate", "bitonic", "8"]).unwrap_err().contains("unknown command"));
+        assert!(call(&["simulate", "bitonic", "4", "--bogus", "1"])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(call(&["waves", "tree", "8"]).is_err()); // tree has no split chops
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for c in ["info", "dot", "simulate", "waves", "race", "replay", "run"] {
+            assert!(u.contains(c), "{c}");
+        }
+    }
+
+    #[test]
+    fn save_and_replay_round_trip() {
+        let path = std::env::temp_dir().join("cnet_cli_test_waves.json");
+        let path_str = path.to_str().unwrap();
+        let saved = call(&["waves", "bitonic", "8", "--ell", "1", "--save", path_str]).unwrap();
+        assert!(saved.contains("schedule saved"));
+        let replayed = call(&["replay", "bitonic", "8", "--from", path_str]).unwrap();
+        assert!(replayed.contains("linearizable:            false"));
+        // Replaying against the wrong fan is rejected.
+        let err = call(&["replay", "bitonic", "4", "--from", path_str]).unwrap_err();
+        assert!(err.contains("artifact targets w=8"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn replay_reports_missing_file() {
+        let err = call(&["replay", "bitonic", "8", "--from", "/nonexistent/x.json"]).unwrap_err();
+        assert!(err.contains("read /nonexistent/x.json"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Implementation of the `cnet` command-line tool.
+//!
+//! All functionality lives here (rather than in `main.rs`) so the command
+//! surface is unit-testable: [`dispatch`] maps an argument vector to either
+//! rendered output or an error message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod artifact;
+mod commands;
+
+pub use args::{parse_network, Options};
+pub use artifact::ScheduleArtifact;
+pub use commands::{dispatch, usage};

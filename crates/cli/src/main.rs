@@ -1,0 +1,31 @@
+//! `cnet` — build, simulate, and audit counting networks from the shell.
+//!
+//! ```text
+//! cnet info      <family> <w>                       structural report
+//! cnet dot       <family> <w>                       Graphviz DOT to stdout
+//! cnet simulate  <family> <w> [options]             random schedule + audit
+//! cnet waves     <family> <w> [--ell L] [--ratio R] Theorem 5.11 waves + audit
+//! cnet race      <family> <w> [--ratio R]           holding race + audit
+//! cnet run       <family> <w> [options]             threaded run + audit
+//! ```
+//!
+//! Families: `bitonic`, `periodic`, `tree`, `block`, `merger`.
+
+use cnet_cli::{dispatch, usage};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

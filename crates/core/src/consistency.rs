@@ -1,0 +1,243 @@
+//! The consistency conditions of Section 2.4.
+//!
+//! For counting, values totally order operations, so both conditions reduce
+//! to pairwise checks:
+//!
+//! * an execution is **linearizable** iff no operation completely precedes
+//!   another yet returns a larger value (sorting by value is then the unique
+//!   candidate linearization, and it extends the complete-precedence order);
+//! * an execution is **sequentially consistent** iff each process's
+//!   successive operations return increasing values.
+
+use crate::op::Op;
+
+/// A witnessed violation: the `earlier` operation completely precedes (or,
+/// for sequential consistency, precedes at the same process) the `later`
+/// operation, yet returned a larger value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Index (into the op slice) of the earlier operation.
+    pub earlier: usize,
+    /// Index of the later operation, which returned the smaller value.
+    pub later: usize,
+}
+
+/// Finds a linearizability violation, if any: a pair where `earlier`
+/// completely precedes `later` but `value(earlier) > value(later)`.
+///
+/// Runs in `O(n log n)` by sweeping operations in start order and tracking
+/// the maximum value among already-finished operations.
+pub fn find_linearizability_violation(ops: &[Op]) -> Option<Violation> {
+    let mut by_enter: Vec<usize> = (0..ops.len()).collect();
+    by_enter.sort_by(|&a, &b| {
+        ops[a]
+            .enter_time
+            .total_cmp(&ops[b].enter_time)
+            .then(ops[a].enter_seq.cmp(&ops[b].enter_seq))
+    });
+    let mut by_exit: Vec<usize> = (0..ops.len()).collect();
+    by_exit.sort_by(|&a, &b| {
+        ops[a]
+            .exit_time
+            .total_cmp(&ops[b].exit_time)
+            .then(ops[a].exit_seq.cmp(&ops[b].exit_seq))
+    });
+    let mut max_finished: Option<usize> = None; // index with the largest value
+    let mut xi = 0;
+    for &b in &by_enter {
+        while xi < by_exit.len() {
+            let a = by_exit[xi];
+            if (ops[a].exit_time, ops[a].exit_seq) < (ops[b].enter_time, ops[b].enter_seq) {
+                if max_finished.is_none_or(|m| ops[a].value > ops[m].value) {
+                    max_finished = Some(a);
+                }
+                xi += 1;
+            } else {
+                break;
+            }
+        }
+        if let Some(m) = max_finished {
+            if ops[m].value > ops[b].value {
+                return Some(Violation { earlier: m, later: b });
+            }
+        }
+    }
+    None
+}
+
+/// Whether the execution is linearizable.
+///
+/// # Example
+///
+/// ```
+/// use cnet_core::op::op;
+/// use cnet_core::consistency::is_linearizable;
+///
+/// // b runs entirely after a but returns a smaller value: not linearizable.
+/// let a = op(0, 0.0, 1.0, 5);
+/// let b = op(1, 2.0, 3.0, 3);
+/// assert!(!is_linearizable(&[a, b]));
+/// // Overlapping operations may return values in either order.
+/// let c = op(1, 0.5, 3.0, 3);
+/// assert!(is_linearizable(&[a, c]));
+/// ```
+pub fn is_linearizable(ops: &[Op]) -> bool {
+    find_linearizability_violation(ops).is_none()
+}
+
+/// Finds a sequential-consistency violation, if any: a process whose
+/// successive operations return decreasing values.
+pub fn find_sequential_consistency_violation(ops: &[Op]) -> Option<Violation> {
+    let mut order: Vec<usize> = (0..ops.len()).collect();
+    order.sort_by(|&a, &b| {
+        ops[a]
+            .process
+            .cmp(&ops[b].process)
+            .then(ops[a].enter_time.total_cmp(&ops[b].enter_time))
+            .then(ops[a].enter_seq.cmp(&ops[b].enter_seq))
+    });
+    for pair in order.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if ops[a].process == ops[b].process && ops[a].value > ops[b].value {
+            return Some(Violation { earlier: a, later: b });
+        }
+    }
+    None
+}
+
+/// Whether the execution is sequentially consistent: each process's
+/// successive operations return increasing values.
+///
+/// # Example
+///
+/// ```
+/// use cnet_core::op::op;
+/// use cnet_core::consistency::is_sequentially_consistent;
+///
+/// // Different processes may see values out of real-time order...
+/// let a = op(0, 0.0, 1.0, 5);
+/// let b = op(1, 2.0, 3.0, 3);
+/// assert!(is_sequentially_consistent(&[a, b]));
+/// // ...but one process must see increasing values.
+/// let c = op(0, 2.0, 3.0, 3);
+/// assert!(!is_sequentially_consistent(&[a, c]));
+/// ```
+pub fn is_sequentially_consistent(ops: &[Op]) -> bool {
+    find_sequential_consistency_violation(ops).is_none()
+}
+
+/// Whether the execution is sequentially consistent *with respect to one
+/// process* (Observation 2.1's building block): that process's operations
+/// return increasing values.
+pub fn is_sequentially_consistent_for(ops: &[Op], process: usize) -> bool {
+    let mut mine: Vec<&Op> = ops.iter().filter(|o| o.process == process).collect();
+    mine.sort_by(|a, b| {
+        a.enter_time.total_cmp(&b.enter_time).then(a.enter_seq.cmp(&b.enter_seq))
+    });
+    mine.windows(2).all(|p| p[0].value < p[1].value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::op;
+
+    #[test]
+    fn empty_and_singleton_are_consistent() {
+        assert!(is_linearizable(&[]));
+        assert!(is_sequentially_consistent(&[]));
+        let a = op(0, 0.0, 1.0, 0);
+        assert!(is_linearizable(&[a]));
+        assert!(is_sequentially_consistent(&[a]));
+    }
+
+    #[test]
+    fn linearizable_implies_sequentially_consistent() {
+        // A set of sequential ops with increasing values.
+        let ops: Vec<_> = (0..10)
+            .map(|k| op(k % 3, k as f64 * 2.0, k as f64 * 2.0 + 1.0, k as u64))
+            .collect();
+        assert!(is_linearizable(&ops));
+        assert!(is_sequentially_consistent(&ops));
+    }
+
+    #[test]
+    fn sc_but_not_linearizable() {
+        // Two processes, each internally increasing; across processes, an
+        // earlier-completing op has the larger value.
+        let ops = vec![
+            op(0, 0.0, 1.0, 5),
+            op(0, 2.0, 3.0, 6),
+            op(1, 4.0, 5.0, 1), // runs after everything, small value
+            op(1, 6.0, 7.0, 2),
+        ];
+        assert!(is_sequentially_consistent(&ops));
+        assert!(!is_linearizable(&ops));
+        let v = find_linearizability_violation(&ops).unwrap();
+        assert_eq!(ops[v.earlier].value, 6);
+        assert!(ops[v.later].value < 6);
+    }
+
+    #[test]
+    fn non_sc_implies_non_linearizable() {
+        let ops = vec![op(0, 0.0, 1.0, 5), op(0, 2.0, 3.0, 3)];
+        assert!(!is_sequentially_consistent(&ops));
+        assert!(!is_linearizable(&ops));
+    }
+
+    #[test]
+    fn overlapping_out_of_order_values_are_fine() {
+        let ops = vec![op(0, 0.0, 10.0, 9), op(1, 1.0, 2.0, 0), op(2, 3.0, 4.0, 1)];
+        assert!(is_linearizable(&ops));
+    }
+
+    #[test]
+    fn per_process_check() {
+        let ops = vec![
+            op(0, 0.0, 1.0, 5),
+            op(0, 2.0, 3.0, 3), // p0 decreases
+            op(1, 0.0, 1.0, 1),
+            op(1, 2.0, 3.0, 2), // p1 increases
+        ];
+        assert!(!is_sequentially_consistent_for(&ops, 0));
+        assert!(is_sequentially_consistent_for(&ops, 1));
+        assert!(is_sequentially_consistent_for(&ops, 99)); // vacuous
+        let v = find_sequential_consistency_violation(&ops).unwrap();
+        assert_eq!(ops[v.earlier].process, 0);
+    }
+
+    #[test]
+    fn violation_sweep_matches_quadratic_oracle() {
+        // Pseudo-random small executions: compare the sweep against the
+        // O(n^2) definition.
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (u32::MAX as f64 / 8.0)
+        };
+        for trial in 0..200 {
+            let n = 2 + (trial % 9);
+            let ops: Vec<Op> = (0..n)
+                .map(|k| {
+                    let s = next();
+                    let e = s + next();
+                    let mut o = op(k % 3, s, e, 0);
+                    o.value = (next() * 4.0) as u64;
+                    o.enter_seq = k;
+                    o.exit_seq = k + 100;
+                    o
+                })
+                .collect();
+            let quadratic = ops.iter().enumerate().any(|(i, a)| {
+                ops.iter()
+                    .enumerate()
+                    .any(|(j, b)| i != j && a.completely_precedes(b) && a.value > b.value)
+            });
+            assert_eq!(
+                find_linearizability_violation(&ops).is_some(),
+                quadratic,
+                "trial {trial}: {ops:?}"
+            );
+        }
+    }
+}

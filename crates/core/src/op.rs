@@ -1,0 +1,118 @@
+//! Provider-neutral operation records.
+//!
+//! The consistency checkers reason about *increment operations*: who issued
+//! them (a process), when they ran (a real-time interval with a tiebreak),
+//! and what value they returned. [`Op`] carries exactly that, so the same
+//! checkers apply to simulated executions ([`cnet_sim::TimedExecution`]) and
+//! to histories recorded by the threaded runtime in `cnet-runtime`.
+
+use cnet_sim::exec::TimedExecution;
+use serde::{Deserialize, Serialize};
+
+/// One completed increment operation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// The process that issued the operation.
+    pub process: usize,
+    /// Time of the operation's first step.
+    pub enter_time: f64,
+    /// Tiebreak for `enter_time` (position in a global event order).
+    pub enter_seq: usize,
+    /// Time of the operation's last step (when the value was obtained).
+    pub exit_time: f64,
+    /// Tiebreak for `exit_time`.
+    pub exit_seq: usize,
+    /// The value returned.
+    pub value: u64,
+}
+
+impl Op {
+    /// Whether this operation **completely precedes** `other`: its last step
+    /// comes before the other's first step (ties resolved by sequence
+    /// number).
+    #[inline]
+    pub fn completely_precedes(&self, other: &Op) -> bool {
+        (self.exit_time, self.exit_seq) < (other.enter_time, other.enter_seq)
+    }
+
+    /// Whether the two operations overlap in time.
+    #[inline]
+    pub fn overlaps(&self, other: &Op) -> bool {
+        !self.completely_precedes(other) && !other.completely_precedes(self)
+    }
+
+    /// Converts every token record of a simulated execution into an [`Op`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnet_topology::construct::bitonic;
+    /// use cnet_sim::{engine::run, spec::TimedTokenSpec, ids::ProcessId};
+    /// use cnet_core::op::Op;
+    ///
+    /// let net = bitonic(2)?;
+    /// let specs = vec![TimedTokenSpec::lock_step(ProcessId(0), 0, 0.0, 1.0, 1)];
+    /// let ops = Op::from_execution(&run(&net, &specs)?);
+    /// assert_eq!(ops.len(), 1);
+    /// assert_eq!(ops[0].value, 0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn from_execution(exec: &TimedExecution) -> Vec<Op> {
+        exec.records()
+            .iter()
+            .map(|r| Op {
+                process: r.process.index(),
+                enter_time: r.enter_time,
+                enter_seq: r.enter_seq,
+                exit_time: r.exit_time,
+                exit_seq: r.exit_seq,
+                value: r.value,
+            })
+            .collect()
+    }
+}
+
+/// Builds an [`Op`] from plain interval data, using the value itself as the
+/// tiebreak (adequate when all times are distinct, as in tests and the
+/// threaded runtime where timestamps come from a monotonic clock).
+pub fn op(process: usize, enter: f64, exit: f64, value: u64) -> Op {
+    Op {
+        process,
+        enter_time: enter,
+        enter_seq: value as usize,
+        exit_time: exit,
+        exit_seq: value as usize,
+        value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_and_overlap() {
+        let a = op(0, 0.0, 1.0, 0);
+        let b = op(1, 2.0, 3.0, 1);
+        let c = op(2, 0.5, 2.5, 2);
+        assert!(a.completely_precedes(&b));
+        assert!(!b.completely_precedes(&a));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+    }
+
+    #[test]
+    fn conversion_from_execution_preserves_fields() {
+        use cnet_sim::{engine::run, ids::ProcessId, spec::TimedTokenSpec};
+        use cnet_topology::construct::bitonic;
+        let net = bitonic(2).unwrap();
+        let specs = vec![
+            TimedTokenSpec::lock_step(ProcessId(7), 1, 2.0, 3.0, 1),
+        ];
+        let exec = run(&net, &specs).unwrap();
+        let ops = Op::from_execution(&exec);
+        assert_eq!(ops[0].process, 7);
+        assert_eq!(ops[0].enter_time, 2.0);
+        assert_eq!(ops[0].exit_time, 5.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Closed-form bounds and structural formulas stated by the paper.
+//!
+//! These are the *predicted* quantities the experiment harness compares its
+//! measurements against; each function names the theorem it encodes.
+
+/// `lg w` for a power of two.
+///
+/// # Panics
+///
+/// Panics if `w` is not a positive power of two.
+pub fn lg(w: usize) -> usize {
+    assert!(w.is_power_of_two(), "lg needs a power of two, got {w}");
+    w.trailing_zeros() as usize
+}
+
+/// Depth of the bitonic network: `d(B(w)) = lg w · (lg w + 1) / 2`.
+pub fn bitonic_depth(w: usize) -> usize {
+    lg(w) * (lg(w) + 1) / 2
+}
+
+/// Depth of the periodic network: `d(P(w)) = lg² w`.
+pub fn periodic_depth(w: usize) -> usize {
+    lg(w) * lg(w)
+}
+
+/// Proposition 5.6: split depth of the bitonic network,
+/// `sd(B(w)) = (lg² w − lg w + 2) / 2`.
+pub fn bitonic_split_depth(w: usize) -> usize {
+    (lg(w) * lg(w) - lg(w) + 2) / 2
+}
+
+/// Proposition 5.8: split depth of the periodic network,
+/// `sd(P(w)) = lg² w − lg w + 1`.
+pub fn periodic_split_depth(w: usize) -> usize {
+    lg(w) * lg(w) - lg(w) + 1
+}
+
+/// Propositions 5.9 / 5.10: split number of both classic networks,
+/// `sp(B(w)) = sp(P(w)) = lg w`.
+pub fn classic_split_number(w: usize) -> usize {
+    lg(w)
+}
+
+/// Propositions 5.2 / 5.3: the asynchrony threshold for the bitonic
+/// three-wave construction, `(lg w + 3) / 2`.
+pub fn bitonic_wave_threshold(w: usize) -> f64 {
+    (lg(w) as f64 + 3.0) / 2.0
+}
+
+/// Theorem 5.11's asynchrony threshold at level `ell`:
+/// `1 + d(G) / d(S⁽ℓ⁾(G))`.
+pub fn wave_threshold(depth: usize, region_depth: usize) -> f64 {
+    assert!(region_depth > 0, "region depth must be positive");
+    1.0 + depth as f64 / region_depth as f64
+}
+
+/// Theorem 5.4: upper bound on the non-sequential-consistency fraction
+/// under `c_max/c_min < ℓ`: `(ℓ − 2) / (ℓ − 1)`.
+///
+/// # Panics
+///
+/// Panics if `ell < 2` (the theorem needs an integer `ℓ > 1`).
+pub fn thm_5_4_nsc_upper(ell: usize) -> f64 {
+    assert!(ell >= 2, "Theorem 5.4 needs ell > 1");
+    (ell as f64 - 2.0) / (ell as f64 - 1.0)
+}
+
+/// Theorem 5.11: lower bound on the non-linearizability fraction at level
+/// `ell`: `1 − 1/(2 − 2^{−ℓ})`.
+pub fn thm_5_11_nl_lower(ell: usize) -> f64 {
+    let half_pow = 0.5f64.powi(ell as i32);
+    1.0 - 1.0 / (2.0 - half_pow)
+}
+
+/// Theorem 5.11: lower bound on the non-sequential-consistency fraction at
+/// level `ell`: `2^{−ℓ} / (2 − 2^{−ℓ})`.
+pub fn thm_5_11_nsc_lower(ell: usize) -> f64 {
+    let half_pow = 0.5f64.powi(ell as i32);
+    half_pow / (2.0 - half_pow)
+}
+
+/// Corollaries 5.12 / 5.13 at `ℓ = lg w`: the non-linearizability lower
+/// bound `(w − 1) / (2w − 1)`.
+pub fn cor_5_12_nl_lower(w: usize) -> f64 {
+    (w as f64 - 1.0) / (2.0 * w as f64 - 1.0)
+}
+
+/// Corollaries 5.12 / 5.13 at `ℓ = lg w`: the non-sequential-consistency
+/// lower bound `1 / (2w − 1)`.
+pub fn cor_5_12_nsc_lower(w: usize) -> f64 {
+    1.0 / (2.0 * w as f64 - 1.0)
+}
+
+/// The exact fractions achieved by the three-wave construction of
+/// Theorem 5.11: `(n1 / (w + n1), n2 / (w + n1))` where `n1 = w(1 − 2^{−ℓ})`
+/// and `n2 = w/2^ℓ` — the number of non-linearizable (all of wave 3) and
+/// non-SC (the shared head of wave 3) tokens over the total `w + n1`.
+pub fn three_wave_fractions(w: usize, ell: usize) -> (f64, f64) {
+    let n2 = w / (1 << ell);
+    let n1 = w - n2;
+    let total = (w + n1) as f64;
+    (n1 as f64 / total, n2 as f64 / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_formulas() {
+        assert_eq!(bitonic_depth(2), 1);
+        assert_eq!(bitonic_depth(8), 6);
+        assert_eq!(bitonic_depth(64), 21);
+        assert_eq!(periodic_depth(8), 9);
+        assert_eq!(periodic_depth(16), 16);
+    }
+
+    #[test]
+    fn split_formulas() {
+        assert_eq!(bitonic_split_depth(4), 2);
+        assert_eq!(bitonic_split_depth(16), 7);
+        assert_eq!(periodic_split_depth(8), 7);
+        assert_eq!(classic_split_number(32), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn lg_rejects_non_powers() {
+        lg(6);
+    }
+
+    #[test]
+    fn wave_thresholds() {
+        assert_eq!(bitonic_wave_threshold(8), 3.0);
+        // Theorem 5.11 at ell = sp: region depth 1, threshold 1 + d.
+        assert_eq!(wave_threshold(bitonic_depth(8), 1), 7.0);
+        // Corollary 5.13 for P(w): 1 + lg^2 w.
+        assert_eq!(wave_threshold(periodic_depth(8), 1), 10.0);
+    }
+
+    #[test]
+    fn thm_5_4_values() {
+        assert_eq!(thm_5_4_nsc_upper(2), 0.0);
+        assert_eq!(thm_5_4_nsc_upper(3), 0.5);
+        assert!((thm_5_4_nsc_upper(11) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thm_5_11_bounds_at_ell_1_are_one_third() {
+        assert!((thm_5_11_nl_lower(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((thm_5_11_nsc_lower(1) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thm_5_11_limits() {
+        // F_nl bound increases toward 1/2; F_nsc bound decreases toward 0.
+        let mut prev_nl = 0.0;
+        let mut prev_nsc = 1.0;
+        for ell in 1..=20 {
+            let nl = thm_5_11_nl_lower(ell);
+            let nsc = thm_5_11_nsc_lower(ell);
+            assert!(nl > prev_nl);
+            assert!(nsc < prev_nsc);
+            prev_nl = nl;
+            prev_nsc = nsc;
+        }
+        assert!((prev_nl - 0.5).abs() < 1e-5);
+        assert!(prev_nsc < 1e-5);
+    }
+
+    #[test]
+    fn corollary_matches_theorem_at_ell_lg_w() {
+        for w in [4usize, 8, 16, 64] {
+            let ell = lg(w);
+            assert!((thm_5_11_nl_lower(ell) - cor_5_12_nl_lower(w)).abs() < 1e-12, "w={w}");
+            assert!((thm_5_11_nsc_lower(ell) - cor_5_12_nsc_lower(w)).abs() < 1e-12, "w={w}");
+        }
+    }
+
+    #[test]
+    fn construction_achieves_exactly_the_bounds() {
+        // The three-wave construction's achieved fractions equal the stated
+        // lower bounds (they are tight for the construction itself).
+        for w in [8usize, 16] {
+            for ell in 1..=lg(w) {
+                let (nl, nsc) = three_wave_fractions(w, ell);
+                assert!((nl - thm_5_11_nl_lower(ell)).abs() < 1e-12, "w={w} ell={ell}");
+                assert!((nsc - thm_5_11_nsc_lower(ell)).abs() < 1e-12, "w={w} ell={ell}");
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The shared-memory counting network (Section 2.7).
+
+use crate::ProcessCounter;
+use cnet_topology::ids::SourceId;
+use cnet_topology::network::WireEnd;
+use cnet_topology::Network;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A counting network laid out in shared memory: one atomic round-robin
+/// word per balancer, one atomic counter per output wire.
+///
+/// Threads traverse the structure with [`increment_from`]; each balancer
+/// visit is a single atomic `fetch_update`, and the final counter visit a
+/// `fetch_add` of the network fan-out — so the whole operation is lock-free
+/// and contention spreads across the network instead of piling onto one
+/// word.
+///
+/// [`increment_from`]: SharedNetworkCounter::increment_from
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::construct::bitonic;
+/// use cnet_runtime::SharedNetworkCounter;
+/// use std::thread;
+///
+/// let net = bitonic(8)?;
+/// let counter = SharedNetworkCounter::new(&net);
+/// let mut values: Vec<u64> = thread::scope(|s| {
+///     let handles: Vec<_> = (0..8)
+///         .map(|p| {
+///             let counter = &counter;
+///             s.spawn(move || (0..100).map(|_| counter.increment_from(p % 8)).collect::<Vec<_>>())
+///         })
+///         .collect();
+///     handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+/// });
+/// values.sort_unstable();
+/// assert_eq!(values, (0..800).collect::<Vec<_>>()); // no gaps, no duplicates
+/// # Ok::<(), cnet_topology::BuildError>(())
+/// ```
+#[derive(Debug)]
+pub struct SharedNetworkCounter {
+    net: Network,
+    /// Round-robin state of each balancer: the output port the next token
+    /// exits on.
+    balancers: Vec<AtomicUsize>,
+    /// Next value handed out by each counter; counter `j` starts at `j` and
+    /// strides by the fan-out.
+    counters: Vec<AtomicU64>,
+}
+
+impl SharedNetworkCounter {
+    /// Lays the network out in shared memory, all balancers in their initial
+    /// state and counter `j` poised to hand out `j`.
+    pub fn new(net: &Network) -> Self {
+        SharedNetworkCounter {
+            net: net.clone(),
+            balancers: (0..net.size()).map(|_| AtomicUsize::new(0)).collect(),
+            counters: (0..net.fan_out()).map(|j| AtomicU64::new(j as u64)).collect(),
+        }
+    }
+
+    /// The network this counter is laid out over.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Shepherds one token from input wire `input` to a counter and returns
+    /// the value obtained. Safe to call from any number of threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= network().fan_in()`.
+    pub fn increment_from(&self, input: usize) -> u64 {
+        assert!(input < self.net.fan_in(), "input wire {input} out of range");
+        let mut wire = self.net.source_wire(SourceId(input));
+        loop {
+            match self.net.wire(wire).end {
+                WireEnd::Balancer { balancer, .. } => {
+                    let bal = self.net.balancer(balancer);
+                    let f = bal.fan_out();
+                    let port = self.balancers[balancer.index()]
+                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| {
+                            Some((s + 1) % f)
+                        })
+                        .expect("fetch_update closure always returns Some");
+                    wire = bal.output(port);
+                }
+                WireEnd::Sink(sink) => {
+                    return self.counters[sink.index()]
+                        .fetch_add(self.net.fan_out() as u64, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+
+    /// The number of tokens that have fully traversed the network so far
+    /// (exact only in quiescent moments).
+    pub fn tokens_counted(&self) -> u64 {
+        let w = self.net.fan_out() as u64;
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(j, c)| (c.load(Ordering::Acquire) - j as u64) / w)
+            .sum()
+    }
+
+    /// Reads the per-counter token counts (exact only in quiescent moments)
+    /// — the history variables `y_j`, for step-property checks.
+    pub fn output_counts(&self) -> Vec<u64> {
+        let w = self.net.fan_out() as u64;
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(j, c)| (c.load(Ordering::Acquire) - j as u64) / w)
+            .collect()
+    }
+}
+
+impl ProcessCounter for SharedNetworkCounter {
+    fn next_for(&self, process: usize) -> u64 {
+        self.increment_from(process % self.net.fan_in())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_topology::construct::{bitonic, counting_tree, periodic};
+    use cnet_topology::state::has_step_property;
+    use std::thread;
+
+    #[test]
+    fn sequential_use_matches_reference_semantics() {
+        let net = bitonic(4).unwrap();
+        let shared = SharedNetworkCounter::new(&net);
+        let mut reference = cnet_topology::state::NetworkState::new(&net);
+        for k in 0..32 {
+            let input = k % 4;
+            assert_eq!(shared.increment_from(input), reference.traverse(&net, input).value);
+        }
+        assert_eq!(shared.output_counts(), reference.output_counts());
+    }
+
+    #[test]
+    fn concurrent_increments_are_gap_free() {
+        for net in [bitonic(8).unwrap(), periodic(8).unwrap()] {
+            let counter = SharedNetworkCounter::new(&net);
+            let per_thread = 500;
+            let threads = 8;
+            let mut values: Vec<u64> = thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|p| {
+                        let c = &counter;
+                        s.spawn(move || {
+                            (0..per_thread).map(|_| c.increment_from(p)).collect::<Vec<u64>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            });
+            values.sort_unstable();
+            let n = (threads * per_thread) as u64;
+            assert_eq!(values, (0..n).collect::<Vec<_>>());
+            assert_eq!(counter.tokens_counted(), n);
+        }
+    }
+
+    #[test]
+    fn quiescent_state_has_step_property() {
+        let net = bitonic(8).unwrap();
+        let counter = SharedNetworkCounter::new(&net);
+        // 8 threads, unequal token counts, all through different wires.
+        thread::scope(|s| {
+            for p in 0..8usize {
+                let c = &counter;
+                s.spawn(move || {
+                    for _ in 0..(50 + 13 * p) {
+                        c.increment_from(p);
+                    }
+                });
+            }
+        });
+        assert!(has_step_property(&counter.output_counts()));
+    }
+
+    #[test]
+    fn counting_tree_runtime() {
+        let net = counting_tree(8).unwrap();
+        let counter = SharedNetworkCounter::new(&net);
+        let mut values: Vec<u64> = thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let c = &counter;
+                    s.spawn(move || (0..200).map(|_| c.increment_from(0)).collect::<Vec<u64>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        values.sort_unstable();
+        assert_eq!(values, (0..800).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_input_wire_panics() {
+        let net = bitonic(2).unwrap();
+        SharedNetworkCounter::new(&net).increment_from(7);
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared-memory threaded implementation of counting networks.
+//!
+//! Section 2.7 of the paper describes the standard multiprocessor
+//! implementation: balancers are records, wires are pointers, and each
+//! process performs an increment by shepherding a token from an input
+//! pointer to a counter, atomically updating each balancer on the way.
+//! [`counter::SharedNetworkCounter`] realizes that design with one
+//! `AtomicUsize` per balancer and one `AtomicU64` per counter, over any
+//! [`cnet_topology::Network`].
+//!
+//! Also provided:
+//!
+//! * [`baseline`] — the centralized alternatives counting networks were
+//!   invented to beat: a single fetch-and-increment word and a lock-based
+//!   counter;
+//! * [`barrier`] — the paper's Section 1.1 application: barrier
+//!   synchronization built on *any* counter, which needs only gap-free
+//!   values (and is the motivating example for settling for sequential
+//!   consistency);
+//! * [`history`] — wall-clock operation recording, producing
+//!   [`cnet_core::Op`]s so the same checkers that analyze simulated
+//!   executions analyze real threaded runs.
+//!
+//! # Example
+//!
+//! ```
+//! use cnet_topology::construct::bitonic;
+//! use cnet_runtime::counter::SharedNetworkCounter;
+//! use cnet_runtime::ProcessCounter;
+//!
+//! let net = bitonic(4)?;
+//! let counter = SharedNetworkCounter::new(&net);
+//! let mut values: Vec<u64> = (0..12).map(|p| counter.next_for(p)).collect();
+//! values.sort_unstable();
+//! assert_eq!(values, (0..12).collect::<Vec<_>>());
+//! # Ok::<(), cnet_topology::BuildError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod barrier;
+pub mod counter;
+pub mod diffracting;
+pub mod history;
+pub mod message_passing;
+pub mod paced;
+pub mod stats;
+
+pub use baseline::{FetchAddCounter, LockCounter};
+pub use barrier::CounterBarrier;
+pub use counter::SharedNetworkCounter;
+pub use diffracting::DiffractingTree;
+pub use history::{drive, RecordedOp, Workload};
+pub use message_passing::MessagePassingCounter;
+pub use paced::LocallyPacedCounter;
+pub use stats::InstrumentedNetworkCounter;
+
+/// A shared counter usable concurrently by many processes.
+///
+/// `next_for(process)` performs one increment operation on behalf of the
+/// given process and returns the value obtained. Counting-network
+/// implementations route the process to its statically assigned input wire;
+/// centralized implementations ignore the process id.
+pub trait ProcessCounter: Sync {
+    /// Performs one increment for `process` and returns the value.
+    fn next_for(&self, process: usize) -> u64;
+}

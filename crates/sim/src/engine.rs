@@ -1,0 +1,624 @@
+//! The discrete-event replay engine.
+//!
+//! [`run`] takes a *uniform* network and one [`TimedTokenSpec`] per token and
+//! replays every step in time order (ties broken by the token's position in
+//! the spec slice, then by layer), applying the sequential `BAL`/`COUNT`
+//! semantics of [`cnet_topology::state::NetworkState`]. The result is a
+//! [`TimedExecution`] carrying the full step trace and one
+//! [`TokenRecord`] per token.
+//!
+//! Uniformity matters: in a uniform network every source→sink path crosses
+//! exactly one node per layer, so "the token's `l`-th step happens at time
+//! `S(T, l)`" is well-defined *before* routing is known — the paper's notion
+//! of a schedule (Section 2.3).
+
+use crate::error::SimError;
+use crate::exec::{Step, TimedExecution, TimedStep, TokenRecord};
+use crate::ids::{ProcessId, TokenId};
+use crate::spec::TimedTokenSpec;
+use cnet_topology::ids::SourceId;
+use cnet_topology::network::WireEnd;
+use cnet_topology::state::NetworkState;
+use cnet_topology::Network;
+use std::collections::BTreeMap;
+
+/// Replays the given token schedules through the network.
+///
+/// # Errors
+///
+/// * [`SimError::NotUniform`] — the network is not uniform.
+/// * [`SimError::WrongStepCount`], [`SimError::DecreasingStepTimes`],
+///   [`SimError::NonFiniteTime`], [`SimError::BadInputWire`] — a spec is
+///   malformed.
+/// * [`SimError::OverlappingProcessTokens`] — two tokens of the same process
+///   overlap in time (execution condition 3 of Section 2.2).
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::construct::bitonic;
+/// use cnet_sim::spec::TimedTokenSpec;
+/// use cnet_sim::ids::ProcessId;
+/// use cnet_sim::engine::run;
+///
+/// let net = bitonic(2)?; // depth 1
+/// let specs = vec![
+///     TimedTokenSpec::lock_step(ProcessId(0), 0, 0.0, 1.0, 1),
+///     TimedTokenSpec::lock_step(ProcessId(1), 1, 0.5, 1.0, 1),
+/// ];
+/// let exec = run(&net, &specs)?;
+/// assert_eq!(exec.records()[0].value, 0); // first through the balancer
+/// assert_eq!(exec.records()[1].value, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run(net: &Network, specs: &[TimedTokenSpec]) -> Result<TimedExecution, SimError> {
+    if !net.is_uniform() {
+        return Err(SimError::NotUniform);
+    }
+    let depth = net.depth();
+    validate(net, depth, specs)?;
+
+    // One event per (token, layer), sorted by (time, token position, layer).
+    let mut events: Vec<(f64, usize, usize)> = Vec::with_capacity(specs.len() * (depth + 1));
+    for (pos, spec) in specs.iter().enumerate() {
+        for (layer, &t) in spec.step_times.iter().enumerate() {
+            events.push((t, pos, layer));
+        }
+    }
+    events.sort_by(|a, b| {
+        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+    });
+
+    let mut state = NetworkState::new(net);
+    let mut wire: Vec<cnet_topology::ids::WireId> = specs
+        .iter()
+        .map(|s| net.source_wire(SourceId(s.input)))
+        .collect();
+    let mut steps: Vec<TimedStep> = Vec::with_capacity(events.len());
+    let mut enter_seq = vec![0usize; specs.len()];
+    let mut exit_seq = vec![0usize; specs.len()];
+    let mut sink_of = vec![0usize; specs.len()];
+    let mut value_of = vec![0u64; specs.len()];
+
+    for (time, pos, layer) in events {
+        let token = TokenId(pos);
+        let process = specs[pos].process;
+        let seq = steps.len();
+        if layer == 0 {
+            enter_seq[pos] = seq;
+        }
+        match net.wire(wire[pos]).end {
+            WireEnd::Balancer { balancer, port } => {
+                let out_port = state.balancer_step(net, balancer);
+                steps.push(TimedStep {
+                    time,
+                    step: Step::Bal {
+                        token,
+                        process,
+                        balancer: balancer.index(),
+                        in_port: port,
+                        out_port,
+                    },
+                });
+                wire[pos] = net.balancer(balancer).output(out_port);
+            }
+            WireEnd::Sink(sink) => {
+                let value = state.counter_step(net, sink);
+                steps.push(TimedStep {
+                    time,
+                    step: Step::Count { token, process, sink: sink.index(), value },
+                });
+                exit_seq[pos] = seq;
+                sink_of[pos] = sink.index();
+                value_of[pos] = value;
+            }
+        }
+    }
+
+    let records: Vec<TokenRecord> = specs
+        .iter()
+        .enumerate()
+        .map(|(pos, spec)| TokenRecord {
+            token: TokenId(pos),
+            process: spec.process,
+            input: spec.input,
+            enter_time: spec.enter_time(),
+            exit_time: spec.exit_time(),
+            enter_seq: enter_seq[pos],
+            exit_seq: exit_seq[pos],
+            sink: sink_of[pos],
+            value: value_of[pos],
+            step_times: spec.step_times.clone(),
+        })
+        .collect();
+
+    Ok(TimedExecution::new(depth, net.fan_out(), steps, records))
+}
+
+/// Replays **adaptive** token schedules through any network — including
+/// non-uniform ones, where a token's route length depends on its routing.
+///
+/// A true discrete-event simulation: an event queue keyed by
+/// `(time, spec position, hop)` pops the earliest pending step; the token
+/// takes it (balancer or counter, depending on where its wire leads), and —
+/// if it is still inside the network — its next step is scheduled after the
+/// next delay from its pool.
+///
+/// On uniform networks this agrees exactly with [`run`] applied to the
+/// corresponding [`TimedTokenSpec`]s.
+///
+/// # Errors
+///
+/// * [`SimError::WrongStepCount`] — a token's delay pool is shorter than
+///   the network depth (its route might be that long).
+/// * [`SimError::NonFiniteTime`], [`SimError::BadInputWire`],
+///   [`SimError::DecreasingStepTimes`] (negative delays),
+///   [`SimError::OverlappingProcessTokens`] — as for [`run`], with the
+///   overlap check using each token's *worst-case* exit time (entry plus
+///   all depth delays), so the guarantee is schedule-independent.
+pub fn run_adaptive(
+    net: &Network,
+    specs: &[crate::spec::AdaptiveTokenSpec],
+) -> Result<TimedExecution, SimError> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let depth = net.depth();
+    // Validation.
+    for (pos, spec) in specs.iter().enumerate() {
+        let token = TokenId(pos);
+        if spec.delays.len() < depth {
+            return Err(SimError::WrongStepCount {
+                token,
+                got: spec.delays.len(),
+                want: depth,
+            });
+        }
+        if !spec.enter_time.is_finite() || spec.delays.iter().any(|d| !d.is_finite()) {
+            return Err(SimError::NonFiniteTime { token });
+        }
+        if spec.delays.iter().any(|&d| d < 0.0) {
+            return Err(SimError::DecreasingStepTimes { token });
+        }
+        if spec.input >= net.fan_in() {
+            return Err(SimError::BadInputWire { token, input: spec.input });
+        }
+    }
+    // Worst-case exit times for the per-process overlap check.
+    let worst_exit: Vec<f64> = specs
+        .iter()
+        .map(|s| s.enter_time + s.delays.iter().take(depth).sum::<f64>())
+        .collect();
+    {
+        let mut by_process: BTreeMap<ProcessId, Vec<usize>> = BTreeMap::new();
+        for (pos, spec) in specs.iter().enumerate() {
+            by_process.entry(spec.process).or_default().push(pos);
+        }
+        for (process, mut positions) in by_process {
+            positions.sort_by(|&a, &b| {
+                specs[a].enter_time.total_cmp(&specs[b].enter_time).then(a.cmp(&b))
+            });
+            for pair in positions.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let ordered = worst_exit[a] < specs[b].enter_time
+                    || (worst_exit[a] == specs[b].enter_time && a < b);
+                if !ordered {
+                    return Err(SimError::OverlappingProcessTokens {
+                        process,
+                        tokens: (TokenId(a), TokenId(b)),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Heap key ordered by (time, spec position, hop); `f64` wrapped for a
+    /// total order (times validated finite above).
+    #[derive(PartialEq)]
+    struct Key(f64, usize, usize);
+    impl Eq for Key {}
+    impl PartialOrd for Key {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Key {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.total_cmp(&other.0).then(self.1.cmp(&other.1)).then(self.2.cmp(&other.2))
+        }
+    }
+
+    let mut queue: BinaryHeap<Reverse<Key>> = specs
+        .iter()
+        .enumerate()
+        .map(|(pos, s)| Reverse(Key(s.enter_time, pos, 0)))
+        .collect();
+    let mut state = NetworkState::new(net);
+    let mut wire: Vec<cnet_topology::ids::WireId> =
+        specs.iter().map(|s| net.source_wire(SourceId(s.input))).collect();
+    let mut steps: Vec<TimedStep> = Vec::new();
+    let mut enter_seq = vec![0usize; specs.len()];
+    let mut exit_seq = vec![0usize; specs.len()];
+    let mut sink_of = vec![0usize; specs.len()];
+    let mut value_of = vec![0u64; specs.len()];
+    let mut times_of: Vec<Vec<f64>> = vec![Vec::new(); specs.len()];
+
+    while let Some(Reverse(Key(time, pos, hop))) = queue.pop() {
+        let token = TokenId(pos);
+        let process = specs[pos].process;
+        let seq = steps.len();
+        if hop == 0 {
+            enter_seq[pos] = seq;
+        }
+        times_of[pos].push(time);
+        match net.wire(wire[pos]).end {
+            WireEnd::Balancer { balancer, port } => {
+                let out_port = state.balancer_step(net, balancer);
+                steps.push(TimedStep {
+                    time,
+                    step: Step::Bal {
+                        token,
+                        process,
+                        balancer: balancer.index(),
+                        in_port: port,
+                        out_port,
+                    },
+                });
+                wire[pos] = net.balancer(balancer).output(out_port);
+                queue.push(Reverse(Key(time + specs[pos].delays[hop], pos, hop + 1)));
+            }
+            WireEnd::Sink(sink) => {
+                let value = state.counter_step(net, sink);
+                steps.push(TimedStep {
+                    time,
+                    step: Step::Count { token, process, sink: sink.index(), value },
+                });
+                exit_seq[pos] = seq;
+                sink_of[pos] = sink.index();
+                value_of[pos] = value;
+            }
+        }
+    }
+
+    let records: Vec<TokenRecord> = specs
+        .iter()
+        .enumerate()
+        .map(|(pos, spec)| TokenRecord {
+            token: TokenId(pos),
+            process: spec.process,
+            input: spec.input,
+            enter_time: times_of[pos][0],
+            exit_time: *times_of[pos].last().expect("every token takes at least one step"),
+            enter_seq: enter_seq[pos],
+            exit_seq: exit_seq[pos],
+            sink: sink_of[pos],
+            value: value_of[pos],
+            step_times: times_of[pos].clone(),
+        })
+        .collect();
+
+    Ok(TimedExecution::new(depth, net.fan_out(), steps, records))
+}
+
+fn validate(net: &Network, depth: usize, specs: &[TimedTokenSpec]) -> Result<(), SimError> {
+    for (pos, spec) in specs.iter().enumerate() {
+        let token = TokenId(pos);
+        if spec.step_times.len() != depth + 1 {
+            return Err(SimError::WrongStepCount {
+                token,
+                got: spec.step_times.len(),
+                want: depth + 1,
+            });
+        }
+        if spec.step_times.iter().any(|t| !t.is_finite()) {
+            return Err(SimError::NonFiniteTime { token });
+        }
+        if spec.step_times.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SimError::DecreasingStepTimes { token });
+        }
+        if spec.input >= net.fan_in() {
+            return Err(SimError::BadInputWire { token, input: spec.input });
+        }
+    }
+    // Per process: tokens must be totally ordered (no overlap). Two tokens of
+    // one process are ordered iff the earlier one's last step sorts before
+    // the later one's first step under the (time, position) event order.
+    let mut by_process: BTreeMap<ProcessId, Vec<usize>> = BTreeMap::new();
+    for (pos, spec) in specs.iter().enumerate() {
+        by_process.entry(spec.process).or_default().push(pos);
+    }
+    for (process, mut positions) in by_process {
+        positions.sort_by(|&a, &b| {
+            specs[a]
+                .enter_time()
+                .total_cmp(&specs[b].enter_time())
+                .then(a.cmp(&b))
+        });
+        for pair in positions.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let a_exit = specs[a].exit_time();
+            let b_enter = specs[b].enter_time();
+            let ordered = a_exit < b_enter || (a_exit == b_enter && a < b);
+            if !ordered {
+                return Err(SimError::OverlappingProcessTokens {
+                    process,
+                    tokens: (TokenId(a), TokenId(b)),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_topology::construct::{bitonic, counting_tree, identity};
+    use cnet_topology::LayeredBuilder;
+
+    fn spec(p: usize, input: usize, times: &[f64]) -> TimedTokenSpec {
+        TimedTokenSpec { process: ProcessId(p), input, step_times: times.to_vec() }
+    }
+
+    #[test]
+    fn single_token_traverses_and_counts() {
+        let net = bitonic(4).unwrap(); // depth 3
+        let specs = vec![spec(0, 0, &[0.0, 1.0, 2.0, 3.0])];
+        let exec = run(&net, &specs).unwrap();
+        assert_eq!(exec.steps().len(), 4);
+        let r = &exec.records()[0];
+        assert_eq!(r.value, 0);
+        assert_eq!(r.sink, 0);
+        assert_eq!(r.enter_time, 0.0);
+        assert_eq!(r.exit_time, 3.0);
+        assert_eq!(r.enter_seq, 0);
+        assert_eq!(r.exit_seq, 3);
+    }
+
+    #[test]
+    fn time_order_determines_values() {
+        let net = bitonic(2).unwrap();
+        // Token 1 (listed second) runs earlier in time, so it gets value 0.
+        let specs = vec![
+            spec(0, 0, &[5.0, 6.0]),
+            spec(1, 1, &[0.0, 1.0]),
+        ];
+        let exec = run(&net, &specs).unwrap();
+        assert_eq!(exec.records()[0].value, 1);
+        assert_eq!(exec.records()[1].value, 0);
+    }
+
+    #[test]
+    fn ties_broken_by_slice_position() {
+        let net = bitonic(2).unwrap();
+        let specs = vec![
+            spec(0, 0, &[0.0, 1.0]),
+            spec(1, 1, &[0.0, 1.0]),
+        ];
+        let exec = run(&net, &specs).unwrap();
+        // Same times: position 0 steps first at each node.
+        assert_eq!(exec.records()[0].value, 0);
+        assert_eq!(exec.records()[1].value, 1);
+    }
+
+    #[test]
+    fn overtaking_inside_the_network() {
+        // Two tokens on the same input of B(2): the first is slow, the second
+        // starts later but arrives at the counter first... they share the
+        // balancer, so the first to reach the *balancer* wins the top wire.
+        let net = bitonic(2).unwrap();
+        let specs = vec![
+            spec(0, 0, &[0.0, 100.0]), // slow wire to the counter
+            spec(1, 1, &[1.0, 2.0]),
+        ];
+        let exec = run(&net, &specs).unwrap();
+        // Token 0 passed the balancer first -> sink 0, but counts later; the
+        // values come from different counters so both get their sink's first
+        // value.
+        assert_eq!(exec.records()[0].sink, 0);
+        assert_eq!(exec.records()[1].sink, 1);
+        assert_eq!(exec.records()[0].value, 0);
+        assert_eq!(exec.records()[1].value, 1);
+    }
+
+    #[test]
+    fn identity_network_counts_by_arrival() {
+        let net = identity(2).unwrap(); // depth 0: specs have 1 step time
+        let specs = vec![spec(0, 1, &[3.0]), spec(1, 1, &[1.0])];
+        // both tokens on input wire 1 -> same counter; wire 1's counter
+        // hands out 1, then 3.
+        let exec = run(&net, &specs).unwrap();
+        assert_eq!(exec.records()[1].value, 1);
+        assert_eq!(exec.records()[0].value, 3);
+    }
+
+    #[test]
+    fn tree_round_robins_under_time_order() {
+        let net = counting_tree(4).unwrap(); // depth 2
+        let specs: Vec<_> = (0..8)
+            .map(|k| spec(k, 0, &[k as f64, k as f64 + 0.5, k as f64 + 1.0]))
+            .collect();
+        let exec = run(&net, &specs).unwrap();
+        for (k, r) in exec.records().iter().enumerate() {
+            assert_eq!(r.value, k as u64);
+            assert_eq!(r.sink, k % 4);
+        }
+    }
+
+    #[test]
+    fn non_uniform_network_is_rejected() {
+        let mut lb = LayeredBuilder::new(3);
+        lb.balancer(&[0, 1]);
+        let net = lb.finish().unwrap();
+        let err = run(&net, &[]).unwrap_err();
+        assert_eq!(err, SimError::NotUniform);
+    }
+
+    #[test]
+    fn wrong_step_count_is_rejected() {
+        let net = bitonic(4).unwrap();
+        let err = run(&net, &[spec(0, 0, &[0.0, 1.0])]).unwrap_err();
+        assert!(matches!(err, SimError::WrongStepCount { want: 4, got: 2, .. }));
+    }
+
+    #[test]
+    fn decreasing_times_are_rejected() {
+        let net = bitonic(2).unwrap();
+        let err = run(&net, &[spec(0, 0, &[1.0, 0.5])]).unwrap_err();
+        assert!(matches!(err, SimError::DecreasingStepTimes { .. }));
+    }
+
+    #[test]
+    fn non_finite_times_are_rejected() {
+        let net = bitonic(2).unwrap();
+        let err = run(&net, &[spec(0, 0, &[0.0, f64::NAN])]).unwrap_err();
+        assert!(matches!(err, SimError::NonFiniteTime { .. }));
+    }
+
+    #[test]
+    fn bad_input_wire_is_rejected() {
+        let net = bitonic(2).unwrap();
+        let err = run(&net, &[spec(0, 5, &[0.0, 1.0])]).unwrap_err();
+        assert!(matches!(err, SimError::BadInputWire { input: 5, .. }));
+    }
+
+    #[test]
+    fn overlapping_tokens_of_one_process_are_rejected() {
+        let net = bitonic(2).unwrap();
+        let specs = vec![
+            spec(0, 0, &[0.0, 10.0]),
+            spec(0, 0, &[5.0, 6.0]),
+        ];
+        let err = run(&net, &specs).unwrap_err();
+        assert!(matches!(err, SimError::OverlappingProcessTokens { .. }));
+    }
+
+    #[test]
+    fn back_to_back_tokens_of_one_process_are_accepted() {
+        let net = bitonic(2).unwrap();
+        // Second token enters exactly when the first exits; position order
+        // resolves the tie.
+        let specs = vec![
+            spec(0, 0, &[0.0, 1.0]),
+            spec(0, 0, &[1.0, 2.0]),
+        ];
+        let exec = run(&net, &specs).unwrap();
+        assert!(exec.records()[0].completely_precedes(&exec.records()[1]));
+    }
+
+    #[test]
+    fn adaptive_agrees_with_layered_engine_on_uniform_networks() {
+        use crate::spec::AdaptiveTokenSpec;
+        use crate::workload::{generate, WorkloadConfig};
+        let net = bitonic(8).unwrap();
+        let cfg = WorkloadConfig {
+            processes: 6,
+            tokens_per_process: 5,
+            c_min: 0.5,
+            c_max: 4.0,
+            local_delay: 0.1,
+            start_spread: 2.0,
+        };
+        for seed in 0..10 {
+            let specs = generate(&net, &cfg, seed);
+            let adaptive: Vec<AdaptiveTokenSpec> = specs.iter().map(Into::into).collect();
+            let a = run(&net, &specs).unwrap();
+            let b = run_adaptive(&net, &adaptive).unwrap();
+            for (ra, rb) in a.records().iter().zip(b.records()) {
+                assert_eq!(ra.value, rb.value, "seed {seed}");
+                assert_eq!(ra.sink, rb.sink, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_runs_non_uniform_networks() {
+        use crate::spec::AdaptiveTokenSpec;
+        use cnet_topology::construct::append_adjacent_balancer;
+        let base = bitonic(4).unwrap();
+        let net = append_adjacent_balancer(&base, 1).unwrap();
+        assert!(!net.is_uniform());
+        let specs: Vec<AdaptiveTokenSpec> = (0..20)
+            .map(|k| {
+                AdaptiveTokenSpec::lock_step(
+                    ProcessId(k),
+                    k % 4,
+                    k as f64 * 0.3,
+                    1.0,
+                    net.depth(),
+                )
+            })
+            .collect();
+        let exec = run_adaptive(&net, &specs).unwrap();
+        let mut values = exec.values();
+        values.sort_unstable();
+        assert_eq!(values, (0..20).collect::<Vec<_>>());
+        // Tokens routed through the extra balancer took one more hop.
+        let lens: Vec<usize> = exec.records().iter().map(|r| r.step_times.len()).collect();
+        assert!(lens.iter().any(|&l| l == net.depth() + 1));
+        assert!(lens.iter().any(|&l| l == net.depth()));
+        // The independent validator accepts the execution.
+        crate::validate::validate(&net, &exec).unwrap();
+    }
+
+    #[test]
+    fn adaptive_rejects_short_delay_pools_and_negative_delays() {
+        use crate::spec::AdaptiveTokenSpec;
+        let net = bitonic(4).unwrap(); // depth 3
+        let short = AdaptiveTokenSpec {
+            process: ProcessId(0),
+            input: 0,
+            enter_time: 0.0,
+            delays: vec![1.0, 1.0],
+        };
+        assert!(matches!(
+            run_adaptive(&net, &[short]).unwrap_err(),
+            SimError::WrongStepCount { .. }
+        ));
+        let negative = AdaptiveTokenSpec {
+            process: ProcessId(0),
+            input: 0,
+            enter_time: 0.0,
+            delays: vec![1.0, -1.0, 1.0],
+        };
+        assert!(matches!(
+            run_adaptive(&net, &[negative]).unwrap_err(),
+            SimError::DecreasingStepTimes { .. }
+        ));
+    }
+
+    #[test]
+    fn adaptive_rejects_worst_case_overlap() {
+        use crate::spec::AdaptiveTokenSpec;
+        let net = bitonic(2).unwrap();
+        let specs = vec![
+            AdaptiveTokenSpec::lock_step(ProcessId(0), 0, 0.0, 5.0, 1),
+            AdaptiveTokenSpec::lock_step(ProcessId(0), 0, 2.0, 1.0, 1),
+        ];
+        assert!(matches!(
+            run_adaptive(&net, &specs).unwrap_err(),
+            SimError::OverlappingProcessTokens { .. }
+        ));
+    }
+
+    #[test]
+    fn values_are_gap_free_under_any_schedule() {
+        let net = bitonic(8).unwrap();
+        let d = net.depth();
+        let specs: Vec<_> = (0..40)
+            .map(|k| {
+                TimedTokenSpec::lock_step(
+                    ProcessId(k),
+                    k % 8,
+                    (k as f64) * 0.37,
+                    1.0 + (k % 3) as f64,
+                    d,
+                )
+            })
+            .collect();
+        let exec = run(&net, &specs).unwrap();
+        let mut vs = exec.values();
+        vs.sort_unstable();
+        assert_eq!(vs, (0..40).collect::<Vec<_>>());
+    }
+}

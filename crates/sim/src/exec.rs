@@ -1,0 +1,223 @@
+//! Timed executions: step traces and per-token operation records.
+
+use crate::ids::{ProcessId, TokenId};
+use serde::{Deserialize, Serialize};
+
+/// A transition step of the execution (Section 2.2): either a token crossing
+/// a balancer or a token obtaining a value at a counter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Step {
+    /// The paper's `BAL_p(T, B, i, j)`.
+    Bal {
+        /// The token taking the step.
+        token: TokenId,
+        /// The process shepherding it.
+        process: ProcessId,
+        /// The balancer traversed (index into the network).
+        balancer: usize,
+        /// Input port entered on.
+        in_port: usize,
+        /// Output port exited on.
+        out_port: usize,
+    },
+    /// The paper's `COUNT_p(T, C, v)`.
+    Count {
+        /// The token taking the step.
+        token: TokenId,
+        /// The process shepherding it.
+        process: ProcessId,
+        /// The sink (counter) traversed.
+        sink: usize,
+        /// The value assigned.
+        value: u64,
+    },
+}
+
+impl Step {
+    /// The token taking this step.
+    pub fn token(&self) -> TokenId {
+        match self {
+            Step::Bal { token, .. } | Step::Count { token, .. } => *token,
+        }
+    }
+
+    /// The process shepherding the token.
+    pub fn process(&self) -> ProcessId {
+        match self {
+            Step::Bal { process, .. } | Step::Count { process, .. } => *process,
+        }
+    }
+}
+
+/// A step paired with its (non-decreasing) time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimedStep {
+    /// The time at which the step occurs.
+    pub time: f64,
+    /// The step itself.
+    pub step: Step,
+}
+
+/// The complete record of one token's increment operation — the unit the
+/// consistency checkers in `cnet-core` reason about.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TokenRecord {
+    /// The token.
+    pub token: TokenId,
+    /// The process that shepherded it.
+    pub process: ProcessId,
+    /// The input wire it entered on.
+    pub input: usize,
+    /// Time of its first step (passing layer 1).
+    pub enter_time: f64,
+    /// Time of its `COUNT` step (passing layer `d + 1`).
+    pub exit_time: f64,
+    /// Index of its first step in the execution's step sequence; used to
+    /// break ties when two steps share a time.
+    pub enter_seq: usize,
+    /// Index of its `COUNT` step in the execution's step sequence.
+    pub exit_seq: usize,
+    /// The sink (counter) it exited through.
+    pub sink: usize,
+    /// The value it obtained.
+    pub value: u64,
+    /// Its full schedule: the time it passed each layer.
+    pub step_times: Vec<f64>,
+}
+
+impl TokenRecord {
+    /// Whether this token **completely precedes** `other` in the execution:
+    /// its last step comes before the other token's first step. Ties in time
+    /// are resolved by position in the step sequence.
+    pub fn completely_precedes(&self, other: &TokenRecord) -> bool {
+        (self.exit_time, self.exit_seq) < (other.enter_time, other.enter_seq)
+    }
+
+    /// Whether the two tokens overlap (neither completely precedes the
+    /// other).
+    pub fn overlaps(&self, other: &TokenRecord) -> bool {
+        !self.completely_precedes(other) && !other.completely_precedes(self)
+    }
+}
+
+/// A timed execution: the full step trace plus one record per token.
+///
+/// Produced by [`crate::engine::run`]; consumed by the checkers in
+/// `cnet-core` and the measurement functions in [`crate::timing`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimedExecution {
+    depth: usize,
+    fan_out: usize,
+    steps: Vec<TimedStep>,
+    records: Vec<TokenRecord>,
+}
+
+impl TimedExecution {
+    pub(crate) fn new(
+        depth: usize,
+        fan_out: usize,
+        steps: Vec<TimedStep>,
+        records: Vec<TokenRecord>,
+    ) -> Self {
+        TimedExecution { depth, fan_out, steps, records }
+    }
+
+    /// The depth of the network the execution ran on.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The fan-out of the network the execution ran on.
+    pub fn fan_out(&self) -> usize {
+        self.fan_out
+    }
+
+    /// The step trace, in execution order (non-decreasing time).
+    pub fn steps(&self) -> &[TimedStep] {
+        &self.steps
+    }
+
+    /// One record per token, indexed by [`TokenId`].
+    pub fn records(&self) -> &[TokenRecord] {
+        &self.records
+    }
+
+    /// The record for a specific token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token id is out of range.
+    pub fn record(&self, token: TokenId) -> &TokenRecord {
+        &self.records[token.index()]
+    }
+
+    /// The values obtained, in token-id order.
+    pub fn values(&self) -> Vec<u64> {
+        self.records.iter().map(|r| r.value).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(enter: f64, exit: f64, enter_seq: usize, exit_seq: usize) -> TokenRecord {
+        TokenRecord {
+            token: TokenId(0),
+            process: ProcessId(0),
+            input: 0,
+            enter_time: enter,
+            exit_time: exit,
+            enter_seq,
+            exit_seq,
+            sink: 0,
+            value: 0,
+            step_times: vec![enter, exit],
+        }
+    }
+
+    #[test]
+    fn complete_precedence_by_time() {
+        let a = record(0.0, 1.0, 0, 1);
+        let b = record(2.0, 3.0, 2, 3);
+        assert!(a.completely_precedes(&b));
+        assert!(!b.completely_precedes(&a));
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn overlap_when_intervals_intersect() {
+        let a = record(0.0, 2.0, 0, 2);
+        let b = record(1.0, 3.0, 1, 3);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn ties_resolved_by_sequence() {
+        // a exits at time 1.0 (seq 5); b enters at time 1.0 (seq 6):
+        // a's last step comes first in the trace, so a completely precedes b.
+        let a = record(0.0, 1.0, 0, 5);
+        let b = record(1.0, 2.0, 6, 9);
+        assert!(a.completely_precedes(&b));
+        // reversed sequence order: they overlap.
+        let c = record(1.0, 2.0, 3, 4);
+        assert!(!a.completely_precedes(&c));
+        assert!(a.overlaps(&c));
+    }
+
+    #[test]
+    fn step_accessors() {
+        let s = Step::Bal {
+            token: TokenId(4),
+            process: ProcessId(2),
+            balancer: 0,
+            in_port: 0,
+            out_port: 1,
+        };
+        assert_eq!(s.token(), TokenId(4));
+        assert_eq!(s.process(), ProcessId(2));
+        let c = Step::Count { token: TokenId(1), process: ProcessId(0), sink: 3, value: 7 };
+        assert_eq!(c.token(), TokenId(1));
+    }
+}

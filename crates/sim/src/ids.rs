@@ -1,0 +1,60 @@
+//! Identifiers for processes and tokens.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifies one of the (unboundedly many) processes of the distributed
+/// system. Each process is statically assigned to one input wire of the
+/// network and issues tokens one at a time (a process's tokens never overlap
+/// in time).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a token (one increment operation) within a timed execution.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct TokenId(pub usize);
+
+impl TokenId {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ProcessId(3).to_string(), "p3");
+        assert_eq!(TokenId(0).to_string(), "T0");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(TokenId(9) > TokenId(3));
+    }
+}

@@ -1,0 +1,74 @@
+//! Timed executions of balancing networks.
+//!
+//! This crate implements Sections 2.2–2.3 of *Mavronicolas, Merritt,
+//! Taubenfeld — "Sequentially Consistent versus Linearizable Counting
+//! Networks"*: executions as alternating sequences of network states and
+//! `BAL`/`COUNT` steps, timed executions associating a non-decreasing real
+//! time with each step, and the timing parameters
+//! `c_min`, `c_min^P`, `c_max`, `C_L^P`, `C_L`, `C_g` measured over a
+//! schedule.
+//!
+//! The centerpiece is [`engine::run`]: given a uniform network and a list of
+//! [`spec::TimedTokenSpec`]s (one per token, each with a time for every layer
+//! crossing), it replays all steps in time order through the sequential
+//! semantics of `cnet_topology::state::NetworkState` and produces a
+//! [`exec::TimedExecution`] with the full step trace and one
+//! [`exec::TokenRecord`] per token — the operation history that the
+//! consistency checkers in `cnet-core` consume.
+//!
+//! Schedules come from three sources:
+//!
+//! * [`workload`] — randomized schedules inside a timing envelope
+//!   (for sufficiency experiments: conditions that *guarantee* consistency
+//!   must show zero violations over many seeds);
+//! * [`adversary`] — the paper's explicit worst-case wave constructions
+//!   (Proposition 5.3 and Theorem 5.11 lower bounds);
+//! * [`transform`] — the Theorem 3.2 transformation turning any
+//!   non-linearizable timed execution into a non-sequentially-consistent one
+//!   with the same timing parameters.
+//!
+//! # Example
+//!
+//! ```
+//! use cnet_topology::construct::bitonic;
+//! use cnet_sim::workload::{WorkloadConfig, generate};
+//! use cnet_sim::engine::run;
+//!
+//! let net = bitonic(4)?;
+//! let cfg = WorkloadConfig {
+//!     processes: 4,
+//!     tokens_per_process: 5,
+//!     c_min: 1.0,
+//!     c_max: 2.0,
+//!     local_delay: 0.5,
+//!     start_spread: 3.0,
+//! };
+//! let specs = generate(&net, &cfg, 42);
+//! let exec = run(&net, &specs)?;
+//! assert_eq!(exec.records().len(), 20);
+//! // Values handed out are exactly 0..20 in some order.
+//! let mut vs: Vec<u64> = exec.records().iter().map(|r| r.value).collect();
+//! vs.sort_unstable();
+//! assert_eq!(vs, (0..20).collect::<Vec<_>>());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod ids;
+pub mod spec;
+pub mod timing;
+pub mod transform;
+pub mod validate;
+pub mod workload;
+
+pub use error::SimError;
+pub use exec::{Step, TimedExecution, TimedStep, TokenRecord};
+pub use ids::{ProcessId, TokenId};
+pub use spec::TimedTokenSpec;
+pub use timing::TimingParams;

@@ -1,0 +1,350 @@
+//! Timing parameters of a schedule (Section 2.3).
+//!
+//! Given a [`TimedExecution`], [`TimingParams::measure`] computes the
+//! paper's six timing parameters:
+//!
+//! * `c_min`, `c_max` — extreme wire delays over all tokens and layers;
+//! * `c_min^P` — per-process minimum wire delay;
+//! * `C_L^P` — per-process minimum local inter-operation delay;
+//! * `C_L` — minimum local inter-operation delay over all processes;
+//! * `C_g` — minimum global delay between non-overlapping tokens.
+//!
+//! Parameters that quantify over an empty set (e.g. `C_g` in an execution
+//! where every pair of tokens overlaps) are reported as `None`, read as
+//! "unconstrained / +∞" by the condition predicates in `cnet-core`.
+
+use crate::exec::{TimedExecution, TokenRecord};
+use crate::ids::ProcessId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-process timing measurements.
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct ProcessTiming {
+    /// `c_min^P`: the minimum wire delay over this process's tokens.
+    pub c_min: Option<f64>,
+    /// `C_L^P`: the minimum gap between one of this process's tokens exiting
+    /// and its next token entering.
+    pub local_delay: Option<f64>,
+}
+
+/// The timing parameters measured over one timed execution.
+#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// `c_min`: minimum wire delay over all tokens and layers.
+    pub c_min: Option<f64>,
+    /// `c_max`: maximum wire delay over all tokens and layers.
+    pub c_max: Option<f64>,
+    /// `C_L`: minimum local inter-operation delay over all processes.
+    pub local_delay: Option<f64>,
+    /// `C_g`: minimum delay between any two non-overlapping tokens.
+    pub global_delay: Option<f64>,
+    /// Per-process measurements, keyed by process.
+    pub per_process: BTreeMap<ProcessId, ProcessTiming>,
+}
+
+impl TimingParams {
+    /// Measures all timing parameters of an execution.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cnet_topology::construct::bitonic;
+    /// use cnet_sim::{engine::run, spec::TimedTokenSpec, ids::ProcessId};
+    /// use cnet_sim::timing::TimingParams;
+    ///
+    /// let net = bitonic(2)?;
+    /// let specs = vec![
+    ///     TimedTokenSpec::lock_step(ProcessId(0), 0, 0.0, 1.0, 1),
+    ///     TimedTokenSpec::lock_step(ProcessId(0), 0, 3.0, 2.0, 1),
+    /// ];
+    /// let exec = run(&net, &specs)?;
+    /// let p = TimingParams::measure(&exec);
+    /// assert_eq!(p.c_min, Some(1.0));
+    /// assert_eq!(p.c_max, Some(2.0));
+    /// assert_eq!(p.local_delay, Some(2.0)); // exits at 1.0, re-enters at 3.0
+    /// assert_eq!(p.global_delay, Some(2.0));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn measure(exec: &TimedExecution) -> TimingParams {
+        let mut params = TimingParams::default();
+        for record in exec.records() {
+            let entry = params.per_process.entry(record.process).or_default();
+            for pair in record.step_times.windows(2) {
+                let delay = pair[1] - pair[0];
+                params.c_min = Some(params.c_min.map_or(delay, |m| m.min(delay)));
+                params.c_max = Some(params.c_max.map_or(delay, |m| m.max(delay)));
+                entry.c_min = Some(entry.c_min.map_or(delay, |m| m.min(delay)));
+            }
+        }
+        // Local inter-operation delays: consecutive tokens of each process.
+        let mut by_process: BTreeMap<ProcessId, Vec<&TokenRecord>> = BTreeMap::new();
+        for record in exec.records() {
+            by_process.entry(record.process).or_default().push(record);
+        }
+        for (process, mut records) in by_process {
+            records.sort_by(|a, b| {
+                a.enter_time.total_cmp(&b.enter_time).then(a.enter_seq.cmp(&b.enter_seq))
+            });
+            for pair in records.windows(2) {
+                let gap = pair[1].enter_time - pair[0].exit_time;
+                let entry = params.per_process.entry(process).or_default();
+                entry.local_delay = Some(entry.local_delay.map_or(gap, |m| m.min(gap)));
+                params.local_delay =
+                    Some(params.local_delay.map_or(gap, |m| m.min(gap)));
+            }
+        }
+        params.global_delay = global_delay(exec.records());
+        params
+    }
+
+    /// The asynchrony ratio `c_max / c_min`, or `None` when undefined
+    /// (no wire delays, or `c_min = 0`).
+    pub fn ratio(&self) -> Option<f64> {
+        match (self.c_min, self.c_max) {
+            (Some(min), Some(max)) if min > 0.0 => Some(max / min),
+            _ => None,
+        }
+    }
+}
+
+/// Concurrency statistics of an execution: how many tokens were inside the
+/// network simultaneously.
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConcurrencyProfile {
+    /// The maximum number of tokens in flight at any instant.
+    pub max_in_flight: usize,
+    /// Time-averaged tokens in flight over the execution's span (0 for an
+    /// empty or instantaneous execution).
+    pub avg_in_flight: f64,
+}
+
+/// Computes the concurrency profile by sweeping token intervals.
+///
+/// Local inter-operation delay is the paper's lever over exactly this
+/// quantity (\[SUZ98\] studies the performance side): larger `C_L` thins the
+/// in-flight population, which is why it can buy consistency.
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::construct::bitonic;
+/// use cnet_sim::{engine::run, spec::TimedTokenSpec, ids::ProcessId};
+/// use cnet_sim::timing::concurrency_profile;
+///
+/// let net = bitonic(2)?;
+/// let specs = vec![
+///     TimedTokenSpec::lock_step(ProcessId(0), 0, 0.0, 2.0, 1),
+///     TimedTokenSpec::lock_step(ProcessId(1), 1, 1.0, 2.0, 1),
+/// ];
+/// let profile = concurrency_profile(&run(&net, &specs)?);
+/// assert_eq!(profile.max_in_flight, 2); // they overlap on [1, 2]
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn concurrency_profile(exec: &TimedExecution) -> ConcurrencyProfile {
+    let records = exec.records();
+    if records.is_empty() {
+        return ConcurrencyProfile::default();
+    }
+    // Sweep entry/exit events; a token occupies [enter_time, exit_time].
+    let mut events: Vec<(f64, i64)> = Vec::with_capacity(2 * records.len());
+    for r in records {
+        events.push((r.enter_time, 1));
+        events.push((r.exit_time, -1));
+    }
+    // Exits before entries at equal times (half-open intervals).
+    events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let span_start = events.first().expect("non-empty").0;
+    let span_end = events.last().expect("non-empty").0;
+    let mut in_flight: i64 = 0;
+    let mut max_in_flight: i64 = 0;
+    let mut weighted: f64 = 0.0;
+    let mut prev_time = span_start;
+    for (time, delta) in events {
+        weighted += in_flight as f64 * (time - prev_time);
+        prev_time = time;
+        in_flight += delta;
+        max_in_flight = max_in_flight.max(in_flight);
+    }
+    let span = span_end - span_start;
+    ConcurrencyProfile {
+        max_in_flight: max_in_flight as usize,
+        avg_in_flight: if span > 0.0 { weighted / span } else { 0.0 },
+    }
+}
+
+/// `C_g`: the minimum, over ordered pairs of tokens `(a, b)` where `a`
+/// completely precedes `b`, of `b.enter_time − a.exit_time`. Computed with a
+/// sweep in `O(n log n)`.
+fn global_delay(records: &[TokenRecord]) -> Option<f64> {
+    if records.len() < 2 {
+        return None;
+    }
+    // b-sweep in enter order; a-pointer in exit order. `a` is eligible for
+    // `b` when (a.exit_time, a.exit_seq) < (b.enter_time, b.enter_seq); as
+    // b's enter key grows, eligibility only grows, and the binding gap for a
+    // given b comes from the eligible a with the largest exit time.
+    let mut by_enter: Vec<&TokenRecord> = records.iter().collect();
+    by_enter.sort_by(|a, b| {
+        a.enter_time.total_cmp(&b.enter_time).then(a.enter_seq.cmp(&b.enter_seq))
+    });
+    let mut by_exit: Vec<&TokenRecord> = records.iter().collect();
+    by_exit.sort_by(|a, b| {
+        a.exit_time.total_cmp(&b.exit_time).then(a.exit_seq.cmp(&b.exit_seq))
+    });
+
+    let mut best: Option<f64> = None;
+    let mut max_exit: Option<f64> = None;
+    let mut ai = 0;
+    for b in by_enter {
+        while ai < by_exit.len() {
+            let a = by_exit[ai];
+            let eligible = (a.exit_time, a.exit_seq) < (b.enter_time, b.enter_seq);
+            if !eligible {
+                break;
+            }
+            max_exit = Some(max_exit.map_or(a.exit_time, |m: f64| m.max(a.exit_time)));
+            ai += 1;
+        }
+        if let Some(me) = max_exit {
+            let gap = b.enter_time - me;
+            best = Some(best.map_or(gap, |m| m.min(gap)));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::spec::TimedTokenSpec;
+    use cnet_topology::construct::bitonic;
+
+    fn exec_of(specs: Vec<TimedTokenSpec>) -> TimedExecution {
+        let net = bitonic(4).unwrap(); // depth 3
+        run(&net, &specs).unwrap()
+    }
+
+    #[test]
+    fn wire_delay_extremes() {
+        let exec = exec_of(vec![
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 0.0, &[1.0, 3.0, 2.0]),
+            TimedTokenSpec::with_delays(ProcessId(1), 1, 0.0, &[0.5, 0.5, 0.5]),
+        ]);
+        let p = TimingParams::measure(&exec);
+        assert_eq!(p.c_min, Some(0.5));
+        assert_eq!(p.c_max, Some(3.0));
+        assert_eq!(p.per_process[&ProcessId(0)].c_min, Some(1.0));
+        assert_eq!(p.per_process[&ProcessId(1)].c_min, Some(0.5));
+        assert_eq!(p.ratio(), Some(6.0));
+    }
+
+    #[test]
+    fn local_delay_per_process() {
+        let exec = exec_of(vec![
+            // p0: exits at 3.0, next enters at 5.0 -> gap 2.0
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 0.0, &[1.0, 1.0, 1.0]),
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 5.0, &[1.0, 1.0, 1.0]),
+            // p1: single token, no local gap
+            TimedTokenSpec::with_delays(ProcessId(1), 1, 0.0, &[1.0, 1.0, 1.0]),
+        ]);
+        let p = TimingParams::measure(&exec);
+        assert_eq!(p.local_delay, Some(2.0));
+        assert_eq!(p.per_process[&ProcessId(0)].local_delay, Some(2.0));
+        assert_eq!(p.per_process[&ProcessId(1)].local_delay, None);
+    }
+
+    #[test]
+    fn global_delay_over_disjoint_pairs() {
+        let exec = exec_of(vec![
+            // a: [0, 3]
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 0.0, &[1.0, 1.0, 1.0]),
+            // b: [10, 13] -> gap to a is 7
+            TimedTokenSpec::with_delays(ProcessId(1), 1, 10.0, &[1.0, 1.0, 1.0]),
+            // c: [4, 7] -> gap to a is 1; b - c gap is 3
+            TimedTokenSpec::with_delays(ProcessId(2), 2, 4.0, &[1.0, 1.0, 1.0]),
+        ]);
+        let p = TimingParams::measure(&exec);
+        assert_eq!(p.global_delay, Some(1.0));
+    }
+
+    #[test]
+    fn overlapping_tokens_do_not_constrain_global_delay() {
+        let exec = exec_of(vec![
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 0.0, &[1.0, 1.0, 1.0]),
+            TimedTokenSpec::with_delays(ProcessId(1), 1, 1.0, &[1.0, 1.0, 1.0]),
+        ]);
+        let p = TimingParams::measure(&exec);
+        assert_eq!(p.global_delay, None);
+        assert_eq!(p.local_delay, None);
+    }
+
+    #[test]
+    fn empty_execution_has_no_parameters() {
+        let exec = exec_of(vec![]);
+        let p = TimingParams::measure(&exec);
+        assert_eq!(p, TimingParams::default());
+        assert_eq!(p.ratio(), None);
+    }
+
+    #[test]
+    fn zero_c_min_has_no_ratio() {
+        let exec = exec_of(vec![TimedTokenSpec::with_delays(
+            ProcessId(0),
+            0,
+            0.0,
+            &[0.0, 1.0, 1.0],
+        )]);
+        let p = TimingParams::measure(&exec);
+        assert_eq!(p.c_min, Some(0.0));
+        assert_eq!(p.ratio(), None);
+    }
+
+    #[test]
+    fn concurrency_profile_counts_overlaps() {
+        use super::concurrency_profile;
+        // Three tokens: two overlapping, one later and disjoint.
+        let exec = exec_of(vec![
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 0.0, &[1.0, 1.0, 2.0]), // [0,4]
+            TimedTokenSpec::with_delays(ProcessId(1), 1, 1.0, &[1.0, 1.0, 1.0]), // [1,4]
+            TimedTokenSpec::with_delays(ProcessId(2), 2, 6.0, &[1.0, 1.0, 1.0]), // [6,9]
+        ]);
+        let p = concurrency_profile(&exec);
+        assert_eq!(p.max_in_flight, 2);
+        // Occupancy: [0,1): 1; [1,4): 2; [4,6): 0; [6,9): 3... no: one token
+        // on [6,9). Weighted = 1*1 + 2*3 + 0*2 + 1*3 = 10 over span 9.
+        assert!((p.avg_in_flight - 10.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrency_profile_of_serialized_execution_is_one() {
+        use super::concurrency_profile;
+        let exec = exec_of(vec![
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 0.0, &[1.0, 1.0, 1.0]),
+            TimedTokenSpec::with_delays(ProcessId(1), 1, 5.0, &[1.0, 1.0, 1.0]),
+        ]);
+        let p = concurrency_profile(&exec);
+        assert_eq!(p.max_in_flight, 1);
+        assert!(p.avg_in_flight <= 1.0);
+    }
+
+    #[test]
+    fn concurrency_profile_of_empty_execution() {
+        use super::concurrency_profile;
+        let exec = exec_of(vec![]);
+        assert_eq!(concurrency_profile(&exec), super::ConcurrencyProfile::default());
+    }
+
+    #[test]
+    fn global_delay_can_be_negative_only_never() {
+        // Back-to-back tokens: gap 0, not negative.
+        let exec = exec_of(vec![
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 0.0, &[1.0, 1.0, 1.0]),
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 3.0, &[1.0, 1.0, 1.0]),
+        ]);
+        let p = TimingParams::measure(&exec);
+        assert_eq!(p.global_delay, Some(0.0));
+        assert_eq!(p.local_delay, Some(0.0));
+    }
+}

@@ -1,0 +1,23 @@
+//! Structural analysis of balancing networks (Sections 2.5 and 5.3).
+//!
+//! * [`valency`] — sink-reachability sets `Val(·)` for wires and balancers,
+//!   and the derived predicates: *univalent*, *totally ordering*, and
+//!   *complete* balancers and layers.
+//! * [`metrics`] — influence radius `irad(G)` and related global measures
+//!   used by the timing conditions of Table 1.
+//! * [`split`] — split depth `sd(G)`, split networks, split sequences
+//!   `S⁽ℓ⁾(G)`, split numbers `sp(G)`, and the *continuously complete /
+//!   continuously uniformly splittable* predicates behind Theorem 5.11.
+//! * [`iso`] — graph isomorphism of networks, verifying the
+//!   Herlihy–Tirthapura claim that the block network `L(w)` and the merging
+//!   network `M(w)` are isomorphic.
+
+pub mod iso;
+pub mod metrics;
+pub mod split;
+pub mod valency;
+
+pub use iso::are_isomorphic;
+pub use metrics::influence_radius;
+pub use split::{split_depth, split_sequence, SplitSequence};
+pub use valency::Valencies;

@@ -1,0 +1,142 @@
+//! Extending counting networks — including into *non-uniform* ones.
+//!
+//! Table 1 of the paper has a row for **arbitrary** counting networks
+//! (\[MPT97\]'s sufficient condition uses the shallowness `s(G) < d(G)`),
+//! but all the classic constructions are uniform. [`append_adjacent_balancer`]
+//! manufactures non-uniform counting networks to exercise that row: adding
+//! a (2,2)-balancer across two *adjacent* output wires of a counting
+//! network preserves the step property, and the untouched wires now form
+//! shorter paths than the extended ones.
+
+use crate::builder::LayeredBuilder;
+use crate::error::BuildError;
+use crate::network::Network;
+
+/// Appends one (2,2)-balancer across output wires `j` and `j+1` of the
+/// network, returning the extended network.
+///
+/// **Counting is preserved**: at quiescence the original outputs satisfy
+/// the step property, so wires `j, j+1` carry counts `(a, b)` with
+/// `a ∈ {b, b+1}`; the balancer maps `(a, a) ↦ (a, a)` and
+/// `(b+1, b) ↦ (b+1, b)` — the identity on exactly the count shapes a
+/// counting network can emit. The result is a counting network that is
+/// **not uniform** (paths through the new balancer are one longer), with
+/// `s(G') = d(G)` and `d(G') = d(G) + 1`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::UnsupportedWidth`] if `j + 1 >= fan_out` or the
+/// network's fan-in and fan-out differ (the layered embedding needs equal
+/// fans).
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::construct::{bitonic, append_adjacent_balancer};
+///
+/// let b8 = bitonic(8)?;
+/// let extended = append_adjacent_balancer(&b8, 2)?;
+/// assert!(!extended.is_uniform());
+/// assert_eq!(extended.depth(), b8.depth() + 1);
+/// assert_eq!(extended.shallowness(), b8.depth());
+/// # Ok::<(), cnet_topology::BuildError>(())
+/// ```
+pub fn append_adjacent_balancer(net: &Network, j: usize) -> Result<Network, BuildError> {
+    if net.fan_in() != net.fan_out() {
+        return Err(BuildError::UnsupportedWidth {
+            width: net.fan_in(),
+            requirement: "extension needs fan-in = fan-out",
+        });
+    }
+    let w = net.fan_out();
+    if j + 1 >= w {
+        return Err(BuildError::UnsupportedWidth {
+            width: j,
+            requirement: "adjacent pair (j, j+1) must fit within the fan-out",
+        });
+    }
+    let mut lb = LayeredBuilder::new(w);
+    let lines: Vec<usize> = (0..w).collect();
+    lb.embed(net, &lines);
+    lb.balancer(&[j, j + 1]);
+    lb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::{bitonic, counting_tree, periodic};
+    use crate::state::NetworkState;
+    use proptest::prelude::*;
+
+    #[test]
+    fn extension_is_non_uniform_counting_preserving() {
+        let base = bitonic(4).unwrap();
+        let ext = append_adjacent_balancer(&base, 1).unwrap();
+        assert!(!ext.is_uniform());
+        assert_eq!(ext.size(), base.size() + 1);
+        assert_eq!(ext.depth(), base.depth() + 1);
+        assert_eq!(ext.shallowness(), base.depth());
+        // Exhaustive small-count check of the step property.
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                for c in 0..4u64 {
+                    let counts = vec![a, b, c, 1];
+                    let mut st = NetworkState::new(&ext);
+                    st.push_tokens(&ext, &counts);
+                    assert!(
+                        st.output_counts_have_step_property(),
+                        "counts {counts:?} -> {:?}",
+                        st.output_counts()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extension_rejects_bad_pairs() {
+        let base = bitonic(4).unwrap();
+        assert!(append_adjacent_balancer(&base, 3).is_err());
+        let tree = counting_tree(4).unwrap();
+        assert!(append_adjacent_balancer(&tree, 0).is_err()); // fan-in 1 != 4
+    }
+
+    #[test]
+    fn repeated_extension_stacks() {
+        let base = bitonic(4).unwrap();
+        let once = append_adjacent_balancer(&base, 0).unwrap();
+        let twice = append_adjacent_balancer(&once, 2).unwrap();
+        assert_eq!(twice.size(), base.size() + 2);
+        // Both extensions sit at depth d+1, on disjoint pairs.
+        assert_eq!(twice.depth(), base.depth() + 1);
+        // One extension breaks uniformity; extending the remaining pair
+        // completes a full extra column and restores it.
+        assert!(!once.is_uniform());
+        assert!(twice.is_uniform());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn extended_networks_still_count(
+            lgw in 1usize..4,
+            pair in 0usize..7,
+            counts in prop::collection::vec(0u64..6, 8),
+            periodic_base in proptest::bool::ANY,
+        ) {
+            let w = 1 << lgw;
+            let base = if periodic_base { periodic(w).unwrap() } else { bitonic(w).unwrap() };
+            let j = pair % (w - 1).max(1);
+            let ext = append_adjacent_balancer(&base, j).unwrap();
+            let counts: Vec<u64> = counts[..w].to_vec();
+            let mut st = NetworkState::new(&ext);
+            let ts = st.push_tokens(&ext, &counts);
+            prop_assert!(st.output_counts_have_step_property());
+            let mut values: Vec<u64> = ts.iter().map(|t| t.value).collect();
+            values.sort_unstable();
+            let n: u64 = counts.iter().sum();
+            prop_assert_eq!(values, (0..n).collect::<Vec<_>>());
+        }
+    }
+}

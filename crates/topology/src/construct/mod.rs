@@ -1,0 +1,140 @@
+//! Ready-made counting-network constructions (Section 2.6 of the paper).
+//!
+//! * [`bitonic`] — the bitonic counting network `B(w)` of Aspnes, Herlihy,
+//!   and Shavit, with its [`merger`] `M(w)`.
+//! * [`periodic`] — the periodic counting network `P(w)`, the cascade of
+//!   `lg w` [`block`] networks `L(w)`; [`block_interleaved`] gives the
+//!   paper's first, interleaved block construction.
+//! * [`counting_tree`] — the counting (diffracting) tree of Shavit and
+//!   Zemach.
+//! * [`cascade`] and [`identity`] — composition helpers.
+//!
+//! All widths must be powers of two (as assumed throughout the paper).
+
+mod bitonic;
+mod extend;
+mod periodic;
+mod random;
+mod tree;
+
+pub use bitonic::{bitonic, build_bitonic, build_merger, merger};
+pub use extend::append_adjacent_balancer;
+pub use periodic::{block, block_interleaved, build_block, periodic};
+pub use random::{random_counting_network, RandomNetworkConfig};
+pub use tree::counting_tree;
+
+use crate::builder::LayeredBuilder;
+use crate::error::BuildError;
+use crate::network::Network;
+
+/// Checks that `w` is a power of two and at least `min`.
+pub(crate) fn require_power_of_two(w: usize, min: usize) -> Result<(), BuildError> {
+    if w >= min && w.is_power_of_two() {
+        Ok(())
+    } else {
+        Err(BuildError::UnsupportedWidth {
+            width: w,
+            requirement: "fan must be a power of two (and at least the construction's base case)",
+        })
+    }
+}
+
+/// The identity network of fan `w`: `w` wires from sources straight to sinks,
+/// no balancers. Useful as a recursion base and in tests.
+///
+/// # Errors
+///
+/// Returns [`BuildError::UnsupportedWidth`] if `w == 0`.
+pub fn identity(w: usize) -> Result<Network, BuildError> {
+    if w == 0 {
+        return Err(BuildError::UnsupportedWidth {
+            width: 0,
+            requirement: "identity network needs at least one wire",
+        });
+    }
+    LayeredBuilder::new(w).finish()
+}
+
+/// Sequentially composes networks of equal fan: the sinks of each stage feed
+/// the sources of the next.
+///
+/// # Errors
+///
+/// Returns [`BuildError::UnsupportedWidth`] if `stages` is empty or the fans
+/// disagree (all stages must have fan-in = fan-out = the common fan).
+pub fn cascade(stages: &[&Network]) -> Result<Network, BuildError> {
+    let first = stages.first().ok_or(BuildError::UnsupportedWidth {
+        width: 0,
+        requirement: "cascade needs at least one stage",
+    })?;
+    let w = first.fan_in();
+    for s in stages {
+        if s.fan_in() != w || s.fan_out() != w {
+            return Err(BuildError::UnsupportedWidth {
+                width: s.fan_in(),
+                requirement: "all cascade stages must share the same fan",
+            });
+        }
+    }
+    let mut lb = LayeredBuilder::new(w);
+    let lines: Vec<usize> = (0..w).collect();
+    for s in stages {
+        lb.embed(s, &lines);
+    }
+    lb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NetworkState;
+
+    #[test]
+    fn identity_has_no_balancers() {
+        let net = identity(4).unwrap();
+        assert_eq!(net.size(), 0);
+        assert_eq!(net.depth(), 0);
+        let mut st = NetworkState::new(&net);
+        assert_eq!(st.traverse(&net, 2).sink.index(), 2);
+    }
+
+    #[test]
+    fn identity_zero_is_rejected() {
+        assert!(identity(0).is_err());
+    }
+
+    #[test]
+    fn cascade_concatenates_depths() {
+        let b4 = bitonic(4).unwrap();
+        let both = cascade(&[&b4, &b4]).unwrap();
+        assert_eq!(both.depth(), 2 * b4.depth());
+        assert_eq!(both.size(), 2 * b4.size());
+        assert!(both.is_uniform());
+    }
+
+    #[test]
+    fn cascade_of_counting_networks_counts() {
+        let b4 = bitonic(4).unwrap();
+        let net = cascade(&[&b4, &b4]).unwrap();
+        let mut st = NetworkState::new(&net);
+        st.push_tokens(&net, &[5, 0, 3, 1]);
+        assert!(st.output_counts_have_step_property());
+    }
+
+    #[test]
+    fn cascade_rejects_mismatched_fans() {
+        let b4 = bitonic(4).unwrap();
+        let b8 = bitonic(8).unwrap();
+        assert!(cascade(&[&b4, &b8]).is_err());
+        assert!(cascade(&[]).is_err());
+    }
+
+    #[test]
+    fn power_of_two_guard() {
+        assert!(require_power_of_two(8, 2).is_ok());
+        assert!(require_power_of_two(1, 1).is_ok());
+        assert!(require_power_of_two(6, 2).is_err());
+        assert!(require_power_of_two(1, 2).is_err());
+        assert!(require_power_of_two(0, 1).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! The periodic counting network `P(w)` and block network `L(w)`
+//! (Section 2.6.2 of the paper, after \[AHS94\]).
+
+use super::require_power_of_two;
+use crate::builder::LayeredBuilder;
+use crate::error::BuildError;
+use crate::network::Network;
+
+/// Builds the periodic counting network `P(w)`: the cascade of `lg w` block
+/// networks `L(w)`. Its depth is `lg² w`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::UnsupportedWidth`] unless `w` is a power of two
+/// (`w = 1` yields the trivial single-wire network).
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::construct::periodic;
+///
+/// let p8 = periodic(8)?;
+/// assert_eq!(p8.depth(), 9); // lg² 8
+/// assert!(p8.is_uniform());
+/// # Ok::<(), cnet_topology::BuildError>(())
+/// ```
+pub fn periodic(w: usize) -> Result<Network, BuildError> {
+    require_power_of_two(w, 1)?;
+    let mut lb = LayeredBuilder::new(w);
+    let lines: Vec<usize> = (0..w).collect();
+    let blocks = if w == 1 { 0 } else { w.trailing_zeros() as usize };
+    for _ in 0..blocks {
+        build_block(&mut lb, &lines);
+    }
+    lb.finish()
+}
+
+/// Builds the block network `L(w)` as a standalone network, using the
+/// paper's *second* construction: a top-bottom column `TB(w)` (balancer `i`
+/// across lines `i` and `w−1−i`) feeding `L(w/2)` on the top half and the
+/// renamed extension `L̂(w/2)` on the bottom half. Depth `lg w`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::UnsupportedWidth`] unless `w` is a power of two with
+/// `w >= 2`.
+pub fn block(w: usize) -> Result<Network, BuildError> {
+    require_power_of_two(w, 2)?;
+    let mut lb = LayeredBuilder::new(w);
+    let lines: Vec<usize> = (0..w).collect();
+    build_block(&mut lb, &lines);
+    lb.finish()
+}
+
+/// Builds the block network `L(w)` using the paper's *first* construction:
+/// two interleaved `L(w/2)` networks on the even and odd lines feeding the
+/// odd-even column `OE(w)` (balancer `j` across lines `2j` and `2j+1`).
+///
+/// Isomorphic to [`block`] as a graph (Herlihy–Tirthapura); the isomorphism
+/// is verified in `analysis::iso`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::UnsupportedWidth`] unless `w` is a power of two with
+/// `w >= 2`.
+pub fn block_interleaved(w: usize) -> Result<Network, BuildError> {
+    require_power_of_two(w, 2)?;
+    let mut lb = LayeredBuilder::new(w);
+    let lines: Vec<usize> = (0..w).collect();
+    build_block_interleaved(&mut lb, &lines);
+    lb.finish()
+}
+
+/// Recursively lays `L(w)` (second construction) onto the given lines.
+///
+/// # Panics
+///
+/// Panics if `lines.len()` is not a power of two.
+pub fn build_block(lb: &mut LayeredBuilder, lines: &[usize]) {
+    let w = lines.len();
+    assert!(w.is_power_of_two(), "block width must be a power of two");
+    if w == 1 {
+        return;
+    }
+    // Top-bottom column TB(w).
+    for i in 0..w / 2 {
+        lb.balancer(&[lines[i], lines[w - 1 - i]]);
+    }
+    build_block(lb, &lines[..w / 2]);
+    build_block(lb, &lines[w / 2..]);
+}
+
+/// Recursively lays `L(w)` (first, interleaved construction) onto the lines.
+fn build_block_interleaved(lb: &mut LayeredBuilder, lines: &[usize]) {
+    let w = lines.len();
+    assert!(w.is_power_of_two(), "block width must be a power of two");
+    if w == 1 {
+        return;
+    }
+    let evens: Vec<usize> = lines.iter().copied().step_by(2).collect();
+    let odds: Vec<usize> = lines.iter().copied().skip(1).step_by(2).collect();
+    build_block_interleaved(lb, &evens);
+    build_block_interleaved(lb, &odds);
+    // Odd-even column OE(w): balancer j merges output j of each half.
+    for j in 0..w / 2 {
+        lb.balancer(&[lines[2 * j], lines[2 * j + 1]]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NetworkState;
+    use proptest::prelude::*;
+
+    fn lg(w: usize) -> usize {
+        w.trailing_zeros() as usize
+    }
+
+    #[test]
+    fn periodic_depth_formula() {
+        for w in [2usize, 4, 8, 16] {
+            let net = periodic(w).unwrap();
+            assert_eq!(net.depth(), lg(w) * lg(w), "depth of P({w})");
+            assert!(net.is_uniform());
+        }
+    }
+
+    #[test]
+    fn block_depth_is_lg_w() {
+        for w in [2usize, 4, 8, 16, 32] {
+            for net in [block(w).unwrap(), block_interleaved(w).unwrap()] {
+                assert_eq!(net.depth(), lg(w));
+                assert_eq!(net.size(), w / 2 * lg(w));
+                assert!(net.is_uniform());
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_size() {
+        for w in [2usize, 4, 8] {
+            let net = periodic(w).unwrap();
+            assert_eq!(net.size(), lg(w) * (w / 2 * lg(w)));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_is_rejected() {
+        assert!(periodic(5).is_err());
+        assert!(block(1).is_err());
+        assert!(block_interleaved(6).is_err());
+    }
+
+    #[test]
+    fn periodic_counts_exhaustive_small() {
+        for w in [2usize, 4] {
+            let net = periodic(w).unwrap();
+            let mut vecs = vec![vec![]];
+            for _ in 0..w {
+                vecs = vecs
+                    .into_iter()
+                    .flat_map(|v: Vec<u64>| {
+                        (0..4u64).map(move |x| {
+                            let mut v2 = v.clone();
+                            v2.push(x);
+                            v2
+                        })
+                    })
+                    .collect();
+            }
+            for counts in vecs {
+                let mut st = NetworkState::new(&net);
+                let ts = st.push_tokens(&net, &counts);
+                assert!(
+                    st.output_counts_have_step_property(),
+                    "P({w}) violates step property on {counts:?}: {:?}",
+                    st.output_counts()
+                );
+                let mut values: Vec<u64> = ts.iter().map(|t| t.value).collect();
+                values.sort_unstable();
+                let n: u64 = counts.iter().sum();
+                assert_eq!(values, (0..n).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn periodic_counts_random(
+            lgw in 1usize..4,
+            counts in prop::collection::vec(0u64..10, 8),
+        ) {
+            let w = 1 << lgw;
+            let net = periodic(w).unwrap();
+            let counts: Vec<u64> = counts[..w].to_vec();
+            let mut st = NetworkState::new(&net);
+            st.push_tokens(&net, &counts);
+            prop_assert!(st.output_counts_have_step_property());
+        }
+
+        /// Both block constructions hand out gap-free values (they are valid
+        /// balancing networks draining every token), even though only the
+        /// top-bottom form is pointwise the block function — the interleaved
+        /// form equals it only up to the graph isomorphism of
+        /// `analysis::iso` (wire labels differ).
+        #[test]
+        fn interleaved_block_is_a_valid_balancing_network(
+            lgw in 1usize..5,
+            counts in prop::collection::vec(0u64..8, 16),
+        ) {
+            let w = 1usize << lgw;
+            let counts: Vec<u64> = counts[..w].to_vec();
+            let net = block_interleaved(w).unwrap();
+            let mut st = NetworkState::new(&net);
+            let ts = st.push_tokens(&net, &counts);
+            let n: u64 = counts.iter().sum();
+            // No token is swallowed or duplicated.
+            prop_assert_eq!(ts.len() as u64, n);
+            prop_assert_eq!(st.total_tokens(), n);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The counting tree (diffracting tree) of Shavit and Zemach
+//! (Section 2.6.3 of the paper, after \[SZ96\]).
+
+use super::require_power_of_two;
+use crate::builder::NetworkBuilder;
+use crate::error::BuildError;
+use crate::ids::{SinkId, SourceId};
+use crate::network::{Network, WireEnd, WireStart};
+
+/// Builds the counting tree of fan-out `w`: a balanced binary tree of depth
+/// `lg w` made up of fan-out-2 balancers, with a single input wire at the
+/// root and `w` counters at the leaves.
+///
+/// The paper writes "(w, 1)-counting tree … made up of (2, 1)-balancers";
+/// following \[SZ96\] and \[LSST99\], tokens *enter* at the single root wire and
+/// *spread* toward the `w` leaf counters, so the balancers here have fan-in 1
+/// and fan-out 2, and the network has fan-in 1 and fan-out `w`.
+///
+/// Leaves are arranged so the tree satisfies the step property: the leaf
+/// reached by taking ports `p₁, p₂, …` from the root is sink
+/// `p₁ + 2·p₂ + 4·p₃ + …`, so the `n`-th token overall lands on sink
+/// `n mod w`.
+///
+/// # Errors
+///
+/// Returns [`BuildError::UnsupportedWidth`] unless `w` is a power of two
+/// (`w = 1` yields the trivial wire).
+///
+/// # Example
+///
+/// ```
+/// use cnet_topology::construct::counting_tree;
+///
+/// let t8 = counting_tree(8)?;
+/// assert_eq!(t8.fan_in(), 1);
+/// assert_eq!(t8.fan_out(), 8);
+/// assert_eq!(t8.depth(), 3);
+/// assert_eq!(t8.size(), 7); // 2^lg w − 1 inner balancers
+/// # Ok::<(), cnet_topology::BuildError>(())
+/// ```
+pub fn counting_tree(w: usize) -> Result<Network, BuildError> {
+    require_power_of_two(w, 1)?;
+    let mut nb = NetworkBuilder::new(1, w);
+    let sinks: Vec<usize> = (0..w).collect();
+    build_subtree(&mut nb, WireStart::Source(SourceId(0)), &sinks)?;
+    nb.finish()
+}
+
+/// Recursively builds the subtree fed by `start`, distributing tokens to the
+/// given sinks. Port 0 serves the even-indexed sinks (in the *current* index
+/// list), port 1 the odd-indexed ones, giving the step-property leaf order.
+fn build_subtree(
+    nb: &mut NetworkBuilder,
+    start: WireStart,
+    sinks: &[usize],
+) -> Result<(), BuildError> {
+    debug_assert!(sinks.len().is_power_of_two());
+    if sinks.len() == 1 {
+        nb.connect(start, WireEnd::Sink(SinkId(sinks[0])))?;
+        return Ok(());
+    }
+    let b = nb.add_balancer(1, 2);
+    nb.connect(start, WireEnd::Balancer { balancer: b, port: 0 })?;
+    let evens: Vec<usize> = sinks.iter().copied().step_by(2).collect();
+    let odds: Vec<usize> = sinks.iter().copied().skip(1).step_by(2).collect();
+    build_subtree(nb, WireStart::Balancer { balancer: b, port: 0 }, &evens)?;
+    build_subtree(nb, WireStart::Balancer { balancer: b, port: 1 }, &odds)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::NetworkState;
+
+    #[test]
+    fn tree_structure() {
+        for lgw in 0usize..6 {
+            let w = 1 << lgw;
+            let t = counting_tree(w).unwrap();
+            assert_eq!(t.fan_in(), 1);
+            assert_eq!(t.fan_out(), w);
+            assert_eq!(t.depth(), lgw);
+            assert_eq!(t.size(), w - 1);
+            assert!(t.is_uniform(), "counting tree of fan {w} is uniform");
+        }
+    }
+
+    #[test]
+    fn tokens_round_robin_over_leaves() {
+        let w = 8;
+        let t = counting_tree(w).unwrap();
+        let mut st = NetworkState::new(&t);
+        for n in 0..3 * w as u64 {
+            let tr = st.traverse(&t, 0);
+            assert_eq!(tr.sink.index() as u64, n % w as u64, "token {n}");
+            assert_eq!(tr.value, n, "token {n} gets the global count");
+        }
+        assert!(st.output_counts_have_step_property());
+    }
+
+    #[test]
+    fn tree_satisfies_step_property_at_any_prefix() {
+        let t = counting_tree(16).unwrap();
+        let mut st = NetworkState::new(&t);
+        for _ in 0..37 {
+            st.traverse(&t, 0);
+            assert!(st.output_counts_have_step_property());
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(counting_tree(0).is_err());
+        assert!(counting_tree(3).is_err());
+        assert!(counting_tree(10).is_err());
+    }
+
+    #[test]
+    fn tree_balancers_have_fan_out_two() {
+        let t = counting_tree(8).unwrap();
+        for (_, b) in t.balancers() {
+            assert_eq!(b.fan_in(), 1);
+            assert_eq!(b.fan_out(), 2);
+            assert!(!b.is_regular());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Balancing-network substrate for counting networks.
+//!
+//! This crate implements the structural model of Section 2 of
+//! *Mavronicolas, Merritt, Taubenfeld — "Sequentially Consistent versus
+//! Linearizable Counting Networks"* (PODC 1999):
+//!
+//! * [`Balancer`]s with arbitrary fan-in and fan-out, connected acyclically by
+//!   wires into a [`Network`] with source nodes (input wires), inner balancer
+//!   nodes, and sink nodes (output wires hosting counters).
+//! * The classic **constructions**: the bitonic counting network `B(w)`, the
+//!   periodic counting network `P(w)` (with both block-network constructions),
+//!   and the counting tree (diffracting tree) — see [`construct`].
+//! * **Structural analysis** from Sections 2.5 and 5.3: depth, layers,
+//!   uniformity, shallowness, influence radius, wire/balancer *valency*,
+//!   totally-ordering and complete layers, split depth, split sequences and
+//!   split numbers — see [`analysis`].
+//! * A purely sequential [`state::NetworkState`] that routes tokens one step at
+//!   a time, used to check the *step property* in quiescent states and as the
+//!   semantic reference for the timed simulator in `cnet-sim`.
+//!
+//! # Conventions
+//!
+//! The paper indexes wires and balancer states starting from 1; this crate
+//! uses 0-based indices throughout. A balancer with fan-out `f` starts in
+//! state 0 and sends the `k`-th token it receives to output port `k mod f`.
+//! The counter at sink `j` (0-based) of a network with fan-out `w` hands out
+//! the values `j, j + w, j + 2w, …`.
+//!
+//! # Example
+//!
+//! ```
+//! use cnet_topology::construct::bitonic;
+//! use cnet_topology::state::NetworkState;
+//!
+//! let net = bitonic(8).expect("8 is a power of two");
+//! assert_eq!(net.depth(), 6); // lg 8 * (lg 8 + 1) / 2
+//!
+//! // Push 20 tokens through input wire 3 and drain to quiescence: the
+//! // step property must hold and the values handed out are exactly 0..20.
+//! let mut st = NetworkState::new(&net);
+//! let mut values: Vec<u64> = (0..20).map(|_| st.traverse(&net, 3).value).collect();
+//! values.sort_unstable();
+//! assert_eq!(values, (0..20).collect::<Vec<_>>());
+//! assert!(st.output_counts_have_step_property());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod balancer;
+pub mod bitset;
+pub mod builder;
+pub mod construct;
+pub mod dot;
+pub mod error;
+pub mod ids;
+pub mod network;
+pub mod state;
+
+pub use balancer::Balancer;
+pub use builder::{LayeredBuilder, NetworkBuilder};
+pub use error::{BuildError, TopologyError};
+pub use ids::{BalancerId, SinkId, SourceId, WireId};
+pub use network::{Layer, Network, NodeRef, WireEnd, WireStart};

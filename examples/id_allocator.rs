@@ -1,0 +1,68 @@
+//! A concurrent ID allocator with a consistency audit.
+//!
+//! The counting problem in the wild: many workers draw unique, dense ids
+//! (memory addresses, routing destinations, ticket numbers). This example
+//! runs three interchangeable backends — a counting network, a single
+//! fetch-and-add word, and a lock — records every operation with wall-clock
+//! timestamps, and audits the histories with the paper's checkers: are the
+//! ids unique and dense? was the history linearizable? sequentially
+//! consistent? what fraction of operations were inconsistent?
+//!
+//! Run: `cargo run --release -p cnet-bench --example id_allocator`
+
+use cnet_core::consistency::{is_linearizable, is_sequentially_consistent};
+use cnet_core::fractions::{
+    non_linearizability_fraction, non_sequential_consistency_fraction,
+};
+use cnet_runtime::history::to_ops;
+use cnet_runtime::{drive, FetchAddCounter, LockCounter, ProcessCounter, SharedNetworkCounter, Workload};
+use cnet_topology::construct::bitonic;
+
+fn audit<C: ProcessCounter>(name: &str, backend: &C, workload: Workload) {
+    let records = drive(backend, workload);
+    let total = records.len() as u64;
+
+    // Uniqueness and density.
+    let mut ids: Vec<u64> = records.iter().map(|r| r.value).collect();
+    ids.sort_unstable();
+    let dense = ids == (0..total).collect::<Vec<_>>();
+
+    // Consistency audit with the paper's machinery.
+    let ops = to_ops(&records);
+    println!(
+        "{name:<22} ids dense: {dense}   linearizable: {:<5}  seq. consistent: {:<5}  \
+         F_nl = {:.4}  F_nsc = {:.4}",
+        is_linearizable(&ops),
+        is_sequentially_consistent(&ops),
+        non_linearizability_fraction(&ops),
+        non_sequential_consistency_fraction(&ops),
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload { threads: 8, increments_per_thread: 2_000 };
+    println!(
+        "allocating {} ids from 3 backends ({} threads x {} each)\n",
+        workload.threads * workload.increments_per_thread,
+        workload.threads,
+        workload.increments_per_thread
+    );
+
+    let net = bitonic(8)?;
+    let network = SharedNetworkCounter::new(&net);
+    audit("bitonic network B(8)", &network, workload);
+
+    let fetch_add = FetchAddCounter::new();
+    audit("fetch&add word", &fetch_add, workload);
+
+    let lock = LockCounter::new();
+    audit("lock-based counter", &lock, workload);
+
+    println!(
+        "\nAll three allocators hand out dense, unique ids. The centralized backends are\n\
+         linearizable by construction; the counting network spreads contention but gives\n\
+         no such timing-free guarantee — the audit shows whatever this run's scheduling\n\
+         produced, which is exactly what the paper's timing conditions reason about."
+    );
+    Ok(())
+}

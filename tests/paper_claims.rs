@@ -1,0 +1,154 @@
+//! One test per numbered structural claim of the paper, evaluated by
+//! measurement on the constructed networks (no formulas trusted blindly —
+//! the analysis code derives each quantity from the graph).
+
+use cnet_core::theory;
+use cnet_topology::analysis::split::split_sequence;
+use cnet_topology::analysis::{are_isomorphic, influence_radius, split_depth, Valencies};
+use cnet_topology::construct::{block, block_interleaved, bitonic, counting_tree, merger, periodic};
+
+#[test]
+fn section_2_6_1_bitonic_depth() {
+    for lgw in 1usize..=6 {
+        let w = 1 << lgw;
+        assert_eq!(bitonic(w).unwrap().depth(), theory::bitonic_depth(w), "B({w})");
+        assert_eq!(merger(w).unwrap().depth(), lgw, "M({w})");
+    }
+}
+
+#[test]
+fn section_2_6_2_periodic_depth_and_block_isomorphism() {
+    for lgw in 1usize..=4 {
+        let w = 1 << lgw;
+        assert_eq!(periodic(w).unwrap().depth(), theory::periodic_depth(w), "P({w})");
+        assert_eq!(block(w).unwrap().depth(), lgw, "L({w})");
+        // Herlihy–Tirthapura: L(w) and M(w) are isomorphic graphs; so are
+        // the paper's two block constructions.
+        assert!(are_isomorphic(&block(w).unwrap(), &merger(w).unwrap()), "L({w}) ≅ M({w})");
+        assert!(
+            are_isomorphic(&block(w).unwrap(), &block_interleaved(w).unwrap()),
+            "two L({w}) constructions"
+        );
+    }
+}
+
+#[test]
+fn section_2_6_3_counting_tree_shape() {
+    for lgw in 0usize..=5 {
+        let w = 1 << lgw;
+        let t = counting_tree(w).unwrap();
+        assert_eq!(t.depth(), lgw);
+        assert_eq!(t.size(), w - 1);
+        assert_eq!(t.fan_in(), 1);
+        assert_eq!(t.fan_out(), w);
+    }
+}
+
+#[test]
+fn section_2_5_path_from_every_input_to_every_output() {
+    // The observation used throughout: counting networks connect every
+    // input wire to every output wire.
+    for net in [bitonic(16).unwrap(), periodic(8).unwrap()] {
+        let val = Valencies::compute(&net);
+        for i in 0..net.fan_in() {
+            let v = val.wire(net.source_wire(cnet_topology::ids::SourceId(i)));
+            assert_eq!(v.len(), net.fan_out(), "{net} input {i}");
+        }
+    }
+}
+
+#[test]
+fn section_2_5_shallowness_equals_depth_iff_uniform() {
+    let b8 = bitonic(8).unwrap();
+    assert_eq!(b8.shallowness(), b8.depth());
+    assert!(b8.is_uniform());
+    // A non-uniform network: straight wire next to a balancer.
+    let mut lb = cnet_topology::LayeredBuilder::new(3);
+    lb.balancer(&[0, 1]);
+    let net = lb.finish().unwrap();
+    assert!(net.shallowness() < net.depth());
+    assert!(!net.is_uniform());
+}
+
+#[test]
+fn proposition_5_6_bitonic_split_depth() {
+    for lgw in 1usize..=6 {
+        let w = 1 << lgw;
+        let net = bitonic(w).unwrap();
+        let val = Valencies::compute(&net);
+        assert_eq!(
+            split_depth(&net, &val).unwrap(),
+            theory::bitonic_split_depth(w),
+            "sd(B({w}))"
+        );
+        let layer = net.layer(theory::bitonic_split_depth(w));
+        assert!(val.layer_is_complete(&net, layer));
+        assert!(val.layer_is_uniformly_splittable(&net, layer));
+    }
+}
+
+#[test]
+fn proposition_5_8_periodic_split_depth() {
+    for lgw in 1usize..=4 {
+        let w = 1 << lgw;
+        let net = periodic(w).unwrap();
+        let val = Valencies::compute(&net);
+        assert_eq!(
+            split_depth(&net, &val).unwrap(),
+            theory::periodic_split_depth(w),
+            "sd(P({w}))"
+        );
+    }
+}
+
+#[test]
+fn propositions_5_9_and_5_10_split_sequences() {
+    for lgw in 1usize..=5 {
+        let w = 1 << lgw;
+        let seq = split_sequence(&bitonic(w).unwrap()).unwrap();
+        assert_eq!(seq.split_number(), lgw, "sp(B({w}))");
+        assert!(seq.is_continuously_complete());
+        assert!(seq.is_continuously_uniformly_splittable());
+    }
+    for lgw in 1usize..=4 {
+        let w = 1 << lgw;
+        let seq = split_sequence(&periodic(w).unwrap()).unwrap();
+        assert_eq!(seq.split_number(), lgw, "sp(P({w}))");
+        assert!(seq.is_continuously_complete());
+        assert!(seq.is_continuously_uniformly_splittable());
+    }
+}
+
+#[test]
+fn table_1_constants_agree_with_structure() {
+    // MPT97's necessary threshold d/irad + 1 evaluates to (lg w + 3)/2 on
+    // the bitonic network — the same constant as Propositions 5.2/5.3.
+    for lgw in 2usize..=6 {
+        let w = 1 << lgw;
+        let net = bitonic(w).unwrap();
+        let irad = influence_radius(&net).unwrap();
+        let threshold = net.depth() as f64 / irad as f64 + 1.0;
+        assert!(
+            (threshold - theory::bitonic_wave_threshold(w)).abs() < 1e-12,
+            "B({w}): {threshold}"
+        );
+    }
+    // And to exactly 2 on the counting tree, matching LSST99 Thm 4.1.
+    let tree = counting_tree(16).unwrap();
+    let irad = influence_radius(&tree).unwrap();
+    assert_eq!(tree.depth() as f64 / irad as f64 + 1.0, 2.0);
+}
+
+#[test]
+fn theorem_5_11_stage_depths_for_the_classics() {
+    // d(S^(l)) drives the thresholds; for B(w) the chops walk down the
+    // merger: lg w - 1, lg w - 2, ..., 1; for P(w) down the block.
+    let seq = split_sequence(&bitonic(32).unwrap()).unwrap();
+    for l in 1..seq.split_number() {
+        assert_eq!(seq.stage_depth(l), 5 - l, "B(32) stage {l}");
+    }
+    let seq = split_sequence(&periodic(16).unwrap()).unwrap();
+    for l in 1..seq.split_number() {
+        assert_eq!(seq.stage_depth(l), 4 - l, "P(16) stage {l}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration tests for the threaded shared-memory implementation,
+//! audited with the `cnet-core` checkers.
+
+use cnet_core::consistency::{is_linearizable, is_sequentially_consistent};
+use cnet_core::fractions::{
+    non_linearizability_fraction, non_sequential_consistency_fraction,
+};
+use cnet_runtime::history::to_ops;
+use cnet_runtime::{
+    drive, CounterBarrier, FetchAddCounter, LockCounter, ProcessCounter,
+    SharedNetworkCounter, Workload,
+};
+use cnet_topology::construct::{bitonic, counting_tree, periodic};
+use cnet_topology::state::has_step_property;
+use std::thread;
+
+#[test]
+fn all_backends_hand_out_dense_unique_ids() {
+    let workload = Workload { threads: 6, increments_per_thread: 400 };
+    let total = 6 * 400;
+    let b8 = bitonic(8).unwrap();
+    let p8 = periodic(8).unwrap();
+    let t8 = counting_tree(8).unwrap();
+
+    let network_b = SharedNetworkCounter::new(&b8);
+    let network_p = SharedNetworkCounter::new(&p8);
+    let network_t = SharedNetworkCounter::new(&t8);
+    let fetch_add = FetchAddCounter::new();
+    let lock = LockCounter::new();
+
+    fn check<C: ProcessCounter>(c: &C, workload: Workload, total: u64, label: &str) {
+        let records = drive(c, workload);
+        let mut ids: Vec<u64> = records.iter().map(|r| r.value).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..total).collect::<Vec<_>>(), "{label}");
+    }
+    check(&network_b, workload, total, "bitonic");
+    check(&network_p, workload, total, "periodic");
+    check(&network_t, workload, total, "tree");
+    check(&fetch_add, workload, total, "fetch-add");
+    check(&lock, workload, total, "lock");
+}
+
+#[test]
+fn centralized_backends_are_linearizable_in_practice() {
+    let workload = Workload { threads: 4, increments_per_thread: 500 };
+    let fetch_add = FetchAddCounter::new();
+    let records = drive(&fetch_add, workload);
+    let ops = to_ops(&records);
+    assert!(is_linearizable(&ops));
+    assert!(is_sequentially_consistent(&ops));
+    assert_eq!(non_linearizability_fraction(&ops), 0.0);
+    assert_eq!(non_sequential_consistency_fraction(&ops), 0.0);
+}
+
+#[test]
+fn network_runs_are_auditable_and_fractions_are_bounded() {
+    let net = bitonic(8).unwrap();
+    let counter = SharedNetworkCounter::new(&net);
+    let records = drive(&counter, Workload { threads: 8, increments_per_thread: 300 });
+    let ops = to_ops(&records);
+    let f_nl = non_linearizability_fraction(&ops);
+    let f_nsc = non_sequential_consistency_fraction(&ops);
+    assert!((0.0..=1.0).contains(&f_nl));
+    assert!(f_nsc <= f_nl, "every non-SC op is non-linearizable");
+}
+
+#[test]
+fn quiescent_runtime_satisfies_the_step_property() {
+    for net in [bitonic(16).unwrap(), periodic(8).unwrap(), counting_tree(16).unwrap()] {
+        let counter = SharedNetworkCounter::new(&net);
+        thread::scope(|s| {
+            for p in 0..6usize {
+                let c = &counter;
+                s.spawn(move || {
+                    for _ in 0..(100 + p * 37) {
+                        c.next_for(p);
+                    }
+                });
+            }
+        });
+        assert!(has_step_property(&counter.output_counts()), "{net}");
+    }
+}
+
+#[test]
+fn barrier_works_over_every_counter_backend() {
+    fn rounds<C: ProcessCounter>(c: C) {
+        let barrier = CounterBarrier::new(c, 5);
+        thread::scope(|s| {
+            for p in 0..5 {
+                let b = &barrier;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        b.wait(p);
+                    }
+                });
+            }
+        });
+        assert_eq!(barrier.rounds_completed(), 50);
+    }
+    rounds(FetchAddCounter::new());
+    rounds(LockCounter::new());
+    let net = bitonic(8).unwrap();
+    rounds(SharedNetworkCounter::new(&net));
+    let tree = counting_tree(8).unwrap();
+    rounds(SharedNetworkCounter::new(&tree));
+}
+
+#[test]
+fn all_runtime_variants_agree_with_the_reference_sequentially() {
+    use cnet_runtime::message_passing::MessagePassingCounter;
+    use cnet_runtime::DiffractingTree;
+    // Four implementations of the same counting tree, driven one token at a
+    // time, must produce the identical value sequence.
+    let net = counting_tree(8).unwrap();
+    let shm = SharedNetworkCounter::new(&net);
+    let mp = MessagePassingCounter::start(&net);
+    let diff = DiffractingTree::new(8, 0).unwrap(); // prisms off: pure toggles
+    let mut reference = cnet_topology::state::NetworkState::new(&net);
+    for k in 0..100usize {
+        let expected = reference.traverse(&net, 0).value;
+        assert_eq!(shm.increment_from(0), expected, "shared memory, token {k}");
+        assert_eq!(mp.increment_from(0), expected, "message passing, token {k}");
+        assert_eq!(diff.increment(k), expected, "diffracting, token {k}");
+    }
+}
+
+#[test]
+fn message_passing_and_diffracting_histories_are_auditable() {
+    use cnet_runtime::message_passing::MessagePassingCounter;
+    use cnet_runtime::DiffractingTree;
+    let net = bitonic(8).unwrap();
+    let mp = MessagePassingCounter::start(&net);
+    let records = drive(&mp, Workload { threads: 4, increments_per_thread: 100 });
+    let ops = to_ops(&records);
+    assert!(non_linearizability_fraction(&ops) <= 1.0);
+    let mut values: Vec<u64> = records.iter().map(|r| r.value).collect();
+    values.sort_unstable();
+    assert_eq!(values, (0..400).collect::<Vec<_>>());
+
+    let tree = DiffractingTree::new(8, 4).unwrap();
+    let records = drive(&tree, Workload { threads: 4, increments_per_thread: 100 });
+    let mut values: Vec<u64> = records.iter().map(|r| r.value).collect();
+    values.sort_unstable();
+    assert_eq!(values, (0..400).collect::<Vec<_>>());
+}
+
+#[test]
+fn runtime_agrees_with_simulator_semantics_sequentially() {
+    // Driving the shared-memory network from one thread must replay exactly
+    // the sequential reference semantics, for every construction.
+    for net in [bitonic(8).unwrap(), periodic(4).unwrap(), counting_tree(4).unwrap()] {
+        let counter = SharedNetworkCounter::new(&net);
+        let mut reference = cnet_topology::state::NetworkState::new(&net);
+        for k in 0..200usize {
+            let input = k % net.fan_in();
+            assert_eq!(
+                counter.increment_from(input),
+                reference.traverse(&net, input).value,
+                "{net} token {k}"
+            );
+        }
+    }
+}
