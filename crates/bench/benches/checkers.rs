@@ -11,7 +11,7 @@ use cnet_sim::workload::{generate, WorkloadConfig};
 use cnet_topology::analysis::split::split_sequence;
 use cnet_topology::analysis::{influence_radius, Valencies};
 use cnet_topology::construct::bitonic;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cnet_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn ops_of_size(n_ops: usize) -> Vec<Op> {

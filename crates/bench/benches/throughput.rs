@@ -5,7 +5,7 @@
 
 use cnet_runtime::{FetchAddCounter, LockCounter, ProcessCounter, SharedNetworkCounter};
 use cnet_topology::construct::{bitonic, counting_tree};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cnet_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 const OPS_PER_THREAD: usize = 2_000;

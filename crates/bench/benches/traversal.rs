@@ -8,7 +8,7 @@ use cnet_sim::workload::{generate, WorkloadConfig};
 use cnet_topology::construct::{bitonic, counting_tree, periodic};
 use cnet_topology::state::NetworkState;
 use cnet_topology::Network;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cnet_util::bench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_sequential_traversal(c: &mut Criterion) {

@@ -19,8 +19,7 @@ use cnet_sim::ids::ProcessId;
 use cnet_sim::spec::AdaptiveTokenSpec;
 use cnet_topology::construct::{append_adjacent_balancer, bitonic, periodic};
 use cnet_topology::Network;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cnet_util::rng::{Rng, SeedableRng, StdRng};
 
 const SEEDS: u64 = 300;
 

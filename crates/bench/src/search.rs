@@ -15,8 +15,7 @@ use cnet_sim::engine::run;
 use cnet_sim::ids::ProcessId;
 use cnet_sim::spec::TimedTokenSpec;
 use cnet_topology::Network;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cnet_util::rng::{Rng, SeedableRng, StdRng};
 
 /// The search space: processes, tokens, and the timing envelope.
 #[derive(Clone, Copy, Debug, PartialEq)]

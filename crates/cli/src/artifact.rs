@@ -2,10 +2,10 @@
 //! and replaying them later, for reproducible experiments.
 
 use cnet_sim::TimedTokenSpec;
-use serde::{Deserialize, Serialize};
+use cnet_util::{json, json_struct};
 
 /// A saved schedule: the network it targets plus the token specs.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScheduleArtifact {
     /// The network family (`bitonic`, `periodic`, `tree`, `block`,
     /// `merger`).
@@ -18,6 +18,8 @@ pub struct ScheduleArtifact {
     pub specs: Vec<TimedTokenSpec>,
 }
 
+json_struct!(ScheduleArtifact { family, w, note, specs });
+
 impl ScheduleArtifact {
     /// Serializes to pretty JSON.
     ///
@@ -25,7 +27,7 @@ impl ScheduleArtifact {
     ///
     /// Returns a user-facing message on serialization failure.
     pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string_pretty(self).map_err(|e| format!("serialize schedule: {e}"))
+        Ok(json::to_string_pretty(self))
     }
 
     /// Deserializes from JSON.
@@ -34,7 +36,7 @@ impl ScheduleArtifact {
     ///
     /// Returns a user-facing message on malformed input.
     pub fn from_json(text: &str) -> Result<ScheduleArtifact, String> {
-        serde_json::from_str(text).map_err(|e| format!("parse schedule: {e}"))
+        json::from_str(text).map_err(|e| format!("parse schedule: {e}"))
     }
 }
 

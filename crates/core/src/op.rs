@@ -7,10 +7,10 @@
 //! to histories recorded by the threaded runtime in `cnet-runtime`.
 
 use cnet_sim::exec::TimedExecution;
-use serde::{Deserialize, Serialize};
+use cnet_util::json_struct;
 
 /// One completed increment operation.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Op {
     /// The process that issued the operation.
     pub process: usize,
@@ -25,6 +25,8 @@ pub struct Op {
     /// The value returned.
     pub value: u64,
 }
+
+json_struct!(Op { process, enter_time, enter_seq, exit_time, exit_seq, value });
 
 impl Op {
     /// Whether this operation **completely precedes** `other`: its last step
@@ -114,5 +116,13 @@ mod tests {
         assert_eq!(ops[0].process, 7);
         assert_eq!(ops[0].enter_time, 2.0);
         assert_eq!(ops[0].exit_time, 5.0);
+    }
+
+    #[test]
+    fn ops_round_trip_through_json() {
+        use cnet_util::json;
+        let a = op(3, 0.25, 1.75, 42);
+        let back: Op = json::from_str(&json::to_string(&a)).unwrap();
+        assert_eq!(a, back);
     }
 }

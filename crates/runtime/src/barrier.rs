@@ -9,7 +9,7 @@
 //! value (gap-freedom), and that is all the barrier needs.
 
 use crate::ProcessCounter;
-use crossbeam::utils::Backoff;
+use cnet_util::sync::Backoff;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A reusable barrier for `parties` processes built on any

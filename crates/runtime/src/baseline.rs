@@ -6,7 +6,7 @@
 //! [`crate::SharedNetworkCounter`].
 
 use crate::ProcessCounter;
-use parking_lot::Mutex;
+use cnet_util::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A single-word fetch-and-increment counter — linearizable by

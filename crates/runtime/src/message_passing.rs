@@ -14,7 +14,7 @@ use crate::ProcessCounter;
 use cnet_topology::ids::SourceId;
 use cnet_topology::network::WireEnd;
 use cnet_topology::Network;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use cnet_util::sync::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
 
 /// A token in flight: where to send the obtained value.

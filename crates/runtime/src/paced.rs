@@ -14,7 +14,7 @@
 //! recorded histories confirm.
 
 use crate::ProcessCounter;
-use parking_lot::Mutex;
+use cnet_util::sync::Mutex;
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 

@@ -1,11 +1,12 @@
 //! Timed executions: step traces and per-token operation records.
 
 use crate::ids::{ProcessId, TokenId};
-use serde::{Deserialize, Serialize};
+use cnet_util::json::{self, FromJson, JsonError, ToJson, Value};
+use cnet_util::json_struct;
 
 /// A transition step of the execution (Section 2.2): either a token crossing
 /// a balancer or a token obtaining a value at a counter.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Step {
     /// The paper's `BAL_p(T, B, i, j)`.
     Bal {
@@ -33,6 +34,57 @@ pub enum Step {
     },
 }
 
+// Externally tagged, like serde: {"Bal": {...}} / {"Count": {...}}. The
+// tamper tests in `validate` navigate this exact shape.
+impl ToJson for Step {
+    fn to_json(&self) -> Value {
+        match *self {
+            Step::Bal { token, process, balancer, in_port, out_port } => Value::Object(vec![(
+                "Bal".to_string(),
+                Value::Object(vec![
+                    ("token".to_string(), token.to_json()),
+                    ("process".to_string(), process.to_json()),
+                    ("balancer".to_string(), balancer.to_json()),
+                    ("in_port".to_string(), in_port.to_json()),
+                    ("out_port".to_string(), out_port.to_json()),
+                ]),
+            )]),
+            Step::Count { token, process, sink, value } => Value::Object(vec![(
+                "Count".to_string(),
+                Value::Object(vec![
+                    ("token".to_string(), token.to_json()),
+                    ("process".to_string(), process.to_json()),
+                    ("sink".to_string(), sink.to_json()),
+                    ("value".to_string(), value.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for Step {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if let Some(b) = v.get("Bal") {
+            Ok(Step::Bal {
+                token: json::field(b, "token")?,
+                process: json::field(b, "process")?,
+                balancer: json::field(b, "balancer")?,
+                in_port: json::field(b, "in_port")?,
+                out_port: json::field(b, "out_port")?,
+            })
+        } else if let Some(c) = v.get("Count") {
+            Ok(Step::Count {
+                token: json::field(c, "token")?,
+                process: json::field(c, "process")?,
+                sink: json::field(c, "sink")?,
+                value: json::field(c, "value")?,
+            })
+        } else {
+            Err(JsonError::new(format!("invalid Step: {v:?}")))
+        }
+    }
+}
+
 impl Step {
     /// The token taking this step.
     pub fn token(&self) -> TokenId {
@@ -50,7 +102,7 @@ impl Step {
 }
 
 /// A step paired with its (non-decreasing) time.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TimedStep {
     /// The time at which the step occurs.
     pub time: f64,
@@ -58,9 +110,11 @@ pub struct TimedStep {
     pub step: Step,
 }
 
+json_struct!(TimedStep { time, step });
+
 /// The complete record of one token's increment operation — the unit the
 /// consistency checkers in `cnet-core` reason about.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TokenRecord {
     /// The token.
     pub token: TokenId,
@@ -85,6 +139,19 @@ pub struct TokenRecord {
     pub step_times: Vec<f64>,
 }
 
+json_struct!(TokenRecord {
+    token,
+    process,
+    input,
+    enter_time,
+    exit_time,
+    enter_seq,
+    exit_seq,
+    sink,
+    value,
+    step_times,
+});
+
 impl TokenRecord {
     /// Whether this token **completely precedes** `other` in the execution:
     /// its last step comes before the other token's first step. Ties in time
@@ -104,13 +171,15 @@ impl TokenRecord {
 ///
 /// Produced by [`crate::engine::run`]; consumed by the checkers in
 /// `cnet-core` and the measurement functions in [`crate::timing`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TimedExecution {
     depth: usize,
     fan_out: usize,
     steps: Vec<TimedStep>,
     records: Vec<TokenRecord>,
 }
+
+json_struct!(TimedExecution { depth, fan_out, steps, records });
 
 impl TimedExecution {
     pub(crate) fn new(
@@ -204,6 +273,50 @@ mod tests {
         let c = record(1.0, 2.0, 3, 4);
         assert!(!a.completely_precedes(&c));
         assert!(a.overlaps(&c));
+    }
+
+    #[test]
+    fn steps_round_trip_through_json() {
+        use cnet_util::json;
+        let steps = [
+            Step::Bal {
+                token: TokenId(4),
+                process: ProcessId(2),
+                balancer: 7,
+                in_port: 0,
+                out_port: 1,
+            },
+            Step::Count { token: TokenId(1), process: ProcessId(0), sink: 3, value: 9 },
+        ];
+        for s in steps {
+            let back: Step = json::from_str(&json::to_string(&s)).unwrap();
+            assert_eq!(s, back);
+        }
+        // The wire shape is serde's external tagging, which the tamper tests
+        // in `validate` rely on.
+        let v = json::to_value(&steps[1]);
+        assert_eq!(v["Count"]["sink"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn executions_round_trip_through_json() {
+        use cnet_util::json;
+        let exec = TimedExecution::new(
+            1,
+            2,
+            vec![TimedStep {
+                time: 0.5,
+                step: Step::Count {
+                    token: TokenId(0),
+                    process: ProcessId(0),
+                    sink: 0,
+                    value: 0,
+                },
+            }],
+            vec![record(0.0, 0.5, 0, 0)],
+        );
+        let back: TimedExecution = json::from_str(&json::to_string(&exec)).unwrap();
+        assert_eq!(exec, back);
     }
 
     #[test]

@@ -1,14 +1,29 @@
 //! Identifiers for processes and tokens.
 
-use serde::{Deserialize, Serialize};
+use cnet_util::json::{JsonError, JsonMapKey};
+use cnet_util::json_newtype;
 use std::fmt;
 
 /// Identifies one of the (unboundedly many) processes of the distributed
 /// system. Each process is statically assigned to one input wire of the
 /// network and issues tokens one at a time (a process's tokens never overlap
 /// in time).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct ProcessId(pub usize);
+
+json_newtype!(ProcessId: usize);
+
+// Serialized as a member name in per-process maps (`{"0": {...}}`), like
+// serde_json's integer-keyed maps.
+impl JsonMapKey for ProcessId {
+    fn to_key(&self) -> String {
+        self.0.to_string()
+    }
+
+    fn from_key(s: &str) -> Result<Self, JsonError> {
+        usize::from_key(s).map(ProcessId)
+    }
+}
 
 impl ProcessId {
     /// Returns the underlying index.
@@ -25,8 +40,10 @@ impl fmt::Display for ProcessId {
 }
 
 /// Identifies a token (one increment operation) within a timed execution.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct TokenId(pub usize);
+
+json_newtype!(TokenId: usize);
 
 impl TokenId {
     /// Returns the underlying index.

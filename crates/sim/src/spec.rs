@@ -1,7 +1,7 @@
 //! Token specifications: the input format of the simulation engine.
 
 use crate::ids::{ProcessId, TokenId};
-use serde::{Deserialize, Serialize};
+use cnet_util::json_struct;
 
 /// The schedule of a single token: which process shepherds it, which input
 /// wire it enters on, and the time at which it passes each layer of the
@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// schedule constructions rely on this to place simultaneous steps in a
 /// definite order (e.g. the flushing waves of Theorem 3.2, which must enter
 /// a balancer *immediately before* the token they shadow).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TimedTokenSpec {
     /// The process shepherding the token.
     pub process: ProcessId,
@@ -25,6 +25,8 @@ pub struct TimedTokenSpec {
     /// One time per layer, non-decreasing, length `depth + 1`.
     pub step_times: Vec<f64>,
 }
+
+json_struct!(TimedTokenSpec { process, input, step_times });
 
 impl TimedTokenSpec {
     /// Builds a spec whose token enters layer 1 at `start` and crosses each
@@ -73,7 +75,7 @@ pub fn token_id_of_position(position: usize) -> TokenId {
 /// `delays[k]` is the wire delay before the token's `(k+2)`-th step (its
 /// first step happens at `enter_time`). The pool must be at least as long
 /// as the longest route the token can take — `net.depth()` hops suffices.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AdaptiveTokenSpec {
     /// The process shepherding the token.
     pub process: ProcessId,
@@ -84,6 +86,8 @@ pub struct AdaptiveTokenSpec {
     /// Per-hop delays, consumed in order as the token advances.
     pub delays: Vec<f64>,
 }
+
+json_struct!(AdaptiveTokenSpec { process, input, enter_time, delays });
 
 impl AdaptiveTokenSpec {
     /// A spec whose token crosses every wire with the same `delay`, with a
@@ -153,5 +157,16 @@ mod tests {
         let s = AdaptiveTokenSpec::lock_step(ProcessId(1), 0, 2.0, 1.5, 4);
         assert_eq!(s.delays, vec![1.5; 4]);
         assert_eq!(s.enter_time, 2.0);
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        use cnet_util::json;
+        let timed = TimedTokenSpec::with_delays(ProcessId(3), 2, 1.0, &[0.5, 2.0, 0.25]);
+        let back: TimedTokenSpec = json::from_str(&json::to_string(&timed)).unwrap();
+        assert_eq!(timed, back);
+        let adaptive = AdaptiveTokenSpec::lock_step(ProcessId(1), 0, 2.0, 1.5, 4);
+        let back: AdaptiveTokenSpec = json::from_str(&json::to_string(&adaptive)).unwrap();
+        assert_eq!(adaptive, back);
     }
 }

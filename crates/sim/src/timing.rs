@@ -15,11 +15,11 @@
 
 use crate::exec::{TimedExecution, TokenRecord};
 use crate::ids::ProcessId;
-use serde::{Deserialize, Serialize};
+use cnet_util::json_struct;
 use std::collections::BTreeMap;
 
 /// Per-process timing measurements.
-#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub struct ProcessTiming {
     /// `c_min^P`: the minimum wire delay over this process's tokens.
     pub c_min: Option<f64>,
@@ -28,8 +28,10 @@ pub struct ProcessTiming {
     pub local_delay: Option<f64>,
 }
 
+json_struct!(ProcessTiming { c_min, local_delay });
+
 /// The timing parameters measured over one timed execution.
-#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct TimingParams {
     /// `c_min`: minimum wire delay over all tokens and layers.
     pub c_min: Option<f64>,
@@ -42,6 +44,8 @@ pub struct TimingParams {
     /// Per-process measurements, keyed by process.
     pub per_process: BTreeMap<ProcessId, ProcessTiming>,
 }
+
+json_struct!(TimingParams { c_min, c_max, local_delay, global_delay, per_process });
 
 impl TimingParams {
     /// Measures all timing parameters of an execution.
@@ -110,7 +114,7 @@ impl TimingParams {
 
 /// Concurrency statistics of an execution: how many tokens were inside the
 /// network simultaneously.
-#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub struct ConcurrencyProfile {
     /// The maximum number of tokens in flight at any instant.
     pub max_in_flight: usize,
@@ -118,6 +122,8 @@ pub struct ConcurrencyProfile {
     /// empty or instantaneous execution).
     pub avg_in_flight: f64,
 }
+
+json_struct!(ConcurrencyProfile { max_in_flight, avg_in_flight });
 
 /// Computes the concurrency profile by sweeping token intervals.
 ///
@@ -334,6 +340,26 @@ mod tests {
         use super::concurrency_profile;
         let exec = exec_of(vec![]);
         assert_eq!(concurrency_profile(&exec), super::ConcurrencyProfile::default());
+    }
+
+    #[test]
+    fn timing_params_round_trip_through_json() {
+        use cnet_util::json;
+        let exec = exec_of(vec![
+            TimedTokenSpec::with_delays(ProcessId(0), 0, 0.0, &[1.0, 3.0, 2.0]),
+            TimedTokenSpec::with_delays(ProcessId(1), 1, 9.0, &[0.5, 0.5, 0.5]),
+        ]);
+        let p = TimingParams::measure(&exec);
+        assert!(!p.per_process.is_empty());
+        let back: TimingParams = json::from_str(&json::to_string(&p)).unwrap();
+        assert_eq!(p, back);
+        // Defaults (all-None) survive too.
+        let empty: TimingParams =
+            json::from_str(&json::to_string(&TimingParams::default())).unwrap();
+        assert_eq!(empty, TimingParams::default());
+        let profile = concurrency_profile(&exec);
+        let back: ConcurrencyProfile = json::from_str(&json::to_string(&profile)).unwrap();
+        assert_eq!(profile, back);
     }
 
     #[test]

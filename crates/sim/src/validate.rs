@@ -372,11 +372,11 @@ mod tests {
     /// itself.
     fn tamper(
         exec: &crate::exec::TimedExecution,
-        mutate: impl FnOnce(&mut serde_json::Value),
+        mutate: impl FnOnce(&mut cnet_util::json::Value),
     ) -> crate::exec::TimedExecution {
-        let mut v = serde_json::to_value(exec).expect("executions serialize");
+        let mut v = cnet_util::json::to_value(exec);
         mutate(&mut v);
-        serde_json::from_value(v).expect("tampered execution still deserializes")
+        cnet_util::json::from_value(&v).expect("tampered execution still deserializes")
     }
 
     #[test]

@@ -10,8 +10,7 @@
 use crate::ids::ProcessId;
 use crate::spec::TimedTokenSpec;
 use cnet_topology::Network;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cnet_util::rng::{Rng, SeedableRng, StdRng};
 
 /// Configuration of a randomized workload.
 #[derive(Clone, Debug, PartialEq)]

@@ -1,7 +1,7 @@
 //! Balancers: the routing elements of a balancing network.
 
 use crate::ids::WireId;
-use serde::{Deserialize, Serialize};
+use cnet_util::json_struct;
 
 /// An `(f_in, f_out)`-balancer: a routing element that receives tokens on
 /// `f_in` input wires and forwards them to its `f_out` output wires in
@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// The balancer's dynamic state — which output port the next token leaves on —
 /// lives in [`crate::state::NetworkState`], not here; `Balancer` records only
 /// the wiring.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Balancer {
     /// Incoming wires, one per input port, in port order.
     inputs: Vec<WireId>,
@@ -18,6 +18,8 @@ pub struct Balancer {
     /// "top" wire, which the first token exits on).
     outputs: Vec<WireId>,
 }
+
+json_struct!(Balancer { inputs, outputs });
 
 impl Balancer {
     /// Creates a balancer from its incoming and outgoing wires.

@@ -5,7 +5,7 @@
 //! have `w` sinks but can have thousands of wires, so valencies are stored as
 //! packed bit sets rather than `BTreeSet`s.
 
-use serde::{Deserialize, Serialize};
+use cnet_util::json_struct;
 use std::fmt;
 
 /// A set of small integers over a fixed universe `0..universe`.
@@ -24,11 +24,13 @@ use std::fmt;
 /// assert_eq!(a.len(), 2);
 /// assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 5]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitSet {
     universe: usize,
     words: Vec<u64>,
 }
+
+json_struct!(BitSet { universe, words });
 
 impl BitSet {
     /// Creates an empty set over the universe `0..universe`.
@@ -233,7 +235,7 @@ impl DoubleEndedIterator for Iter<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use cnet_util::proptest::prelude::*;
 
     #[test]
     fn empty_and_full() {

@@ -133,7 +133,7 @@ pub fn build_merger(lb: &mut LayeredBuilder, lines: &[usize]) -> Vec<usize> {
 mod tests {
     use super::*;
     use crate::state::NetworkState;
-    use proptest::prelude::*;
+    use cnet_util::proptest::prelude::*;
 
     fn lg(w: usize) -> usize {
         w.trailing_zeros() as usize
@@ -241,6 +241,21 @@ mod tests {
                 assert_eq!(values, (0..n).collect::<Vec<_>>());
             }
         }
+    }
+
+    /// Regression seed once found by the property test below (shrunk to
+    /// `lgw = 2, counts = [5, 0, 1, 8, 0, …]`), kept as an explicit case so
+    /// it runs on every suite invocation.
+    #[test]
+    fn bitonic_counts_regression_lgw2_5_0_1_8() {
+        let net = bitonic(4).unwrap();
+        let counts = [5u64, 0, 1, 8];
+        let mut st = NetworkState::new(&net);
+        let ts = st.push_tokens(&net, &counts);
+        assert!(st.output_counts_have_step_property(), "{:?}", st.output_counts());
+        let mut values: Vec<u64> = ts.iter().map(|t| t.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..14).collect::<Vec<_>>());
     }
 
     proptest! {

@@ -67,7 +67,7 @@ mod tests {
     use super::*;
     use crate::construct::{bitonic, counting_tree, periodic};
     use crate::state::NetworkState;
-    use proptest::prelude::*;
+    use cnet_util::proptest::prelude::*;
 
     #[test]
     fn extension_is_non_uniform_counting_preserving() {

@@ -111,7 +111,7 @@ fn build_block_interleaved(lb: &mut LayeredBuilder, lines: &[usize]) {
 mod tests {
     use super::*;
     use crate::state::NetworkState;
-    use proptest::prelude::*;
+    use cnet_util::proptest::prelude::*;
 
     fn lg(w: usize) -> usize {
         w.trailing_zeros() as usize
@@ -183,6 +183,18 @@ mod tests {
                 assert_eq!(values, (0..n).collect::<Vec<_>>());
             }
         }
+    }
+
+    /// Regression seed once found by the property test below (shrunk to
+    /// `lgw = 2, counts = [2, 6, 4, 6, …]`), kept as an explicit case so it
+    /// runs on every suite invocation.
+    #[test]
+    fn periodic_counts_regression_lgw2_2_6_4_6() {
+        let net = periodic(4).unwrap();
+        let counts = [2u64, 6, 4, 6];
+        let mut st = NetworkState::new(&net);
+        st.push_tokens(&net, &counts);
+        assert!(st.output_counts_have_step_property(), "{:?}", st.output_counts());
     }
 
     proptest! {

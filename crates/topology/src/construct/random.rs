@@ -109,7 +109,7 @@ pub fn random_counting_network(
 mod tests {
     use super::*;
     use crate::state::NetworkState;
-    use proptest::prelude::*;
+    use cnet_util::proptest::prelude::*;
 
     #[test]
     fn deterministic_in_seed() {

@@ -3,7 +3,7 @@
 //! All ids are plain `usize` newtypes ([C-NEWTYPE]); they are only meaningful
 //! relative to the [`crate::Network`] that produced them.
 
-use serde::{Deserialize, Serialize};
+use cnet_util::json_newtype;
 use std::fmt;
 
 macro_rules! id_type {
@@ -11,9 +11,10 @@ macro_rules! id_type {
         $(#[$doc])*
         #[derive(
             Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default,
-            Serialize, Deserialize,
         )]
         pub struct $name(pub usize);
+
+        json_newtype!($name: usize);
 
         impl $name {
             /// Returns the underlying index.

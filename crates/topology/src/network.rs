@@ -2,11 +2,12 @@
 
 use crate::balancer::Balancer;
 use crate::ids::{BalancerId, SinkId, SourceId, WireId};
-use serde::{Deserialize, Serialize};
+use cnet_util::json::{self, FromJson, JsonError, ToJson, Value};
+use cnet_util::json_struct;
 use std::fmt;
 
 /// Where a wire begins: at a source node or at a balancer output port.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WireStart {
     /// The wire is the network's input wire `source`.
     Source(SourceId),
@@ -19,8 +20,41 @@ pub enum WireStart {
     },
 }
 
+// Externally tagged, like serde: {"Source": 0} / {"Balancer": {...}}.
+impl ToJson for WireStart {
+    fn to_json(&self) -> Value {
+        match self {
+            WireStart::Source(s) => {
+                Value::Object(vec![("Source".to_string(), s.to_json())])
+            }
+            WireStart::Balancer { balancer, port } => Value::Object(vec![(
+                "Balancer".to_string(),
+                Value::Object(vec![
+                    ("balancer".to_string(), balancer.to_json()),
+                    ("port".to_string(), port.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for WireStart {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if let Some(s) = v.get("Source") {
+            Ok(WireStart::Source(FromJson::from_json(s)?))
+        } else if let Some(b) = v.get("Balancer") {
+            Ok(WireStart::Balancer {
+                balancer: json::field(b, "balancer")?,
+                port: json::field(b, "port")?,
+            })
+        } else {
+            Err(JsonError::new(format!("invalid WireStart: {v:?}")))
+        }
+    }
+}
+
 /// Where a wire ends: at a sink node (counter) or at a balancer input port.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WireEnd {
     /// The wire is the network's output wire `sink`, feeding its counter.
     Sink(SinkId),
@@ -33,9 +67,39 @@ pub enum WireEnd {
     },
 }
 
+impl ToJson for WireEnd {
+    fn to_json(&self) -> Value {
+        match self {
+            WireEnd::Sink(s) => Value::Object(vec![("Sink".to_string(), s.to_json())]),
+            WireEnd::Balancer { balancer, port } => Value::Object(vec![(
+                "Balancer".to_string(),
+                Value::Object(vec![
+                    ("balancer".to_string(), balancer.to_json()),
+                    ("port".to_string(), port.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for WireEnd {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if let Some(s) = v.get("Sink") {
+            Ok(WireEnd::Sink(FromJson::from_json(s)?))
+        } else if let Some(b) = v.get("Balancer") {
+            Ok(WireEnd::Balancer {
+                balancer: json::field(b, "balancer")?,
+                port: json::field(b, "port")?,
+            })
+        } else {
+            Err(JsonError::new(format!("invalid WireEnd: {v:?}")))
+        }
+    }
+}
+
 /// A wire (edge) of the network, acting as an interconnection and delay
 /// element with no queueing or ordering of pending tokens.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Wire {
     /// Where the wire begins.
     pub start: WireStart,
@@ -43,9 +107,11 @@ pub struct Wire {
     pub end: WireEnd,
 }
 
+json_struct!(Wire { start, end });
+
 /// A node reference as it appears in a [`Layer`]: either an inner balancer
 /// node or a sink node.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NodeRef {
     /// An inner (balancer) node.
     Balancer(BalancerId),
@@ -53,17 +119,42 @@ pub enum NodeRef {
     Sink(SinkId),
 }
 
+impl ToJson for NodeRef {
+    fn to_json(&self) -> Value {
+        match self {
+            NodeRef::Balancer(b) => {
+                Value::Object(vec![("Balancer".to_string(), b.to_json())])
+            }
+            NodeRef::Sink(s) => Value::Object(vec![("Sink".to_string(), s.to_json())]),
+        }
+    }
+}
+
+impl FromJson for NodeRef {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if let Some(b) = v.get("Balancer") {
+            Ok(NodeRef::Balancer(FromJson::from_json(b)?))
+        } else if let Some(s) = v.get("Sink") {
+            Ok(NodeRef::Sink(FromJson::from_json(s)?))
+        } else {
+            Err(JsonError::new(format!("invalid NodeRef: {v:?}")))
+        }
+    }
+}
+
 /// A layer of the network: the maximal set of nodes sharing the same depth
 /// (Section 2.5). Layer indices are 1-based, matching the paper: balancer
 /// layers run `1..=depth`, and in a uniform network all sinks sit in layer
 /// `depth + 1`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Layer {
     /// The 1-based layer index ℓ.
     pub index: usize,
     /// The nodes at depth ℓ.
     pub nodes: Vec<NodeRef>,
 }
+
+json_struct!(Layer { index, nodes });
 
 impl Layer {
     /// Iterates over the balancers in this layer (skipping sinks).
@@ -97,7 +188,7 @@ impl Layer {
 /// assert_eq!(b8.size(), 24); // 24 (2,2)-balancers in B(8)
 /// # Ok::<(), cnet_topology::BuildError>(())
 /// ```
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Network {
     fan_in: usize,
     fan_out: usize,
@@ -118,6 +209,22 @@ pub struct Network {
     uniform: bool,
     layers: Vec<Layer>,
 }
+
+json_struct!(Network {
+    fan_in,
+    fan_out,
+    balancers,
+    wires,
+    source_wires,
+    sink_wires,
+    wire_depth,
+    wire_min_depth,
+    balancer_depth,
+    depth,
+    shallowness,
+    uniform,
+    layers,
+});
 
 impl Network {
     /// Assembles a validated network. Called only by the builder, which has
@@ -494,8 +601,8 @@ mod tests {
         use crate::construct::{bitonic, counting_tree, periodic};
         use crate::state::NetworkState;
         for net in [two_column(), bitonic(8).unwrap(), periodic(4).unwrap(), counting_tree(8).unwrap()] {
-            let json = serde_json::to_string(&net).expect("networks serialize");
-            let back: Network = serde_json::from_str(&json).expect("networks deserialize");
+            let json = json::to_string(&net);
+            let back: Network = json::from_str(&json).expect("networks deserialize");
             assert_eq!(back.fan_in(), net.fan_in());
             assert_eq!(back.fan_out(), net.fan_out());
             assert_eq!(back.size(), net.size());

@@ -9,11 +9,11 @@
 
 use crate::ids::{BalancerId, SinkId, SourceId, WireId};
 use crate::network::{Network, WireEnd};
-use serde::{Deserialize, Serialize};
+use cnet_util::json_struct;
 
 /// One balancer transition step taken by a token: the paper's
 /// `BAL(T, B, i, j)` with the token and process left implicit.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct BalancerStep {
     /// The balancer traversed.
     pub balancer: BalancerId,
@@ -23,9 +23,11 @@ pub struct BalancerStep {
     pub out_port: usize,
 }
 
+json_struct!(BalancerStep { balancer, in_port, out_port });
+
 /// The complete route of one token through the network, ending at a counter:
 /// a sequence of `BAL` steps followed by one `COUNT` step.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Traversal {
     /// The input wire the token entered on.
     pub input: SourceId,
@@ -36,6 +38,8 @@ pub struct Traversal {
     /// The balancer steps, in order.
     pub path: Vec<BalancerStep>,
 }
+
+json_struct!(Traversal { input, sink, value, path });
 
 /// Mutable state of a network: one round-robin pointer per balancer and one
 /// counter per sink, plus history variables (token counts per input and
@@ -57,7 +61,7 @@ pub struct Traversal {
 /// assert!(st.output_counts_have_step_property());
 /// # Ok::<(), cnet_topology::BuildError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NetworkState {
     /// Next output port for each balancer (the paper's state `s`, 0-based).
     balancer_state: Vec<usize>,
@@ -68,6 +72,13 @@ pub struct NetworkState {
     /// Tokens exited per output wire (history variable `y_j`).
     tokens_out: Vec<u64>,
 }
+
+json_struct!(NetworkState {
+    balancer_state,
+    counter_state,
+    tokens_in,
+    tokens_out,
+});
 
 impl NetworkState {
     /// The initial network state: all balancers at state 0, counter `j`
@@ -202,7 +213,7 @@ pub fn has_step_property(counts: &[u64]) -> bool {
 mod tests {
     use super::*;
     use crate::builder::LayeredBuilder;
-    use proptest::prelude::*;
+    use cnet_util::proptest::prelude::*;
 
     fn single_balancer(width: usize) -> Network {
         let mut lb = LayeredBuilder::new(width);

@@ -1,0 +1,308 @@
+//! A criterion-compatible benchmark harness, small enough to audit.
+//!
+//! The `benches/*.rs` targets keep their `criterion_group!`/
+//! `criterion_main!` structure; only the import line changes. Behavior:
+//!
+//! * under `cargo bench` (the harness sees `--bench` in its arguments) each
+//!   benchmark warms up, then takes `sample_size` timed samples and reports
+//!   the median ns/iter plus throughput;
+//! * under `cargo test` (no `--bench` flag on `harness = false` targets)
+//!   each routine runs **once** as a smoke test, so the suite stays fast
+//!   while still compiling and executing every benchmark body;
+//! * a positional argument acts as a substring filter on benchmark ids,
+//!   like criterion's.
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration (criterion's builder subset).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    measure: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_millis(1500),
+            measure: args.iter().any(|a| a == "--bench"),
+            filter: args.iter().find(|a| !a.starts_with('-')).cloned(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up (and calibrating iterations per sample).
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Work-per-iteration declaration, for ops/sec reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter (`"lock/8"`).
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter (`"bitonic_16"`).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            measure: self.criterion.measure,
+            sample_size: self.criterion.sample_size,
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self.criterion.measurement_time,
+            ns_per_iter: None,
+        };
+        f(&mut bencher, input);
+        match bencher.ns_per_iter {
+            Some(ns) if self.criterion.measure => {
+                let rate = |count: u64| {
+                    let per_sec = count as f64 * 1e9 / ns;
+                    format!("{per_sec:.3e}")
+                };
+                let thrpt = match self.throughput {
+                    Some(Throughput::Elements(n)) => format!("  thrpt: {} elem/s", rate(n)),
+                    Some(Throughput::Bytes(n)) => format!("  thrpt: {} B/s", rate(n)),
+                    None => String::new(),
+                };
+                println!("{full:<50} time: {ns:>12.1} ns/iter{thrpt}");
+            }
+            Some(ns) => {
+                println!("{full:<50} smoke-tested once ({:.3} ms)", ns / 1e6);
+            }
+            None => println!("{full:<50} (no iter call)"),
+        }
+    }
+
+    /// Ends the group (criterion writes reports here; we need nothing).
+    pub fn finish(self) {}
+}
+
+/// Times a routine; handed to benchmark closures.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the median ns/iter.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if !self.measure {
+            let start = Instant::now();
+            black_box(routine());
+            self.ns_per_iter = Some(start.elapsed().as_nanos() as f64);
+            return;
+        }
+
+        // Warm-up doubles as calibration for iterations per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let sample_budget =
+            self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter) as u64).max(1);
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    black_box(routine());
+                }
+                start.elapsed().as_nanos() as f64 / iters_per_sample as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Declares a benchmark group function, criterion-style:
+///
+/// ```ignore
+/// criterion_group! {
+///     name = benches;
+///     config = Criterion::default().sample_size(15);
+///     targets = bench_a, bench_b
+/// }
+/// ```
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::bench::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+// Let benches import the macros from this module, mirroring the
+// `criterion::{criterion_group, criterion_main}` path shape.
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> Criterion {
+        // Bypass Default so tests don't depend on the test binary's argv.
+        Criterion {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(3),
+            measure: false,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut c = quiet();
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("f", 1), &2u32, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            });
+        });
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_samples_repeatedly() {
+        let mut c = Criterion {
+            measure: true,
+            ..quiet()
+        };
+        let mut runs = 0u32;
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter("p"), &(), |b, _| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert!(runs > 3, "expected warmup + samples, got {runs} runs");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("match_me".to_string()),
+            ..quiet()
+        };
+        let mut ran = Vec::new();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("match_me", 1), &(), |b, _| {
+            b.iter(|| ran.push("yes"));
+        });
+        group.bench_with_input(BenchmarkId::new("other", 1), &(), |b, _| {
+            b.iter(|| ran.push("no"));
+        });
+        group.finish();
+        assert_eq!(ran, vec!["yes"]);
+    }
+}

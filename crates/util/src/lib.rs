@@ -1,0 +1,33 @@
+//! Zero-dependency in-tree infrastructure for the counting-network
+//! workspace.
+//!
+//! The workspace builds **offline, hermetically, from a clean checkout**:
+//! no crates-io dependency may appear in any manifest (`scripts/verify.sh`
+//! enforces this). Everything the crates used to pull from the registry is
+//! replaced by a small, tested, deterministic implementation here:
+//!
+//! * [`rng`] — a seedable PCG64 generator (SplitMix64-seeded) with the
+//!   `random_range` / `gen_range` / `shuffle` / `fill` surface the workload
+//!   generators and schedule search use (replaces `rand`);
+//! * [`json`] — a JSON value, writer, and parser plus the [`json::ToJson`]
+//!   / [`json::FromJson`] traits and `json_struct!` / `json_newtype!`
+//!   impl macros (replaces `serde` + `serde_json`);
+//! * [`sync`] — a poison-free [`sync::Mutex`], an exponential
+//!   [`sync::Backoff`], and an unbounded MPMC [`sync::channel`] (replaces
+//!   `parking_lot` + `crossbeam`);
+//! * [`proptest`] — a deterministic property-testing harness with the
+//!   `proptest!` / `prop_assert!` macro surface, seeded case generation and
+//!   failure-seed reporting (replaces `proptest`);
+//! * [`bench`] — a criterion-compatible timer harness so the `benches/`
+//!   targets compile and run as plain binaries (replaces `criterion`).
+//!
+//! Determinism is the point, not a side effect: the paper's consistency
+//! checkers only mean something when runs are replayable, so every source
+//! of pseudo-randomness in the workspace flows through [`rng`] from an
+//! explicit, logged seed.
+
+pub mod bench;
+pub mod json;
+pub mod proptest;
+pub mod rng;
+pub mod sync;

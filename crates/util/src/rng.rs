@@ -1,0 +1,353 @@
+//! Seedable pseudo-random number generation.
+//!
+//! [`StdRng`] is a PCG64 (XSL-RR 128/64) generator whose 128-bit state is
+//! expanded from a 64-bit seed with [`SplitMix64`]. It is deterministic
+//! across platforms and releases of this workspace: golden-sequence tests
+//! below pin the exact output stream, so any change to the algorithm is a
+//! deliberate, visible diff — schedules generated from a seed are part of
+//! the experimental record.
+//!
+//! The API mirrors the subset of `rand` the workspace uses:
+//!
+//! ```
+//! use cnet_util::rng::{Rng, SeedableRng, StdRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x = rng.random_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&x));
+//! let k = rng.random_range(0..10usize);
+//! assert!(k < 10);
+//! ```
+
+use std::ops::Range;
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The uniform-sampling surface shared by all generators.
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (`start >= end`).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Alias of [`Rng::random_range`] under `rand`'s pre-0.9 name.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        self.random_range(range)
+    }
+
+    /// Fills the byte slice with uniform bytes.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle of the slice in place.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+/// Sebastiano Vigna's SplitMix64: one multiply–xor–shift pipeline per
+/// output. Used to expand seeds and derive per-case seeds in the property
+/// harness; also a serviceable generator on its own.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator starting from the given state.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64::new(seed)
+    }
+}
+
+/// Mixes a case index into a base seed, for deriving independent
+/// sub-streams (one SplitMix64 step over the xor).
+pub fn mix_seed(base: u64, index: u64) -> u64 {
+    SplitMix64::new(base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)).next_u64()
+}
+
+/// PCG64 (XSL-RR 128/64, O'Neill 2014): a 128-bit LCG with an
+/// xorshift-rotate output function. Fast, equidistributed, and more than
+/// adequate for schedule generation and property testing.
+#[derive(Clone, Debug)]
+pub struct Pcg64 {
+    state: u128,
+}
+
+const PCG_MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+const PCG_INC: u128 = 0x5851_f42d_4c95_7f2d_1405_7b7e_f767_814f;
+
+impl Rng for Pcg64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(PCG_MUL).wrapping_add(PCG_INC);
+        let rot = (self.state >> 122) as u32;
+        (((self.state >> 64) as u64) ^ (self.state as u64)).rotate_right(rot)
+    }
+}
+
+impl SeedableRng for Pcg64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let hi = sm.next_u64() as u128;
+        let lo = sm.next_u64() as u128;
+        Pcg64 { state: (hi << 64) | lo }
+    }
+}
+
+/// The workspace's default generator.
+pub type StdRng = Pcg64;
+
+/// Half-open ranges a generator can sample from.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+
+    /// Draws one uniform sample.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Maps 64 uniform bits onto `0..span` by widening multiply (Lemire-style;
+/// the residual bias is below 2⁻⁶⁴·span, irrelevant at these spans).
+#[inline]
+fn offset_below(bits: u64, span: u64) -> u64 {
+    ((bits as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + offset_below(rng.next_u64(), span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(offset_below(rng.next_u64(), span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * u;
+        // Affine rounding can land exactly on `end`; the range is half-open.
+        if v < self.end {
+            v
+        } else {
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Published SplitMix64 test vectors for seed 1234567.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+        assert_eq!(sm.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn pcg_golden_sequence_is_pinned() {
+        // Golden outputs of THIS workspace's StdRng; seeds are part of the
+        // experimental record, so the stream may never silently change.
+        let mut rng = StdRng::seed_from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                6712888308908870716,
+                12364033628255014625,
+                11235848350104121611,
+                7892852915985276856,
+            ]
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                17897454358849564083,
+                13615167422939807278,
+                15347016298901141737,
+                15607320551039524008,
+            ]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_stream() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(10);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn integer_ranges_stay_in_bounds_and_hit_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.random_range(2usize..9);
+            assert!((2..9).contains(&v));
+            seen[v - 2] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "1000 draws cover 2..9: {seen:?}");
+        for _ in 0..1000 {
+            let v = rng.random_range(0..3u8);
+            assert!(v < 3);
+            let v = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_are_half_open() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.random_range(1.0..3.0);
+            assert!((1.0..3.0).contains(&v), "{v} outside [1, 3)");
+        }
+        // Degenerate-width range still respects the bound strictly.
+        let lo = 1.0;
+        let hi = lo + f64::EPSILON * 4.0;
+        for _ in 0..1000 {
+            let v = rng.random_range(lo..hi);
+            assert!(v >= lo && v < hi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        StdRng::seed_from_u64(0).random_range(5usize..5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [0usize, 1, 2, 10, 100] {
+            let mut v: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut v);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "shuffle of len {n}");
+        }
+        // Shuffles actually move things (overwhelmingly likely at n = 100).
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_covers_every_byte() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 37];
+        rng.fill(&mut buf);
+        // 37 zero bytes from a uniform source is a 2^-296 event.
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut buf2 = [0u8; 37];
+        StdRng::seed_from_u64(5).fill(&mut buf2);
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn gen_range_is_an_alias() {
+        let a = StdRng::seed_from_u64(1).gen_range(0..1000u64);
+        let b = StdRng::seed_from_u64(1).random_range(0..1000u64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mix_seed_decorrelates_indices() {
+        let s: Vec<u64> = (0..100).map(|i| mix_seed(7, i)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len());
+    }
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Hermetic-build gate: the workspace must build and test entirely offline,
+# with every dependency an in-tree path dependency. Run from anywhere:
+#
+#   scripts/verify.sh
+#
+# Fails if any Cargo.toml reacquires a registry (non-path) dependency, or if
+# the offline build/test fails.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+# Scan every dependency section of every manifest. A dependency line is
+# acceptable only if it is a path dependency ({ path = ... }) or a reference
+# to one ({ workspace = true } resolving to a path entry in the root
+# manifest, which this same scan covers).
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    bad=$(awk '
+        /^\[/ {
+            in_deps = ($0 ~ /dependencies\]$/ || $0 ~ /^\[workspace\.dependencies\]/)
+            next
+        }
+        in_deps && NF && $0 !~ /^[[:space:]]*#/ {
+            if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/) {
+                print
+            }
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "error: $manifest declares a non-path dependency:" >&2
+        echo "$bad" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "The workspace must stay hermetic: vendor the code into crates/util" >&2
+    echo "(see DESIGN.md, 'Dependencies') instead of adding registry crates." >&2
+    exit 1
+fi
+echo "manifest scan: ok (all dependencies are in-tree path dependencies)"
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+echo "verify: ok"

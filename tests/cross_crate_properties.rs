@@ -13,7 +13,7 @@ use cnet_sim::TimingParams;
 use cnet_topology::construct::{bitonic, cascade, counting_tree, periodic};
 use cnet_topology::state::{has_step_property, NetworkState};
 use cnet_topology::Network;
-use proptest::prelude::*;
+use cnet_util::proptest::prelude::*;
 
 /// A strategy over the classic counting networks.
 fn classic_network() -> impl Strategy<Value = Network> {
@@ -215,8 +215,7 @@ proptest! {
         use cnet_sim::spec::AdaptiveTokenSpec;
         use cnet_sim::validate::validate;
         use cnet_topology::construct::append_adjacent_balancer;
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use cnet_util::rng::{Rng, SeedableRng, StdRng};
         let w = 1usize << lgw;
         let base = bitonic(w).unwrap();
         let net = append_adjacent_balancer(&base, pair_seed % (w - 1).max(1)).unwrap();
