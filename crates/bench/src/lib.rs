@@ -11,8 +11,10 @@
 pub mod report;
 pub mod search;
 pub mod sweeps;
+pub mod throughput;
 
-pub use report::Table;
+pub use report::{write_json, Table};
+pub use throughput::{run_throughput_sweep, Measurement, ThroughputConfig, ThroughputReport};
 pub use search::{maximize, SearchOutcome, SearchSpace};
 pub use sweeps::{
     adversarial_fractions, local_delay_sufficiency, sufficiency_scan, FractionPoint,

@@ -1,0 +1,300 @@
+//! The reproducible throughput sweep behind `BENCH_throughput.json`.
+//!
+//! Races every shared-memory counter — the centralized baselines, the
+//! compiled-traversal [`SharedNetworkCounter`], the retained pre-change
+//! [`GraphWalkCounter`], and the [`DiffractingTree`] — across thread
+//! counts and network families (`B(w)`, `P(w)`, the counting tree), and
+//! reports machine-readable measurements so every PR has a performance
+//! trajectory to defend.
+//!
+//! One run produces both engines' numbers: the graph-walk rows *are* the
+//! pre-compilation baseline, captured on the same machine in the same
+//! process, so [`ThroughputReport::speedup`] compares like with like.
+//! Invoke via `cnet bench <w> --out BENCH_throughput.json` (see
+//! `crates/cli`) or programmatically through [`run_throughput_sweep`].
+
+use crate::report::Table;
+use cnet_runtime::{
+    DiffractingTree, FetchAddCounter, GraphWalkCounter, LockCounter, ProcessCounter,
+    SharedNetworkCounter,
+};
+use cnet_topology::construct::{bitonic, counting_tree, periodic};
+use cnet_util::json_struct;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Prism width used for the diffracting-tree rows.
+const PRISM_WIDTH: usize = 4;
+
+/// Configuration of one sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThroughputConfig {
+    /// Network fan `w` (power of two; the tree is built at the same width).
+    pub fan: usize,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Increments each thread performs per timed run.
+    pub ops_per_thread: usize,
+    /// Timed repetitions per cell; the best (shortest) run is kept, which
+    /// filters scheduler noise deterministically.
+    pub repeats: usize,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            fan: 8,
+            threads: vec![1, 2, 4, 8],
+            ops_per_thread: 20_000,
+            repeats: 3,
+        }
+    }
+}
+
+/// One timed cell of the sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Counter implementation: `fetch_add`, `lock`, `compiled`,
+    /// `graph_walk`, or `diffracting`.
+    pub counter: String,
+    /// Network family the counter ran over (`-` for centralized counters,
+    /// else `bitonic`, `periodic`, or `tree`).
+    pub network: String,
+    /// Number of concurrent threads.
+    pub threads: usize,
+    /// Total increments performed in the timed run.
+    pub total_ops: usize,
+    /// Wall-clock seconds of the best run.
+    pub seconds: f64,
+    /// Throughput of the best run, in million increments per second.
+    pub mops: f64,
+}
+
+json_struct!(Measurement { counter, network, threads, total_ops, seconds, mops });
+
+/// The machine-readable result of a sweep — the schema of
+/// `BENCH_throughput.json` (see README.md, "Benchmark artifacts").
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThroughputReport {
+    /// Schema version of this report format.
+    pub version: u64,
+    /// Network fan the sweep ran at.
+    pub fan: usize,
+    /// Increments per thread per timed run.
+    pub ops_per_thread: usize,
+    /// Timed repetitions per cell (best kept).
+    pub repeats: usize,
+    /// `available_parallelism` of the measuring host.
+    pub cores: usize,
+    /// Every timed cell, in sweep order.
+    pub measurements: Vec<Measurement>,
+}
+
+json_struct!(ThroughputReport {
+    version,
+    fan,
+    ops_per_thread,
+    repeats,
+    cores,
+    measurements,
+});
+
+/// Times `threads` workers each performing `ops` increments; returns the
+/// elapsed seconds.
+fn time_run<C: ProcessCounter>(counter: &C, threads: usize, ops: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..threads {
+            s.spawn(move || {
+                for _ in 0..ops {
+                    black_box(counter.next_for(p));
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Best-of-`repeats` timing of a freshly built counter per repetition (so
+/// every run starts from identical cold state).
+fn measure<C: ProcessCounter>(
+    label: (&str, &str),
+    build: impl Fn() -> C,
+    threads: usize,
+    cfg: &ThroughputConfig,
+) -> Measurement {
+    let total_ops = threads * cfg.ops_per_thread;
+    let seconds = (0..cfg.repeats.max(1))
+        .map(|_| {
+            let counter = build();
+            time_run(&counter, threads, cfg.ops_per_thread)
+        })
+        .fold(f64::INFINITY, f64::min);
+    Measurement {
+        counter: label.0.to_string(),
+        network: label.1.to_string(),
+        threads,
+        total_ops,
+        seconds,
+        mops: total_ops as f64 / seconds / 1.0e6,
+    }
+}
+
+/// Runs the full sweep: `threads × {fetch_add, lock, compiled, graph_walk,
+/// diffracting} × {B(w), P(w), tree}`.
+///
+/// # Panics
+///
+/// Panics if `cfg.fan` is not a supported power of two (the constructions
+/// reject it).
+pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
+    let nets = [
+        ("bitonic", bitonic(cfg.fan).expect("power-of-two fan")),
+        ("periodic", periodic(cfg.fan).expect("power-of-two fan")),
+        ("tree", counting_tree(cfg.fan).expect("power-of-two fan")),
+    ];
+    let mut measurements = Vec::new();
+    for &threads in &cfg.threads {
+        measurements.push(measure(("fetch_add", "-"), FetchAddCounter::new, threads, cfg));
+        measurements.push(measure(("lock", "-"), LockCounter::new, threads, cfg));
+        for (family, net) in &nets {
+            measurements.push(measure(
+                ("compiled", family),
+                || SharedNetworkCounter::new(net),
+                threads,
+                cfg,
+            ));
+            measurements.push(measure(
+                ("graph_walk", family),
+                || GraphWalkCounter::new(net),
+                threads,
+                cfg,
+            ));
+        }
+        measurements.push(measure(
+            ("diffracting", "tree"),
+            || DiffractingTree::new(cfg.fan, PRISM_WIDTH).expect("power-of-two fan"),
+            threads,
+            cfg,
+        ));
+    }
+    ThroughputReport {
+        version: 1,
+        fan: cfg.fan,
+        ops_per_thread: cfg.ops_per_thread,
+        repeats: cfg.repeats.max(1),
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        measurements,
+    }
+}
+
+impl ThroughputReport {
+    /// The measurement for a `(counter, network, threads)` cell, if swept.
+    pub fn cell(&self, counter: &str, network: &str, threads: usize) -> Option<&Measurement> {
+        self.measurements
+            .iter()
+            .find(|m| m.counter == counter && m.network == network && m.threads == threads)
+    }
+
+    /// Throughput ratio `a / b` between two counters on the same network
+    /// and thread count — e.g. `speedup("compiled", "graph_walk",
+    /// "bitonic", 8)` is the compiled engine's gain over the retained
+    /// pre-change traversal.
+    pub fn speedup(&self, a: &str, b: &str, network: &str, threads: usize) -> Option<f64> {
+        let a = self.cell(a, network, threads)?;
+        let b = self.cell(b, network, threads)?;
+        Some(a.mops / b.mops)
+    }
+
+    /// Renders the human-readable summary: one row per thread count, one
+    /// column per counter/network combination, in Mops/s.
+    pub fn summary(&self) -> Table {
+        let mut columns: Vec<(String, String)> = Vec::new();
+        for m in &self.measurements {
+            let key = (m.counter.clone(), m.network.clone());
+            if !columns.contains(&key) {
+                columns.push(key);
+            }
+        }
+        let mut headers = vec!["threads".to_string()];
+        headers.extend(columns.iter().map(|(c, n)| {
+            if n == "-" {
+                c.clone()
+            } else {
+                format!("{c}/{n}")
+            }
+        }));
+        let mut table = Table::new(headers);
+        let mut threads_seen: Vec<usize> = Vec::new();
+        for m in &self.measurements {
+            if !threads_seen.contains(&m.threads) {
+                threads_seen.push(m.threads);
+            }
+        }
+        for &t in &threads_seen {
+            let mut row = vec![t.to_string()];
+            for (c, n) in &columns {
+                row.push(
+                    self.cell(c, n, t)
+                        .map_or("-".to_string(), |m| format!("{:.2}", m.mops)),
+                );
+            }
+            table.row(row);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_util::json;
+
+    fn tiny() -> ThroughputConfig {
+        ThroughputConfig {
+            fan: 4,
+            threads: vec![1, 2],
+            ops_per_thread: 200,
+            repeats: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_cell() {
+        let report = run_throughput_sweep(&tiny());
+        // Per thread count: fetch_add, lock, (compiled + graph_walk) × 3
+        // networks, diffracting.
+        assert_eq!(report.measurements.len(), 2 * 9);
+        for m in &report.measurements {
+            assert_eq!(m.total_ops, m.threads * 200);
+            assert!(m.seconds > 0.0, "{m:?}");
+            assert!(m.mops > 0.0, "{m:?}");
+        }
+        assert!(report.cell("compiled", "bitonic", 2).is_some());
+        assert!(report.cell("graph_walk", "periodic", 1).is_some());
+        assert!(report.cell("diffracting", "tree", 2).is_some());
+        assert!(report.cell("compiled", "bitonic", 64).is_none());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = run_throughput_sweep(&tiny());
+        let text = json::to_string_pretty(&report);
+        let back: ThroughputReport = json::from_str(&text).expect("report parses");
+        assert_eq!(back, report);
+        assert_eq!(back.version, 1);
+        assert_eq!(back.fan, 4);
+    }
+
+    #[test]
+    fn speedup_and_summary_read_the_cells() {
+        let report = run_throughput_sweep(&tiny());
+        let s = report.speedup("compiled", "graph_walk", "bitonic", 1).unwrap();
+        assert!(s.is_finite() && s > 0.0);
+        assert!(report.speedup("compiled", "graph_walk", "bitonic", 7).is_none());
+        let rendered = report.summary().to_string();
+        assert!(rendered.contains("compiled/bitonic"));
+        assert!(rendered.contains("graph_walk/tree"));
+        assert!(rendered.contains("fetch_add"));
+    }
+}

@@ -18,6 +18,7 @@ use std::fmt::Write as _;
 /// The tool's usage text.
 pub fn usage() -> String {
     "usage: cnet <command> <family> <w> [--flag value ...]\n\
+     \x20      cnet bench <w> [--flag value ...]\n\
      \n\
      commands:\n\
      \x20 info      structural report: depth, size, split structure, thresholds\n\
@@ -30,6 +31,8 @@ pub fn usage() -> String {
      \x20           --save <file>\n\
      \x20 replay    re-run a saved schedule; flags: --from <file>\n\
      \x20 run       threaded shared-memory run; flags: --threads --ops\n\
+     \x20 bench     throughput sweep over every counter and family; flags:\n\
+     \x20           --threads 1,2,4,8 --ops --repeats --out <file.json>\n\
      \n\
      families: bitonic (b), periodic (p), tree (t), block (l), merger (m)\n"
         .to_string()
@@ -42,6 +45,12 @@ pub fn usage() -> String {
 /// Returns a user-facing message for any malformed invocation or failed
 /// construction.
 pub fn dispatch(args: &[String]) -> Result<String, String> {
+    // `bench` takes no family argument — it sweeps every family at once.
+    if let [command, rest @ ..] = args {
+        if command == "bench" {
+            return cmd_bench(rest);
+        }
+    }
     let [command, family, w, rest @ ..] = args else {
         return Err("expected: cnet <command> <family> <w> [flags]".to_string());
     };
@@ -236,6 +245,63 @@ fn cmd_run(net: &Network, opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_bench(args: &[String]) -> Result<String, String> {
+    let [w, flags @ ..] = args else {
+        return Err(
+            "expected: cnet bench <w> [--threads 1,2,4,8] [--ops N] [--repeats N] [--out file]"
+                .to_string(),
+        );
+    };
+    let fan: usize = w.parse().map_err(|_| format!("'{w}' is not a valid width"))?;
+    let opts = Options::parse(flags)?;
+    opts.allow(&["threads", "ops", "repeats", "out"])?;
+    let threads = match opts.get("threads") {
+        None => vec![1, 2, 4, 8],
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&t| t > 0)
+                    .ok_or_else(|| format!("--threads expects positive integers, got '{t}'"))
+            })
+            .collect::<Result<Vec<usize>, String>>()?,
+    };
+    let cfg = cnet_bench::ThroughputConfig {
+        fan,
+        threads,
+        ops_per_thread: opts.usize_or("ops", 20_000)?.max(1),
+        repeats: opts.usize_or("repeats", 3)?.max(1),
+    };
+    if !fan.is_power_of_two() || fan < 2 {
+        return Err(format!("unsupported width {fan}: expected a power of two >= 2"));
+    }
+    let report = cnet_bench::run_throughput_sweep(&cfg);
+    let mut out = format!(
+        "== throughput sweep (Mops/s): w={}, {} ops/thread, best of {}, {} cores ==\n\n{}",
+        report.fan,
+        report.ops_per_thread,
+        report.repeats,
+        report.cores,
+        report.summary()
+    );
+    let top = *cfg.threads.iter().max().expect("at least one thread count");
+    if let Some(s) = report.speedup("compiled", "graph_walk", "bitonic", top) {
+        let _ = writeln!(
+            out,
+            "\ncompiled vs graph-walk traversal on bitonic B({}) at {top} threads: {s:.2}x",
+            report.fan
+        );
+    }
+    if let Some(path) = opts.get("out") {
+        cnet_bench::write_json(std::path::Path::new(path), &report)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        let _ = writeln!(out, "report written to {path}");
+    }
+    Ok(out)
+}
+
 fn render_execution(net: &Network, exec: &cnet_sim::TimedExecution) -> String {
     let params = TimingParams::measure(exec);
     let ops = Op::from_execution(exec);
@@ -329,9 +395,39 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for c in ["info", "dot", "simulate", "waves", "race", "replay", "run"] {
+        for c in ["info", "dot", "simulate", "waves", "race", "replay", "run", "bench"] {
             assert!(u.contains(c), "{c}");
         }
+    }
+
+    #[test]
+    fn bench_sweeps_and_writes_the_artifact() {
+        let path = std::env::temp_dir().join("cnet_cli_test_bench.json");
+        let path_str = path.to_str().unwrap();
+        let out = call(&[
+            "bench", "4", "--threads", "1,2", "--ops", "200", "--repeats", "1", "--out", path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("compiled/bitonic"));
+        assert!(out.contains("graph_walk/periodic"));
+        assert!(out.contains("compiled vs graph-walk traversal on bitonic B(4) at 2 threads"));
+        assert!(out.contains(&format!("report written to {path_str}")));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report: cnet_bench::ThroughputReport = cnet_util::json::from_str(&text).unwrap();
+        assert_eq!(report.fan, 4);
+        assert_eq!(report.measurements.len(), 2 * 9);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bench_rejects_bad_arguments() {
+        assert!(call(&["bench"]).unwrap_err().contains("cnet bench <w>"));
+        assert!(call(&["bench", "six"]).unwrap_err().contains("not a valid width"));
+        assert!(call(&["bench", "6"]).unwrap_err().contains("unsupported width"));
+        assert!(call(&["bench", "4", "--threads", "0"])
+            .unwrap_err()
+            .contains("positive integers"));
+        assert!(call(&["bench", "4", "--bogus", "1"]).unwrap_err().contains("unknown flag"));
     }
 
     #[test]

@@ -1,19 +1,36 @@
 //! The shared-memory counting network (Section 2.7).
+//!
+//! Two implementations live here:
+//!
+//! * [`SharedNetworkCounter`] — the production path: traverses the
+//!   [`CompiledNetwork`] flat routing tables with cache-line-padded state
+//!   words (see `crates/runtime/src/compiled.rs` and DESIGN.md, "Runtime
+//!   performance");
+//! * [`GraphWalkCounter`] — the retained pre-compilation reference: the
+//!   same lock-free protocol, but resolving every hop through the
+//!   [`Network`] graph with unpadded state vectors. It exists so the
+//!   benchmark pipeline can measure the compiled engine against its own
+//!   baseline in a single run, and so equivalence tests can hold the two
+//!   traversals against each other.
 
+use crate::compiled::CompiledNetwork;
 use crate::ProcessCounter;
 use cnet_topology::ids::SourceId;
 use cnet_topology::network::WireEnd;
 use cnet_topology::Network;
+use cnet_util::sync::CachePadded;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A counting network laid out in shared memory: one atomic round-robin
-/// word per balancer, one atomic counter per output wire.
+/// word per balancer, one atomic counter per output wire — every word on
+/// its own cache line, routed by compiled flat tables.
 ///
 /// Threads traverse the structure with [`increment_from`]; each balancer
-/// visit is a single atomic `fetch_update`, and the final counter visit a
-/// `fetch_add` of the network fan-out — so the whole operation is lock-free
-/// and contention spreads across the network instead of piling onto one
-/// word.
+/// visit is a single atomic instruction on the classic constructions
+/// (`fetch_xor`/`fetch_add` — see [`CompiledNetwork::traverse`]), and the
+/// final counter visit a `fetch_add` of the network fan-out — so the whole
+/// operation is lock-free (wait-free on power-of-two fan-outs) and
+/// contention spreads across the network instead of piling onto one word.
 ///
 /// [`increment_from`]: SharedNetworkCounter::increment_from
 ///
@@ -41,33 +58,109 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 /// ```
 #[derive(Debug)]
 pub struct SharedNetworkCounter {
-    net: Network,
-    /// Round-robin state of each balancer: the output port the next token
-    /// exits on.
-    balancers: Vec<AtomicUsize>,
+    engine: CompiledNetwork,
+    /// Round-robin state of each balancer, one cache line each.
+    balancers: Box<[CachePadded<AtomicUsize>]>,
     /// Next value handed out by each counter; counter `j` starts at `j` and
-    /// strides by the fan-out.
-    counters: Vec<AtomicU64>,
+    /// strides by the fan-out. One cache line each.
+    counters: Box<[CachePadded<AtomicU64>]>,
 }
 
 impl SharedNetworkCounter {
-    /// Lays the network out in shared memory, all balancers in their initial
-    /// state and counter `j` poised to hand out `j`.
+    /// Compiles the network and lays it out in shared memory, all balancers
+    /// in their initial state and counter `j` poised to hand out `j`.
     pub fn new(net: &Network) -> Self {
-        SharedNetworkCounter {
+        SharedNetworkCounter::from_compiled(CompiledNetwork::compile(net))
+    }
+
+    /// Lays out a counter over an already-compiled network (sharing no
+    /// state with any other counter over the same engine).
+    pub fn from_compiled(engine: CompiledNetwork) -> Self {
+        let balancers = engine.new_balancer_states();
+        let counters = (0..engine.fan_out())
+            .map(|j| CachePadded::new(AtomicU64::new(j as u64)))
+            .collect();
+        SharedNetworkCounter { engine, balancers, counters }
+    }
+
+    /// The compiled routing tables this counter traverses.
+    pub fn engine(&self) -> &CompiledNetwork {
+        &self.engine
+    }
+
+    /// Shepherds one token from input wire `input` to a counter and returns
+    /// the value obtained. Safe to call from any number of threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= engine().fan_in()`.
+    pub fn increment_from(&self, input: usize) -> u64 {
+        let sink = self.engine.traverse(input, &self.balancers);
+        self.counters[sink].fetch_add(self.engine.fan_out() as u64, Ordering::AcqRel)
+    }
+
+    /// The number of tokens that have fully traversed the network so far
+    /// (exact only in quiescent moments).
+    pub fn tokens_counted(&self) -> u64 {
+        let w = self.engine.fan_out() as u64;
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(j, c)| (c.load(Ordering::Acquire) - j as u64) / w)
+            .sum()
+    }
+
+    /// Reads the per-counter token counts (exact only in quiescent moments)
+    /// — the history variables `y_j`, for step-property checks.
+    pub fn output_counts(&self) -> Vec<u64> {
+        let w = self.engine.fan_out() as u64;
+        self.counters
+            .iter()
+            .enumerate()
+            .map(|(j, c)| (c.load(Ordering::Acquire) - j as u64) / w)
+            .collect()
+    }
+}
+
+impl ProcessCounter for SharedNetworkCounter {
+    fn next_for(&self, process: usize) -> u64 {
+        self.increment_from(process % self.engine.fan_in())
+    }
+}
+
+/// The pre-compilation shared-memory counter, retained as a measured
+/// baseline: every hop resolves through the [`Network`] graph (wire lookup,
+/// enum match, balancer record, output-port lookup), balancer updates go
+/// through a `fetch_update` CAS loop, and the state words sit unpadded in
+/// plain `Vec`s — so logically independent balancers share cache lines.
+///
+/// Semantically identical to [`SharedNetworkCounter`] (the equivalence
+/// property test holds the two against each other); only the constant
+/// factors differ. `BENCH_throughput.json` records both.
+#[derive(Debug)]
+pub struct GraphWalkCounter {
+    net: Network,
+    balancers: Vec<AtomicUsize>,
+    counters: Vec<AtomicU64>,
+}
+
+impl GraphWalkCounter {
+    /// Lays the network out in shared memory, graph-walk style.
+    pub fn new(net: &Network) -> Self {
+        GraphWalkCounter {
             net: net.clone(),
             balancers: (0..net.size()).map(|_| AtomicUsize::new(0)).collect(),
             counters: (0..net.fan_out()).map(|j| AtomicU64::new(j as u64)).collect(),
         }
     }
 
-    /// The network this counter is laid out over.
+    /// The network this counter walks.
     pub fn network(&self) -> &Network {
         &self.net
     }
 
     /// Shepherds one token from input wire `input` to a counter and returns
-    /// the value obtained. Safe to call from any number of threads.
+    /// the value obtained, resolving every hop through the graph.
     ///
     /// # Panics
     ///
@@ -95,19 +188,7 @@ impl SharedNetworkCounter {
         }
     }
 
-    /// The number of tokens that have fully traversed the network so far
-    /// (exact only in quiescent moments).
-    pub fn tokens_counted(&self) -> u64 {
-        let w = self.net.fan_out() as u64;
-        self.counters
-            .iter()
-            .enumerate()
-            .map(|(j, c)| (c.load(Ordering::Acquire) - j as u64) / w)
-            .sum()
-    }
-
-    /// Reads the per-counter token counts (exact only in quiescent moments)
-    /// — the history variables `y_j`, for step-property checks.
+    /// Per-counter token counts (exact only in quiescent moments).
     pub fn output_counts(&self) -> Vec<u64> {
         let w = self.net.fan_out() as u64;
         self.counters
@@ -118,7 +199,7 @@ impl SharedNetworkCounter {
     }
 }
 
-impl ProcessCounter for SharedNetworkCounter {
+impl ProcessCounter for GraphWalkCounter {
     fn next_for(&self, process: usize) -> u64 {
         self.increment_from(process % self.net.fan_in())
     }
@@ -144,6 +225,19 @@ mod tests {
     }
 
     #[test]
+    fn compiled_and_graph_walk_agree_sequentially() {
+        for net in [bitonic(8).unwrap(), periodic(8).unwrap(), counting_tree(8).unwrap()] {
+            let compiled = SharedNetworkCounter::new(&net);
+            let walk = GraphWalkCounter::new(&net);
+            for k in 0..96usize {
+                let input = k % net.fan_in();
+                assert_eq!(compiled.increment_from(input), walk.increment_from(input), "{net}");
+            }
+            assert_eq!(compiled.output_counts(), walk.output_counts());
+        }
+    }
+
+    #[test]
     fn concurrent_increments_are_gap_free() {
         for net in [bitonic(8).unwrap(), periodic(8).unwrap()] {
             let counter = SharedNetworkCounter::new(&net);
@@ -165,6 +259,23 @@ mod tests {
             assert_eq!(values, (0..n).collect::<Vec<_>>());
             assert_eq!(counter.tokens_counted(), n);
         }
+    }
+
+    #[test]
+    fn graph_walk_concurrent_increments_are_gap_free() {
+        let net = bitonic(8).unwrap();
+        let counter = GraphWalkCounter::new(&net);
+        let mut values: Vec<u64> = thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|p| {
+                    let c = &counter;
+                    s.spawn(move || (0..500).map(|_| c.increment_from(p)).collect::<Vec<u64>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        values.sort_unstable();
+        assert_eq!(values, (0..4000).collect::<Vec<_>>());
     }
 
     #[test]
@@ -203,9 +314,27 @@ mod tests {
     }
 
     #[test]
+    fn from_compiled_shares_no_state() {
+        let net = bitonic(4).unwrap();
+        let engine = CompiledNetwork::compile(&net);
+        let a = SharedNetworkCounter::from_compiled(engine.clone());
+        let b = SharedNetworkCounter::from_compiled(engine);
+        assert_eq!(a.increment_from(0), 0);
+        assert_eq!(b.increment_from(0), 0); // fresh state, same first value
+        assert_eq!(a.engine().size(), b.engine().size());
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn bad_input_wire_panics() {
         let net = bitonic(2).unwrap();
         SharedNetworkCounter::new(&net).increment_from(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn graph_walk_bad_input_wire_panics() {
+        let net = bitonic(2).unwrap();
+        GraphWalkCounter::new(&net).increment_from(7);
     }
 }

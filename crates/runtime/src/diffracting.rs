@@ -20,6 +20,7 @@
 //!   retraction CAS fails, a partner just signaled — the collision counts.
 
 use crate::ProcessCounter;
+use cnet_util::sync::CachePadded;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 const EMPTY: usize = 0;
@@ -36,10 +37,14 @@ const SPIN_LIMIT: u32 = 16;
 const MISS_BACKOFF: u64 = 8;
 
 /// One inner node: a prism of exchanger slots plus the fallback toggle.
+///
+/// Every contended word — each prism slot and the toggle — sits on its own
+/// cache line: a slot exists precisely so two threads can meet on it
+/// *without* disturbing anyone else, which false sharing would undo.
 #[derive(Debug)]
 struct Node {
-    prism: Vec<AtomicUsize>,
-    toggle: AtomicUsize,
+    prism: Vec<CachePadded<AtomicUsize>>,
+    toggle: CachePadded<AtomicUsize>,
     /// Tokens that left this node via a collision (both partners counted).
     diffracted: AtomicU64,
     /// Tokens that fell back to the toggle.
@@ -51,8 +56,10 @@ struct Node {
 impl Node {
     fn new(prism_width: usize) -> Node {
         Node {
-            prism: (0..prism_width).map(|_| AtomicUsize::new(EMPTY)).collect(),
-            toggle: AtomicUsize::new(0),
+            prism: (0..prism_width)
+                .map(|_| CachePadded::new(AtomicUsize::new(EMPTY)))
+                .collect(),
+            toggle: CachePadded::new(AtomicUsize::new(0)),
             diffracted: AtomicU64::new(0),
             toggled: AtomicU64::new(0),
             miss_streak: AtomicU64::new(0),
@@ -132,11 +139,12 @@ impl Node {
 pub struct DiffractingTree {
     /// Inner nodes in heap order: node `i` has children `2i+1`, `2i+2`.
     nodes: Vec<Node>,
-    /// Leaf counters: leaf `j` hands out `j, j+w, j+2w, …`.
-    counters: Vec<AtomicU64>,
+    /// Leaf counters: leaf `j` hands out `j, j+w, j+2w, …` — one cache
+    /// line each, so leaves absorb their shares of traffic independently.
+    counters: Vec<CachePadded<AtomicU64>>,
     /// Sequence salt so callers that pass constant entropy (e.g. a thread
     /// id through [`ProcessCounter::next_for`]) still probe varying slots.
-    salt: AtomicU64,
+    salt: CachePadded<AtomicU64>,
     width: usize,
     depth: usize,
 }
@@ -156,8 +164,10 @@ impl DiffractingTree {
         let depth = width.trailing_zeros() as usize;
         Ok(DiffractingTree {
             nodes: (0..width - 1).map(|_| Node::new(prism_width)).collect(),
-            counters: (0..width).map(|j| AtomicU64::new(j as u64)).collect(),
-            salt: AtomicU64::new(0),
+            counters: (0..width)
+                .map(|j| CachePadded::new(AtomicU64::new(j as u64)))
+                .collect(),
+            salt: CachePadded::new(AtomicU64::new(0)),
             width,
             depth,
         })
@@ -263,6 +273,33 @@ mod tests {
                 "prism width {prism_width}"
             );
         }
+    }
+
+    #[test]
+    fn increments_are_gap_free_under_heavy_contention() {
+        // Mirror of `fetch_add_is_gap_free_under_contention` in baseline.rs:
+        // many threads, a real prism, and the full dense-range assertion —
+        // no gaps, no duplicates, exact total.
+        let threads = 8usize;
+        let per_thread = 1000usize;
+        let tree = DiffractingTree::new(8, 4).unwrap();
+        let mut values: Vec<u64> = thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|p| {
+                    let t = &tree;
+                    s.spawn(move || {
+                        (0..per_thread)
+                            .map(|k| t.increment(p * 10_007 + k))
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        values.sort_unstable();
+        let total = (threads * per_thread) as u64;
+        assert_eq!(values, (0..total).collect::<Vec<_>>());
+        assert_eq!(tree.leaf_counts().iter().sum::<u64>(), total);
     }
 
     #[test]

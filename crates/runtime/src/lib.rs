@@ -6,7 +6,12 @@
 //! pointer to a counter, atomically updating each balancer on the way.
 //! [`counter::SharedNetworkCounter`] realizes that design with one
 //! `AtomicUsize` per balancer and one `AtomicU64` per counter, over any
-//! [`cnet_topology::Network`].
+//! [`cnet_topology::Network`] — flattened at construction by the
+//! [`compiled`] traversal engine into contiguous routing tables, with
+//! every state word padded to its own cache line
+//! (`cnet_util::sync::CachePadded`) so independent balancers really are
+//! independent in the memory system. The pre-compilation form survives as
+//! [`counter::GraphWalkCounter`], the benchmark pipeline's baseline.
 //!
 //! Also provided:
 //!
@@ -41,6 +46,7 @@
 
 pub mod baseline;
 pub mod barrier;
+pub mod compiled;
 pub mod counter;
 pub mod diffracting;
 pub mod history;
@@ -50,7 +56,8 @@ pub mod stats;
 
 pub use baseline::{FetchAddCounter, LockCounter};
 pub use barrier::CounterBarrier;
-pub use counter::SharedNetworkCounter;
+pub use compiled::CompiledNetwork;
+pub use counter::{GraphWalkCounter, SharedNetworkCounter};
 pub use diffracting::DiffractingTree;
 pub use history::{drive, RecordedOp, Workload};
 pub use message_passing::MessagePassingCounter;

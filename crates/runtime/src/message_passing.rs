@@ -9,10 +9,13 @@
 //!
 //! The per-wire channel hop is the physical realization of the paper's wire
 //! delay `c`; a loaded scheduler stretches it toward `c_max`.
+//!
+//! Deployment routes through the [`CompiledNetwork`] flat tables: the wire
+//! graph is resolved once into per-balancer hop slices, and each server's
+//! output channels are read straight off them.
 
+use crate::compiled::{CompiledNetwork, Hop};
 use crate::ProcessCounter;
-use cnet_topology::ids::SourceId;
-use cnet_topology::network::WireEnd;
 use cnet_topology::Network;
 use cnet_util::sync::{unbounded, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -56,29 +59,33 @@ pub struct MessagePassingCounter {
 impl MessagePassingCounter {
     /// Deploys the network: one thread per balancer and per counter.
     pub fn start(net: &Network) -> Self {
-        let w = net.fan_out() as u64;
+        MessagePassingCounter::start_compiled(&CompiledNetwork::compile(net))
+    }
+
+    /// Deploys an already-compiled network.
+    pub fn start_compiled(engine: &CompiledNetwork) -> Self {
+        let w = engine.fan_out() as u64;
         // One inbox per balancer, one per counter.
         let bal_channels: Vec<(Sender<Msg>, Receiver<Msg>)> =
-            (0..net.size()).map(|_| unbounded()).collect();
+            (0..engine.size()).map(|_| unbounded()).collect();
         let counter_channels: Vec<(Sender<Msg>, Receiver<Msg>)> =
-            (0..net.fan_out()).map(|_| unbounded()).collect();
+            (0..engine.fan_out()).map(|_| unbounded()).collect();
 
-        let sender_for = |end: WireEnd| -> Sender<Msg> {
-            match end {
-                WireEnd::Balancer { balancer, .. } => bal_channels[balancer.index()].0.clone(),
-                WireEnd::Sink(s) => counter_channels[s.index()].0.clone(),
+        let sender_for = |hop: Hop| -> Sender<Msg> {
+            if hop.is_counter() {
+                counter_channels[hop.index()].0.clone()
+            } else {
+                bal_channels[hop.index()].0.clone()
             }
         };
 
-        let mut handles = Vec::with_capacity(net.size() + net.fan_out());
-        // Balancer servers: round-robin forwarding.
-        for (b, bal) in net.balancers() {
-            let inbox = bal_channels[b.index()].1.clone();
-            let outputs: Vec<Sender<Msg>> = bal
-                .outputs()
-                .iter()
-                .map(|&wire| sender_for(net.wire(wire).end))
-                .collect();
+        let mut handles = Vec::with_capacity(engine.size() + engine.fan_out());
+        // Balancer servers: round-robin forwarding, wired straight off the
+        // compiled hop slices.
+        for b in 0..engine.size() {
+            let inbox = bal_channels[b].1.clone();
+            let outputs: Vec<Sender<Msg>> =
+                engine.hops(b).iter().map(|&hop| sender_for(hop)).collect();
             handles.push(std::thread::spawn(move || {
                 let mut state = 0usize;
                 while let Ok(msg) = inbox.recv() {
@@ -111,16 +118,15 @@ impl MessagePassingCounter {
             }));
         }
 
-        let inputs: Vec<Sender<Msg>> = (0..net.fan_in())
-            .map(|i| sender_for(net.wire(net.source_wire(SourceId(i))).end))
-            .collect();
+        let inputs: Vec<Sender<Msg>> =
+            (0..engine.fan_in()).map(|i| sender_for(engine.entry(i))).collect();
         let all_servers: Vec<Sender<Msg>> = bal_channels
             .iter()
             .map(|(s, _)| s.clone())
             .chain(counter_channels.iter().map(|(s, _)| s.clone()))
             .collect();
 
-        MessagePassingCounter { inputs, all_servers, handles, fan_in: net.fan_in() }
+        MessagePassingCounter { inputs, all_servers, handles, fan_in: engine.fan_in() }
     }
 
     /// Injects one token on input wire `input` and blocks until its value
@@ -202,6 +208,17 @@ mod tests {
         let shm = SharedNetworkCounter::new(&net);
         for k in 0..64usize {
             assert_eq!(mp.increment_from(k % 8), shm.increment_from(k % 8));
+        }
+    }
+
+    #[test]
+    fn start_compiled_reuses_an_engine() {
+        let net = bitonic(4).unwrap();
+        let engine = CompiledNetwork::compile(&net);
+        let mp = MessagePassingCounter::start_compiled(&engine);
+        let mut reference = cnet_topology::state::NetworkState::new(&net);
+        for k in 0..16usize {
+            assert_eq!(mp.increment_from(k % 4), reference.traverse(&net, k % 4).value);
         }
     }
 

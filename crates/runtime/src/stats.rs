@@ -4,31 +4,46 @@
 //! passed and how many atomic update *retries* were paid (a retry means
 //! another thread changed the balancer state mid-update — the memory-level
 //! signature of contention that counting networks exist to spread).
+//!
+//! The instrumented counter routes through the same compiled flat tables
+//! as [`crate::SharedNetworkCounter`] (via [`CompiledNetwork::route`]) and
+//! pads its state words identically, but it deliberately keeps the manual
+//! CAS loop at every balancer — the retry count *is* the measurement, and
+//! the wait-free `fetch_xor`/`fetch_add` specializations would hide it.
 
+use crate::compiled::CompiledNetwork;
 use crate::ProcessCounter;
-use cnet_topology::ids::SourceId;
-use cnet_topology::network::WireEnd;
 use cnet_topology::Network;
+use cnet_util::sync::CachePadded;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A [`crate::SharedNetworkCounter`] variant that additionally records
 /// per-balancer traffic and CAS-retry counts.
 #[derive(Debug)]
 pub struct InstrumentedNetworkCounter {
+    /// The graph is kept (unlike the plain counter) for layer attribution.
     net: Network,
-    balancers: Vec<AtomicUsize>,
-    counters: Vec<AtomicU64>,
+    engine: CompiledNetwork,
+    balancers: Box<[CachePadded<AtomicUsize>]>,
+    counters: Box<[CachePadded<AtomicU64>]>,
     visits: Vec<AtomicU64>,
     retries: Vec<AtomicU64>,
 }
 
 impl InstrumentedNetworkCounter {
-    /// Lays the network out in shared memory with instrumentation.
+    /// Compiles and lays the network out in shared memory with
+    /// instrumentation.
     pub fn new(net: &Network) -> Self {
+        let engine = CompiledNetwork::compile(net);
+        let balancers = engine.new_balancer_states();
+        let counters = (0..engine.fan_out())
+            .map(|j| CachePadded::new(AtomicU64::new(j as u64)))
+            .collect();
         InstrumentedNetworkCounter {
             net: net.clone(),
-            balancers: (0..net.size()).map(|_| AtomicUsize::new(0)).collect(),
-            counters: (0..net.fan_out()).map(|j| AtomicU64::new(j as u64)).collect(),
+            engine,
+            balancers,
+            counters,
             visits: (0..net.size()).map(|_| AtomicU64::new(0)).collect(),
             retries: (0..net.size()).map(|_| AtomicU64::new(0)).collect(),
         }
@@ -46,39 +61,28 @@ impl InstrumentedNetworkCounter {
     ///
     /// Panics if `input >= network().fan_in()`.
     pub fn increment_from(&self, input: usize) -> u64 {
-        assert!(input < self.net.fan_in(), "input wire {input} out of range");
-        let mut wire = self.net.source_wire(SourceId(input));
-        loop {
-            match self.net.wire(wire).end {
-                WireEnd::Balancer { balancer, .. } => {
-                    let idx = balancer.index();
-                    let bal = self.net.balancer(balancer);
-                    let f = bal.fan_out();
-                    // Manual CAS loop so retries can be counted.
-                    let mut current = self.balancers[idx].load(Ordering::Acquire);
-                    let port = loop {
-                        match self.balancers[idx].compare_exchange_weak(
-                            current,
-                            (current + 1) % f,
-                            Ordering::AcqRel,
-                            Ordering::Acquire,
-                        ) {
-                            Ok(prev) => break prev,
-                            Err(actual) => {
-                                self.retries[idx].fetch_add(1, Ordering::Relaxed);
-                                current = actual;
-                            }
-                        }
-                    };
-                    self.visits[idx].fetch_add(1, Ordering::Relaxed);
-                    wire = bal.output(port);
+        let sink = self.engine.route(input, |idx, f| {
+            // Manual CAS loop so retries can be counted.
+            let word = &*self.balancers[idx];
+            let mut current = word.load(Ordering::Acquire);
+            let port = loop {
+                match word.compare_exchange_weak(
+                    current,
+                    (current + 1) % f,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(prev) => break prev,
+                    Err(actual) => {
+                        self.retries[idx].fetch_add(1, Ordering::Relaxed);
+                        current = actual;
+                    }
                 }
-                WireEnd::Sink(sink) => {
-                    return self.counters[sink.index()]
-                        .fetch_add(self.net.fan_out() as u64, Ordering::AcqRel);
-                }
-            }
-        }
+            };
+            self.visits[idx].fetch_add(1, Ordering::Relaxed);
+            port
+        });
+        self.counters[sink].fetch_add(self.engine.fan_out() as u64, Ordering::AcqRel)
     }
 
     /// Tokens that passed each balancer so far.

@@ -13,7 +13,8 @@
 //!   / [`json::FromJson`] traits and `json_struct!` / `json_newtype!`
 //!   impl macros (replaces `serde` + `serde_json`);
 //! * [`sync`] — a poison-free [`sync::Mutex`], an exponential
-//!   [`sync::Backoff`], and an unbounded MPMC [`sync::channel`] (replaces
+//!   [`sync::Backoff`], a cache-line-aligned [`sync::CachePadded`]
+//!   wrapper, and an unbounded MPMC [`sync::channel`] (replaces
 //!   `parking_lot` + `crossbeam`);
 //! * [`proptest`] — a deterministic property-testing harness with the
 //!   `proptest!` / `prop_assert!` macro surface, seeded case generation and

@@ -5,6 +5,8 @@
 //!   into unrelated threads, matching `parking_lot` semantics);
 //! * [`Backoff`] — truncated exponential spin-then-yield backoff for
 //!   contended retry loops;
+//! * [`CachePadded`] — aligns a value to its own cache line so logically
+//!   independent atomics never false-share;
 //! * [`channel`] — an unbounded multi-producer **multi-consumer** channel
 //!   (both ends clonable; `std::sync::mpsc` receivers are not, and the
 //!   message-passing counter shares one receiver per balancer across
@@ -13,7 +15,74 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Condvar};
+
+/// Pads and aligns a value to the size of a cache line (64 bytes — the
+/// coherence granule on x86-64 and most AArch64 parts).
+///
+/// The point of a counting network is that logically independent balancers
+/// absorb contention *independently*; packing their state words densely
+/// into one `Vec` re-couples them through the cache-coherence protocol
+/// (false sharing). Wrapping each word restores the independence the
+/// paper's model assumes.
+///
+/// # Example
+///
+/// ```
+/// use cnet_util::sync::CachePadded;
+/// use std::sync::atomic::AtomicU64;
+///
+/// let slots: Vec<CachePadded<AtomicU64>> =
+///     (0..4).map(|_| CachePadded::new(AtomicU64::new(0))).collect();
+/// assert_eq!(std::mem::align_of_val(&slots[0]), 64);
+/// assert!(std::mem::size_of_val(&slots[0]) >= 64);
+/// ```
+#[derive(Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads `value` to its own cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Consumes the padding, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
 
 /// A mutual-exclusion lock that ignores poisoning: if a holder panics, the
 /// next `lock()` simply proceeds with the data as it was.
@@ -352,6 +421,23 @@ mod tests {
         thread::sleep(std::time::Duration::from_millis(10));
         tx.send(42).unwrap();
         assert_eq!(h.join().unwrap(), Ok(42));
+    }
+
+    #[test]
+    fn cache_padded_is_line_sized_and_transparent() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        assert!(std::mem::size_of::<CachePadded<AtomicUsize>>() >= 64);
+        assert_eq!(std::mem::align_of::<CachePadded<AtomicUsize>>(), 64);
+        let mut c = CachePadded::new(AtomicUsize::new(7));
+        assert_eq!(c.load(Ordering::Relaxed), 7);
+        *c.get_mut() = 9;
+        assert_eq!(c.into_inner().into_inner(), 9);
+        // Adjacent vector elements land on distinct cache lines.
+        let v: Vec<CachePadded<AtomicUsize>> =
+            (0..2).map(|_| CachePadded::new(AtomicUsize::new(0))).collect();
+        let a = &*v[0] as *const AtomicUsize as usize;
+        let b = &*v[1] as *const AtomicUsize as usize;
+        assert!(b.abs_diff(a) >= 64);
     }
 
     #[test]

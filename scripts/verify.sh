@@ -42,4 +42,8 @@ echo "manifest scan: ok (all dependencies are in-tree path dependencies)"
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+# Smoke-run the benchmark pipeline: under `cargo test` (no --bench flag)
+# each harness=false bench target executes its routines once, so this
+# verifies the measurement code paths without paying for a full run.
+cargo test -q --offline -p cnet-bench
 echo "verify: ok"
