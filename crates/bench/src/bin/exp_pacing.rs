@@ -46,21 +46,21 @@ fn main() {
         // Median per-process completion gap (robust against timestamping
         // jitter from preemption between the wrapper's internal clock and
         // the driver's).
-        let mut gaps: Vec<f64> = Vec::new();
+        let mut gaps: Vec<u64> = Vec::new();
         for p in 0..THREADS {
             let mut mine: Vec<_> = records.iter().filter(|r| r.process == p).collect();
-            mine.sort_by(|a, b| a.enter.total_cmp(&b.enter));
+            mine.sort_by_key(|r| r.enter_ns);
             for pair in mine.windows(2) {
-                gaps.push(pair[1].exit - pair[0].exit);
+                gaps.push(pair[1].exit_ns - pair[0].exit_ns);
             }
         }
-        gaps.sort_by(f64::total_cmp);
-        let median_gap = gaps.get(gaps.len() / 2).copied().unwrap_or(f64::NAN);
+        gaps.sort_unstable();
+        let median_gap_ns = gaps.get(gaps.len() / 2).copied().unwrap_or(0);
         let ops = to_ops(&records);
         table.row(vec![
             pace_us.to_string(),
             format!("{:.1}", (THREADS * OPS) as f64 / elapsed / 1.0e3),
-            format!("{:.1}", median_gap * 1.0e6),
+            format!("{:.1}", median_gap_ns as f64 / 1.0e3),
             format!("{:.4}", non_linearizability_fraction(&ops)),
             format!("{:.4}", non_sequential_consistency_fraction(&ops)),
         ]);

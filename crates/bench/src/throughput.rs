@@ -14,13 +14,16 @@
 //! `crates/cli`) or programmatically through [`run_throughput_sweep`].
 
 use crate::report::Table;
+use cnet_core::trace::StreamingAuditor;
+use cnet_runtime::recorder::drain_remaining;
 use cnet_runtime::{
     DiffractingTree, FetchAddCounter, GraphWalkCounter, LockCounter, ProcessCounter,
-    SharedNetworkCounter,
+    SharedNetworkCounter, TraceRecorder,
 };
 use cnet_topology::construct::{bitonic, counting_tree, periodic};
 use cnet_util::json_struct;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Prism width used for the diffracting-tree rows.
@@ -68,9 +71,13 @@ pub struct Measurement {
     pub seconds: f64,
     /// Throughput of the best run, in million increments per second.
     pub mops: f64,
+    /// Whether the run recorded every increment into the always-on trace
+    /// recorder (the audited-throughput mode); `false` rows are the
+    /// un-instrumented baseline.
+    pub audited: bool,
 }
 
-json_struct!(Measurement { counter, network, threads, total_ops, seconds, mops });
+json_struct!(Measurement { counter, network, threads, total_ops, seconds, mops, audited });
 
 /// The machine-readable result of a sweep — the schema of
 /// `BENCH_throughput.json` (see README.md, "Benchmark artifacts").
@@ -137,11 +144,49 @@ fn measure<C: ProcessCounter>(
         total_ops,
         seconds,
         mops: total_ops as f64 / seconds / 1.0e6,
+        audited: false,
+    }
+}
+
+/// Like [`measure`], but every increment is recorded into a fresh
+/// [`TraceRecorder`] sized so no event is dropped, and the rings are
+/// drained through a [`StreamingAuditor`] *after* the timed region — the
+/// recorder's hot-path cost is what the row measures, the drain is off the
+/// measured path by design.
+fn measure_audited<C: ProcessCounter>(
+    label: (&str, &str),
+    build: impl Fn(Arc<TraceRecorder>) -> C,
+    threads: usize,
+    cfg: &ThroughputConfig,
+) -> Measurement {
+    let total_ops = threads * cfg.ops_per_thread;
+    let seconds = (0..cfg.repeats.max(1))
+        .map(|_| {
+            let recorder = Arc::new(TraceRecorder::new(threads, cfg.ops_per_thread));
+            let counter = build(Arc::clone(&recorder));
+            let seconds = time_run(&counter, threads, cfg.ops_per_thread);
+            let mut auditor = StreamingAuditor::new();
+            drain_remaining(&recorder, &mut auditor);
+            black_box(auditor.is_linearizable());
+            seconds
+        })
+        .fold(f64::INFINITY, f64::min);
+    Measurement {
+        counter: label.0.to_string(),
+        network: label.1.to_string(),
+        threads,
+        total_ops,
+        seconds,
+        mops: total_ops as f64 / seconds / 1.0e6,
+        audited: true,
     }
 }
 
 /// Runs the full sweep: `threads × {fetch_add, lock, compiled, graph_walk,
-/// diffracting} × {B(w), P(w), tree}`.
+/// diffracting} × {B(w), P(w), tree}`, plus audited rows (`audited: true`)
+/// for the compiled engine on every family and for the diffracting tree,
+/// so the trace recorder's overhead is captured next to the
+/// un-instrumented baselines (compare with [`ThroughputReport::retention`]).
 ///
 /// # Panics
 ///
@@ -177,9 +222,26 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
             threads,
             cfg,
         ));
+        for (family, net) in &nets {
+            measurements.push(measure_audited(
+                ("compiled", family),
+                |rec| SharedNetworkCounter::with_recorder(net, rec),
+                threads,
+                cfg,
+            ));
+        }
+        measurements.push(measure_audited(
+            ("diffracting", "tree"),
+            |rec| {
+                DiffractingTree::with_recorder(cfg.fan, PRISM_WIDTH, rec)
+                    .expect("power-of-two fan")
+            },
+            threads,
+            cfg,
+        ));
     }
     ThroughputReport {
-        version: 1,
+        version: 2,
         fan: cfg.fan,
         ops_per_thread: cfg.ops_per_thread,
         repeats: cfg.repeats.max(1),
@@ -189,11 +251,33 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
 }
 
 impl ThroughputReport {
-    /// The measurement for a `(counter, network, threads)` cell, if swept.
+    /// The un-instrumented measurement for a `(counter, network, threads)`
+    /// cell, if swept.
     pub fn cell(&self, counter: &str, network: &str, threads: usize) -> Option<&Measurement> {
-        self.measurements
-            .iter()
-            .find(|m| m.counter == counter && m.network == network && m.threads == threads)
+        self.measurements.iter().find(|m| {
+            !m.audited && m.counter == counter && m.network == network && m.threads == threads
+        })
+    }
+
+    /// The audited (recorder-on) measurement for a cell, if swept.
+    pub fn audited_cell(
+        &self,
+        counter: &str,
+        network: &str,
+        threads: usize,
+    ) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| {
+            m.audited && m.counter == counter && m.network == network && m.threads == threads
+        })
+    }
+
+    /// Fraction of un-audited throughput the audited run retains on the
+    /// same cell — `1.0` means the recorder was free, `0.8` is the floor
+    /// the observability layer promises (see DESIGN.md).
+    pub fn retention(&self, counter: &str, network: &str, threads: usize) -> Option<f64> {
+        let audited = self.audited_cell(counter, network, threads)?;
+        let plain = self.cell(counter, network, threads)?;
+        Some(audited.mops / plain.mops)
     }
 
     /// Throughput ratio `a / b` between two counters on the same network
@@ -209,19 +293,20 @@ impl ThroughputReport {
     /// Renders the human-readable summary: one row per thread count, one
     /// column per counter/network combination, in Mops/s.
     pub fn summary(&self) -> Table {
-        let mut columns: Vec<(String, String)> = Vec::new();
+        let mut columns: Vec<(String, String, bool)> = Vec::new();
         for m in &self.measurements {
-            let key = (m.counter.clone(), m.network.clone());
+            let key = (m.counter.clone(), m.network.clone(), m.audited);
             if !columns.contains(&key) {
                 columns.push(key);
             }
         }
         let mut headers = vec!["threads".to_string()];
-        headers.extend(columns.iter().map(|(c, n)| {
-            if n == "-" {
-                c.clone()
+        headers.extend(columns.iter().map(|(c, n, audited)| {
+            let base = if n == "-" { c.clone() } else { format!("{c}/{n}") };
+            if *audited {
+                format!("{base}+audit")
             } else {
-                format!("{c}/{n}")
+                base
             }
         }));
         let mut table = Table::new(headers);
@@ -233,11 +318,13 @@ impl ThroughputReport {
         }
         for &t in &threads_seen {
             let mut row = vec![t.to_string()];
-            for (c, n) in &columns {
-                row.push(
+            for (c, n, audited) in &columns {
+                let cell = if *audited {
+                    self.audited_cell(c, n, t)
+                } else {
                     self.cell(c, n, t)
-                        .map_or("-".to_string(), |m| format!("{:.2}", m.mops)),
-                );
+                };
+                row.push(cell.map_or("-".to_string(), |m| format!("{:.2}", m.mops)));
             }
             table.row(row);
         }
@@ -263,8 +350,9 @@ mod tests {
     fn sweep_covers_every_cell() {
         let report = run_throughput_sweep(&tiny());
         // Per thread count: fetch_add, lock, (compiled + graph_walk) × 3
-        // networks, diffracting.
-        assert_eq!(report.measurements.len(), 2 * 9);
+        // networks, diffracting, plus audited compiled × 3 networks and
+        // audited diffracting.
+        assert_eq!(report.measurements.len(), 2 * 13);
         for m in &report.measurements {
             assert_eq!(m.total_ops, m.threads * 200);
             assert!(m.seconds > 0.0, "{m:?}");
@@ -274,6 +362,20 @@ mod tests {
         assert!(report.cell("graph_walk", "periodic", 1).is_some());
         assert!(report.cell("diffracting", "tree", 2).is_some());
         assert!(report.cell("compiled", "bitonic", 64).is_none());
+        // The audited rows are distinct cells with the flag set.
+        assert!(!report.cell("compiled", "bitonic", 2).unwrap().audited);
+        assert!(report.audited_cell("compiled", "bitonic", 2).unwrap().audited);
+        assert!(report.audited_cell("diffracting", "tree", 1).is_some());
+        assert!(report.audited_cell("graph_walk", "bitonic", 1).is_none());
+    }
+
+    #[test]
+    fn retention_compares_audited_against_plain() {
+        let report = run_throughput_sweep(&tiny());
+        let r = report.retention("compiled", "bitonic", 2).unwrap();
+        assert!(r.is_finite() && r > 0.0, "retention {r}");
+        assert!(report.retention("graph_walk", "bitonic", 2).is_none());
+        assert!(report.retention("compiled", "bitonic", 64).is_none());
     }
 
     #[test]
@@ -282,8 +384,9 @@ mod tests {
         let text = json::to_string_pretty(&report);
         let back: ThroughputReport = json::from_str(&text).expect("report parses");
         assert_eq!(back, report);
-        assert_eq!(back.version, 1);
+        assert_eq!(back.version, 2);
         assert_eq!(back.fan, 4);
+        assert!(back.measurements.iter().any(|m| m.audited));
     }
 
     #[test]
@@ -296,5 +399,7 @@ mod tests {
         assert!(rendered.contains("compiled/bitonic"));
         assert!(rendered.contains("graph_walk/tree"));
         assert!(rendered.contains("fetch_add"));
+        assert!(rendered.contains("compiled/bitonic+audit"));
+        assert!(rendered.contains("diffracting/tree+audit"));
     }
 }

@@ -10,15 +10,18 @@ use cnet_sim::engine::run;
 use cnet_sim::timing::TimingParams;
 use cnet_sim::validate::validate;
 use cnet_sim::workload::{generate, WorkloadConfig};
+use cnet_runtime::{drive_audited, AuditedRun, ProcessCounter, TraceRecorder, Traced, Workload};
 use cnet_topology::analysis::split::split_sequence;
 use cnet_topology::analysis::{influence_radius, Valencies};
 use cnet_topology::Network;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// The tool's usage text.
 pub fn usage() -> String {
     "usage: cnet <command> <family> <w> [--flag value ...]\n\
      \x20      cnet bench <w> [--flag value ...]\n\
+     \x20      cnet audit <w> [--flag value ...]\n\
      \n\
      commands:\n\
      \x20 info      structural report: depth, size, split structure, thresholds\n\
@@ -33,6 +36,9 @@ pub fn usage() -> String {
      \x20 run       threaded shared-memory run; flags: --threads --ops\n\
      \x20 bench     throughput sweep over every counter and family; flags:\n\
      \x20           --threads 1,2,4,8 --ops --repeats --out <file.json>\n\
+     \x20 audit     threaded run through the trace recorder with live online\n\
+     \x20           consistency monitors; flags: --backend compiled|graph_walk|\n\
+     \x20           diffracting|fetch_add|lock --family --threads --ops\n\
      \n\
      families: bitonic (b), periodic (p), tree (t), block (l), merger (m)\n"
         .to_string()
@@ -45,10 +51,14 @@ pub fn usage() -> String {
 /// Returns a user-facing message for any malformed invocation or failed
 /// construction.
 pub fn dispatch(args: &[String]) -> Result<String, String> {
-    // `bench` takes no family argument — it sweeps every family at once.
+    // `bench` and `audit` take no family argument — `bench` sweeps every
+    // family at once, `audit` selects one via `--family`.
     if let [command, rest @ ..] = args {
         if command == "bench" {
             return cmd_bench(rest);
+        }
+        if command == "audit" {
+            return cmd_audit(rest);
         }
     }
     let [command, family, w, rest @ ..] = args else {
@@ -294,11 +304,140 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
             report.fan
         );
     }
+    if let Some(r) = report.retention("compiled", "bitonic", top) {
+        let _ = writeln!(
+            out,
+            "audited compiled on bitonic B({}) at {top} threads retains {:.1}% of un-audited throughput",
+            report.fan,
+            r * 100.0
+        );
+    }
     if let Some(path) = opts.get("out") {
         cnet_bench::write_json(std::path::Path::new(path), &report)
             .map_err(|e| format!("write {path}: {e}"))?;
         let _ = writeln!(out, "report written to {path}");
     }
+    Ok(out)
+}
+
+/// Drives an audited run, collecting a bounded set of "live" lines each
+/// time the in-flight auditor's violation counts grow.
+fn audit_workload<C: ProcessCounter>(
+    counter: &C,
+    recorder: &TraceRecorder,
+    workload: Workload,
+    live: &mut Vec<String>,
+) -> (AuditedRun, usize) {
+    let mut batches = 0usize;
+    let mut seen = (0usize, 0usize);
+    let run = drive_audited(counter, recorder, workload, |a| {
+        batches += 1;
+        let now = (a.non_linearizable(), a.non_sequentially_consistent());
+        if now > seen && live.len() < 8 {
+            live.push(format!(
+                "  [live @ {} ops] non-linearizable: {}  non-SC: {}  F_nl={:.4} F_nsc={:.4}",
+                a.operations(),
+                now.0,
+                now.1,
+                a.f_nl(),
+                a.f_nsc()
+            ));
+            seen = now;
+        }
+    });
+    (run, batches)
+}
+
+fn cmd_audit(args: &[String]) -> Result<String, String> {
+    let [w, flags @ ..] = args else {
+        return Err(
+            "expected: cnet audit <w> [--backend compiled|graph_walk|diffracting|fetch_add|lock] \
+             [--family F] [--threads N] [--ops N]"
+                .to_string(),
+        );
+    };
+    let fan: usize = w.parse().map_err(|_| format!("'{w}' is not a valid width"))?;
+    let opts = Options::parse(flags)?;
+    opts.allow(&["backend", "family", "threads", "ops"])?;
+    let backend = opts.get("backend").unwrap_or("compiled").to_string();
+    let family = opts.get("family").unwrap_or("bitonic").to_string();
+    let threads = opts.usize_or("threads", 1)?.max(1);
+    let ops = opts.usize_or("ops", 10_000)?.max(1);
+    let workload = Workload { threads, increments_per_thread: ops };
+    // One ring per thread, sized to the whole run: zero drops by
+    // construction, so the audit sees every operation.
+    let recorder = Arc::new(TraceRecorder::new(threads, ops));
+    let mut live: Vec<String> = Vec::new();
+    let (run, batches) = match backend.as_str() {
+        "compiled" => {
+            let net = parse_network(&family, w)?;
+            let counter =
+                cnet_runtime::SharedNetworkCounter::with_recorder(&net, Arc::clone(&recorder));
+            audit_workload(&counter, &recorder, workload, &mut live)
+        }
+        "graph_walk" => {
+            let net = parse_network(&family, w)?;
+            let counter =
+                Traced::new(cnet_runtime::GraphWalkCounter::new(&net), Arc::clone(&recorder));
+            audit_workload(&counter, &recorder, workload, &mut live)
+        }
+        "diffracting" => {
+            let counter =
+                cnet_runtime::DiffractingTree::with_recorder(fan, 4, Arc::clone(&recorder))?;
+            audit_workload(&counter, &recorder, workload, &mut live)
+        }
+        "fetch_add" => {
+            let counter =
+                Traced::new(cnet_runtime::FetchAddCounter::new(), Arc::clone(&recorder));
+            audit_workload(&counter, &recorder, workload, &mut live)
+        }
+        "lock" => {
+            let counter = Traced::new(cnet_runtime::LockCounter::new(), Arc::clone(&recorder));
+            audit_workload(&counter, &recorder, workload, &mut live)
+        }
+        other => {
+            return Err(format!(
+                "unknown backend '{other}' (expected compiled, graph_walk, diffracting, \
+                 fetch_add, or lock)"
+            ))
+        }
+    };
+    let a = &run.auditor;
+    let clean = a.is_linearizable() && a.is_sequentially_consistent();
+    let shown_family = match backend.as_str() {
+        "compiled" | "graph_walk" => family.as_str(),
+        _ => "-",
+    };
+    let mut out = format!(
+        "== cnet audit: backend={backend} family={shown_family} w={fan}, \
+         {threads} threads x {ops} ops ==\n\n"
+    );
+    for line in &live {
+        out.push_str(line);
+        out.push('\n');
+    }
+    if !live.is_empty() {
+        out.push('\n');
+    }
+    let _ = writeln!(out, "events recorded:         {}", run.recorded);
+    let _ = writeln!(out, "events dropped:          {}", run.dropped);
+    let _ = writeln!(out, "live drain batches:      {batches}");
+    let _ = writeln!(out, "operations audited:      {}", a.operations());
+    let _ = writeln!(out, "linearizable:            {}", a.is_linearizable());
+    if let Some(v) = a.linearizability_violation() {
+        let _ = writeln!(out, "  first lin violation:   op #{} -> op #{}", v.earlier, v.later);
+    }
+    let _ = writeln!(out, "sequentially consistent: {}", a.is_sequentially_consistent());
+    if let Some(v) = a.sequential_consistency_violation() {
+        let _ = writeln!(out, "  first SC violation:    op #{} -> op #{}", v.earlier, v.later);
+    }
+    let _ = writeln!(out, "F_nl  = {:.4}", a.f_nl());
+    let _ = writeln!(out, "F_nsc = {:.4}", a.f_nsc());
+    let _ = writeln!(
+        out,
+        "\naudit verdict: {}",
+        if clean { "clean (0 violations)" } else { "violations detected" }
+    );
     Ok(out)
 }
 
@@ -395,7 +534,7 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for c in ["info", "dot", "simulate", "waves", "race", "replay", "run", "bench"] {
+        for c in ["info", "dot", "simulate", "waves", "race", "replay", "run", "bench", "audit"] {
             assert!(u.contains(c), "{c}");
         }
     }
@@ -410,13 +549,54 @@ mod tests {
         .unwrap();
         assert!(out.contains("compiled/bitonic"));
         assert!(out.contains("graph_walk/periodic"));
+        assert!(out.contains("compiled/bitonic+audit"));
         assert!(out.contains("compiled vs graph-walk traversal on bitonic B(4) at 2 threads"));
+        assert!(out.contains("audited compiled on bitonic B(4) at 2 threads retains"));
         assert!(out.contains(&format!("report written to {path_str}")));
         let text = std::fs::read_to_string(&path).unwrap();
         let report: cnet_bench::ThroughputReport = cnet_util::json::from_str(&text).unwrap();
         assert_eq!(report.fan, 4);
-        assert_eq!(report.measurements.len(), 2 * 9);
+        assert_eq!(report.measurements.len(), 2 * 13);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn audit_single_thread_is_clean_on_every_backend() {
+        // One thread: operations are totally ordered in real time and the
+        // values strictly increase, so every backend must audit clean —
+        // this is the deterministic smoke `scripts/verify.sh` relies on.
+        for backend in ["compiled", "graph_walk", "diffracting", "fetch_add", "lock"] {
+            let out =
+                call(&["audit", "8", "--backend", backend, "--ops", "300"]).unwrap();
+            assert!(out.contains("events recorded:         300"), "{backend}: {out}");
+            assert!(out.contains("events dropped:          0"), "{backend}: {out}");
+            assert!(out.contains("linearizable:            true"), "{backend}: {out}");
+            assert!(out.contains("audit verdict: clean (0 violations)"), "{backend}: {out}");
+        }
+    }
+
+    #[test]
+    fn audit_reports_fractions_and_family() {
+        let out = call(&[
+            "audit", "4", "--family", "periodic", "--threads", "2", "--ops", "200",
+        ])
+        .unwrap();
+        assert!(out.contains("backend=compiled family=periodic w=4, 2 threads x 200 ops"));
+        assert!(out.contains("events recorded:         400"));
+        assert!(out.contains("F_nl  ="));
+        assert!(out.contains("F_nsc ="));
+        assert!(out.contains("audit verdict:"));
+    }
+
+    #[test]
+    fn audit_rejects_bad_arguments() {
+        assert!(call(&["audit"]).unwrap_err().contains("cnet audit <w>"));
+        assert!(call(&["audit", "six"]).unwrap_err().contains("not a valid width"));
+        assert!(call(&["audit", "8", "--backend", "quantum"])
+            .unwrap_err()
+            .contains("unknown backend"));
+        assert!(call(&["audit", "8", "--bogus", "1"]).unwrap_err().contains("unknown flag"));
+        assert!(call(&["audit", "6"]).is_err()); // not a power of two
     }
 
     #[test]

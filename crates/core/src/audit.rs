@@ -135,9 +135,7 @@ pub fn linearization(ops: &[Op]) -> Option<Vec<usize>> {
     // same-process ops never overlap, but check defensively).
     for (pos, &i) in order.iter().enumerate() {
         for &j in &order[pos + 1..] {
-            if ops[i].process == ops[j].process
-                && (ops[j].enter_time, ops[j].enter_seq) < (ops[i].enter_time, ops[i].enter_seq)
-            {
+            if ops[i].process == ops[j].process && ops[j].enter_key() < ops[i].enter_key() {
                 return None;
             }
         }

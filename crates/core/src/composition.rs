@@ -59,13 +59,7 @@ pub fn system_is_sequentially_consistent(ops: &[SystemOp]) -> bool {
         per_process.entry(s.op.process).or_default().push(i);
     }
     for queue in per_process.values_mut() {
-        queue.sort_by(|&a, &b| {
-            ops[a]
-                .op
-                .enter_time
-                .total_cmp(&ops[b].op.enter_time)
-                .then(ops[a].op.enter_seq.cmp(&ops[b].op.enter_seq))
-        });
+        queue.sort_by_key(|&i| ops[i].op.enter_key());
         for pair in queue.windows(2) {
             assert!(
                 !ops[pair[0]].op.overlaps(&ops[pair[1]].op),

@@ -8,8 +8,15 @@
 //!   candidate linearization, and it extends the complete-precedence order);
 //! * an execution is **sequentially consistent** iff each process's
 //!   successive operations return increasing values.
+//!
+//! The functions here are the *batch* forms: they take a finished slice,
+//! sort it once, and run the corresponding online monitor from
+//! [`crate::trace`] over it ([`StreamingLinMonitor`] /
+//! [`StreamingScMonitor`]). Live pipelines should feed the monitors
+//! directly and skip the sort.
 
 use crate::op::Op;
+use crate::trace::{enter_order, StreamingLinMonitor, StreamingScMonitor};
 
 /// A witnessed violation: the `earlier` operation completely precedes (or,
 /// for sequential consistency, precedes at the same process) the `later`
@@ -25,41 +32,15 @@ pub struct Violation {
 /// Finds a linearizability violation, if any: a pair where `earlier`
 /// completely precedes `later` but `value(earlier) > value(later)`.
 ///
-/// Runs in `O(n log n)` by sweeping operations in start order and tracking
-/// the maximum value among already-finished operations.
+/// Runs in `O(n log n)`: sorts by enter key, then drives a
+/// [`StreamingLinMonitor`] over the result and maps its push-order witness
+/// back to slice indices.
 pub fn find_linearizability_violation(ops: &[Op]) -> Option<Violation> {
-    let mut by_enter: Vec<usize> = (0..ops.len()).collect();
-    by_enter.sort_by(|&a, &b| {
-        ops[a]
-            .enter_time
-            .total_cmp(&ops[b].enter_time)
-            .then(ops[a].enter_seq.cmp(&ops[b].enter_seq))
-    });
-    let mut by_exit: Vec<usize> = (0..ops.len()).collect();
-    by_exit.sort_by(|&a, &b| {
-        ops[a]
-            .exit_time
-            .total_cmp(&ops[b].exit_time)
-            .then(ops[a].exit_seq.cmp(&ops[b].exit_seq))
-    });
-    let mut max_finished: Option<usize> = None; // index with the largest value
-    let mut xi = 0;
-    for &b in &by_enter {
-        while xi < by_exit.len() {
-            let a = by_exit[xi];
-            if (ops[a].exit_time, ops[a].exit_seq) < (ops[b].enter_time, ops[b].enter_seq) {
-                if max_finished.is_none_or(|m| ops[a].value > ops[m].value) {
-                    max_finished = Some(a);
-                }
-                xi += 1;
-            } else {
-                break;
-            }
-        }
-        if let Some(m) = max_finished {
-            if ops[m].value > ops[b].value {
-                return Some(Violation { earlier: m, later: b });
-            }
+    let order = enter_order(ops);
+    let mut mon = StreamingLinMonitor::new();
+    for &i in &order {
+        if let Some(v) = mon.push(&ops[i]) {
+            return Some(Violation { earlier: order[v.earlier], later: order[v.later] });
         }
     }
     None
@@ -86,20 +67,15 @@ pub fn is_linearizable(ops: &[Op]) -> bool {
 }
 
 /// Finds a sequential-consistency violation, if any: a process whose
-/// successive operations return decreasing values.
+/// successive operations return decreasing values. Sorts by
+/// `(process, enter key)` and drives a [`StreamingScMonitor`].
 pub fn find_sequential_consistency_violation(ops: &[Op]) -> Option<Violation> {
     let mut order: Vec<usize> = (0..ops.len()).collect();
-    order.sort_by(|&a, &b| {
-        ops[a]
-            .process
-            .cmp(&ops[b].process)
-            .then(ops[a].enter_time.total_cmp(&ops[b].enter_time))
-            .then(ops[a].enter_seq.cmp(&ops[b].enter_seq))
-    });
-    for pair in order.windows(2) {
-        let (a, b) = (pair[0], pair[1]);
-        if ops[a].process == ops[b].process && ops[a].value > ops[b].value {
-            return Some(Violation { earlier: a, later: b });
+    order.sort_by_key(|&i| (ops[i].process, ops[i].enter_key()));
+    let mut mon = StreamingScMonitor::new();
+    for &i in &order {
+        if let Some(v) = mon.push(&ops[i]) {
+            return Some(Violation { earlier: order[v.earlier], later: order[v.later] });
         }
     }
     None
@@ -131,9 +107,7 @@ pub fn is_sequentially_consistent(ops: &[Op]) -> bool {
 /// return increasing values.
 pub fn is_sequentially_consistent_for(ops: &[Op], process: usize) -> bool {
     let mut mine: Vec<&Op> = ops.iter().filter(|o| o.process == process).collect();
-    mine.sort_by(|a, b| {
-        a.enter_time.total_cmp(&b.enter_time).then(a.enter_seq.cmp(&b.enter_seq))
-    });
+    mine.sort_by_key(|o| o.enter_key());
     mine.windows(2).all(|p| p[0].value < p[1].value)
 }
 
@@ -204,6 +178,18 @@ mod tests {
         assert!(is_sequentially_consistent_for(&ops, 99)); // vacuous
         let v = find_sequential_consistency_violation(&ops).unwrap();
         assert_eq!(ops[v.earlier].process, 0);
+    }
+
+    #[test]
+    fn witness_indices_refer_to_the_original_slice() {
+        // Deliberately feed the slice out of enter order: the wrapper must
+        // translate the monitor's push indices back through the sort.
+        let ops = vec![
+            op(1, 4.0, 5.0, 1), // latest op, smallest value: the victim
+            op(0, 0.0, 1.0, 5),
+        ];
+        let v = find_linearizability_violation(&ops).unwrap();
+        assert_eq!(v, Violation { earlier: 1, later: 0 });
     }
 
     #[test]

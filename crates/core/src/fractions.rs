@@ -12,75 +12,36 @@
 //! exact solver for small instances.
 
 use crate::op::Op;
+use crate::trace::{enter_order, StreamingFractionMeter};
 
-/// Indices of the non-linearizable operations: those completely preceded by
-/// an operation with a larger value.
-pub fn non_linearizable_ops(ops: &[Op]) -> Vec<usize> {
-    // Sweep in enter order, tracking the max value among finished ops.
-    let mut by_enter: Vec<usize> = (0..ops.len()).collect();
-    by_enter.sort_by(|&a, &b| {
-        ops[a]
-            .enter_time
-            .total_cmp(&ops[b].enter_time)
-            .then(ops[a].enter_seq.cmp(&ops[b].enter_seq))
-    });
-    let mut by_exit: Vec<usize> = (0..ops.len()).collect();
-    by_exit.sort_by(|&a, &b| {
-        ops[a]
-            .exit_time
-            .total_cmp(&ops[b].exit_time)
-            .then(ops[a].exit_seq.cmp(&ops[b].exit_seq))
-    });
-    let mut out = Vec::new();
-    let mut max_value: Option<u64> = None;
-    let mut xi = 0;
-    for &b in &by_enter {
-        while xi < by_exit.len() {
-            let a = by_exit[xi];
-            if (ops[a].exit_time, ops[a].exit_seq) < (ops[b].enter_time, ops[b].enter_seq) {
-                max_value = Some(max_value.map_or(ops[a].value, |m| m.max(ops[a].value)));
-                xi += 1;
-            } else {
-                break;
-            }
-        }
-        if max_value.is_some_and(|m| m > ops[b].value) {
-            out.push(b);
-        }
-    }
+/// Runs a [`StreamingFractionMeter`] over the slice in enter order and
+/// returns the slice indices whose flags satisfy `pick`.
+fn metered_indices(
+    ops: &[Op],
+    pick: impl Fn(crate::trace::EventFlags) -> bool,
+) -> Vec<usize> {
+    let order = enter_order(ops);
+    let mut meter = StreamingFractionMeter::new();
+    let mut out: Vec<usize> = order
+        .iter()
+        .filter_map(|&i| if pick(meter.push(&ops[i])) { Some(i) } else { None })
+        .collect();
     out.sort_unstable();
     out
 }
 
+/// Indices of the non-linearizable operations: those completely preceded by
+/// an operation with a larger value. A batch wrapper over
+/// [`StreamingFractionMeter`].
+pub fn non_linearizable_ops(ops: &[Op]) -> Vec<usize> {
+    metered_indices(ops, |f| f.non_linearizable)
+}
+
 /// Indices of the non-sequentially-consistent operations: those preceded, at
-/// the same process, by an operation with a larger value.
+/// the same process, by an operation with a larger value. A batch wrapper
+/// over [`StreamingFractionMeter`].
 pub fn non_sequentially_consistent_ops(ops: &[Op]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..ops.len()).collect();
-    order.sort_by(|&a, &b| {
-        ops[a]
-            .process
-            .cmp(&ops[b].process)
-            .then(ops[a].enter_time.total_cmp(&ops[b].enter_time))
-            .then(ops[a].enter_seq.cmp(&ops[b].enter_seq))
-    });
-    let mut out = Vec::new();
-    let mut current_process = usize::MAX;
-    let mut max_value = 0u64;
-    let mut have_prev = false;
-    for &i in &order {
-        if ops[i].process != current_process {
-            current_process = ops[i].process;
-            max_value = ops[i].value;
-            have_prev = true;
-            continue;
-        }
-        if have_prev && max_value > ops[i].value {
-            out.push(i);
-        }
-        max_value = max_value.max(ops[i].value);
-    }
-    out.sort_unstable();
-    out
+    metered_indices(ops, |f| f.non_sequentially_consistent)
 }
 
 /// The non-linearizability fraction: `|non-linearizable| / |all|`
@@ -190,13 +151,7 @@ pub fn absolute_non_sequentially_consistent_count(ops: &[Op]) -> usize {
             .collect();
         // Check per-process monotonicity over the kept set.
         let mut order = kept.clone();
-        order.sort_by(|&a, &b| {
-            ops[a]
-                .process
-                .cmp(&ops[b].process)
-                .then(ops[a].enter_time.total_cmp(&ops[b].enter_time))
-                .then(ops[a].enter_seq.cmp(&ops[b].enter_seq))
-        });
+        order.sort_by_key(|&i| (ops[i].process, ops[i].enter_key()));
         for pair in order.windows(2) {
             let (a, b) = (pair[0], pair[1]);
             if ops[a].process == ops[b].process && ops[a].value > ops[b].value {
@@ -382,6 +337,65 @@ mod tests {
                 "trial {trial}: {ops:?}"
             );
         }
+    }
+
+    #[test]
+    fn absolute_count_on_empty_execution_is_zero() {
+        assert_eq!(absolute_non_linearizable_count(&[]), 0);
+        assert_eq!(absolute_non_sequentially_consistent_count(&[]), 0);
+        assert!(lemma_5_1_holds(&[]));
+    }
+
+    #[test]
+    fn absolute_count_on_single_op_is_zero() {
+        // A lone operation has no predecessor, whatever its value.
+        let ops = [op(0, 0.0, 1.0, 1_000_000)];
+        assert_eq!(absolute_non_linearizable_count(&ops), 0);
+        assert_eq!(non_linearizable_ops(&ops).len(), 0);
+        assert!(lemma_5_1_holds(&ops));
+    }
+
+    #[test]
+    fn absolute_count_when_every_subsequent_op_violates() {
+        // The worst case Lemma 5.1 permits: one early maximal value makes
+        // every later token non-linearizable (n-1 of n; the first token in
+        // enter order is never condemned). Built directly on the new event
+        // type to pin the integer-nanosecond keys.
+        let mut ops = vec![Op {
+            process: 0,
+            enter_ns: 0,
+            enter_seq: 0,
+            exit_ns: 10,
+            exit_seq: 0,
+            value: 100,
+        }];
+        for k in 1..8usize {
+            ops.push(Op {
+                process: k,
+                enter_ns: 100 * k as u64,
+                enter_seq: k,
+                exit_ns: 100 * k as u64 + 10,
+                exit_seq: k,
+                value: k as u64,
+            });
+        }
+        let bad = non_linearizable_ops(&ops);
+        assert_eq!(bad, (1..8).collect::<Vec<_>>());
+        // Lemma 5.1: the minimum removal is exactly the non-lin set — no
+        // cleverer subset (e.g. removing the big token) counts, because the
+        // absolute fraction only removes non-linearizable tokens.
+        assert_eq!(absolute_non_linearizable_count(&ops), 7);
+        assert!(lemma_5_1_holds(&ops));
+    }
+
+    #[test]
+    #[should_panic(expected = "exact search limited to 24")]
+    fn absolute_count_refuses_oversized_instances() {
+        let mut ops = vec![op(0, 0.0, 0.5, 1_000)];
+        for k in 1..27usize {
+            ops.push(op(k, k as f64, k as f64 + 0.5, k as u64));
+        }
+        absolute_non_linearizable_count(&ops);
     }
 
     #[test]

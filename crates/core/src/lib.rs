@@ -4,10 +4,19 @@
 //! Taubenfeld — "Sequentially Consistent versus Linearizable Counting
 //! Networks"* (PODC 1999):
 //!
-//! * [`op`] — a provider-neutral operation record ([`op::Op`]) that both the
-//!   simulator (`cnet-sim`) and the threaded runtime (`cnet-runtime`)
-//!   produce, carrying a process, a real-time interval, and the value
-//!   returned.
+//! * [`trace`] — the unified trace layer: the shared event type
+//!   ([`trace::OpEvent`], integer-nanosecond timestamps), the
+//!   [`trace::OpSink`] consumer trait, **online** monitors
+//!   ([`trace::StreamingLinMonitor`], [`trace::StreamingScMonitor`],
+//!   [`trace::StreamingFractionMeter`], [`trace::StreamingAuditor`]) that
+//!   check a live run one event at a time in `O(log n)` amortized with
+//!   memory bounded by concurrency, and the [`trace::EventMerger`] that
+//!   turns per-thread streams into the global enter-ordered stream the
+//!   monitors need.
+//! * [`op`] — a provider-neutral operation record ([`op::Op`], an alias of
+//!   [`trace::OpEvent`]) that both the simulator (`cnet-sim`) and the
+//!   threaded runtime (`cnet-runtime`) produce, carrying a process, a
+//!   real-time interval, and the value returned.
 //! * [`consistency`] — the two consistency conditions of Section 2.4:
 //!   [`consistency::is_linearizable`] (values respect the complete-precedence
 //!   order across *all* processes) and
@@ -57,9 +66,14 @@ pub mod consistency;
 pub mod fractions;
 pub mod op;
 pub mod theory;
+pub mod trace;
 
 pub use audit::{audit, AuditReport};
 pub use conditions::TimingCondition;
 pub use consistency::{is_linearizable, is_sequentially_consistent};
 pub use fractions::{non_linearizability_fraction, non_sequential_consistency_fraction};
 pub use op::Op;
+pub use trace::{
+    EventMerger, OpEvent, OpSink, StreamingAuditor, StreamingFractionMeter, StreamingLinMonitor,
+    StreamingScMonitor,
+};

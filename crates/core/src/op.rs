@@ -1,49 +1,27 @@
 //! Provider-neutral operation records.
 //!
 //! The consistency checkers reason about *increment operations*: who issued
-//! them (a process), when they ran (a real-time interval with a tiebreak),
-//! and what value they returned. [`Op`] carries exactly that, so the same
-//! checkers apply to simulated executions ([`cnet_sim::TimedExecution`]) and
-//! to histories recorded by the threaded runtime in `cnet-runtime`.
+//! them (a process), when they ran (an integer-nanosecond interval with a
+//! tiebreak), and what value they returned. [`Op`] carries exactly that —
+//! it **is** the workspace's shared trace event,
+//! [`crate::trace::OpEvent`], re-exported under the checkers' traditional
+//! name — so the same checkers apply to simulated executions
+//! ([`cnet_sim::TimedExecution`]), to histories recorded by the threaded
+//! runtime in `cnet-runtime`, and to live event streams from the trace
+//! recorder.
 
 use cnet_sim::exec::TimedExecution;
-use cnet_util::json_struct;
 
-/// One completed increment operation.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct Op {
-    /// The process that issued the operation.
-    pub process: usize,
-    /// Time of the operation's first step.
-    pub enter_time: f64,
-    /// Tiebreak for `enter_time` (position in a global event order).
-    pub enter_seq: usize,
-    /// Time of the operation's last step (when the value was obtained).
-    pub exit_time: f64,
-    /// Tiebreak for `exit_time`.
-    pub exit_seq: usize,
-    /// The value returned.
-    pub value: u64,
-}
+pub use crate::trace::OpEvent as Op;
 
-json_struct!(Op { process, enter_time, enter_seq, exit_time, exit_seq, value });
+use crate::trace::secs_to_ns;
 
 impl Op {
-    /// Whether this operation **completely precedes** `other`: its last step
-    /// comes before the other's first step (ties resolved by sequence
-    /// number).
-    #[inline]
-    pub fn completely_precedes(&self, other: &Op) -> bool {
-        (self.exit_time, self.exit_seq) < (other.enter_time, other.enter_seq)
-    }
-
-    /// Whether the two operations overlap in time.
-    #[inline]
-    pub fn overlaps(&self, other: &Op) -> bool {
-        !self.completely_precedes(other) && !other.completely_precedes(self)
-    }
-
-    /// Converts every token record of a simulated execution into an [`Op`].
+    /// Converts every token record of a simulated execution into an
+    /// [`Op`], in the execution's record order (see
+    /// [`crate::trace::stream_execution`] for the enter-ordered streaming
+    /// form). Simulator seconds become nanoseconds via
+    /// [`secs_to_ns`](crate::trace::secs_to_ns).
     ///
     /// # Example
     ///
@@ -64,9 +42,9 @@ impl Op {
             .iter()
             .map(|r| Op {
                 process: r.process.index(),
-                enter_time: r.enter_time,
+                enter_ns: secs_to_ns(r.enter_time),
                 enter_seq: r.enter_seq,
-                exit_time: r.exit_time,
+                exit_ns: secs_to_ns(r.exit_time),
                 exit_seq: r.exit_seq,
                 value: r.value,
             })
@@ -74,15 +52,16 @@ impl Op {
     }
 }
 
-/// Builds an [`Op`] from plain interval data, using the value itself as the
-/// tiebreak (adequate when all times are distinct, as in tests and the
+/// Builds an [`Op`] from a plain interval **in seconds** (converted with
+/// [`secs_to_ns`](crate::trace::secs_to_ns)), using the value itself as
+/// the tiebreak (adequate when all times are distinct, as in tests and the
 /// threaded runtime where timestamps come from a monotonic clock).
 pub fn op(process: usize, enter: f64, exit: f64, value: u64) -> Op {
     Op {
         process,
-        enter_time: enter,
+        enter_ns: secs_to_ns(enter),
         enter_seq: value as usize,
-        exit_time: exit,
+        exit_ns: secs_to_ns(exit),
         exit_seq: value as usize,
         value,
     }
@@ -104,6 +83,28 @@ mod tests {
     }
 
     #[test]
+    fn nanosecond_intervals_are_exact() {
+        // One-nanosecond gaps order operations exactly — no f64 rounding.
+        let a = Op { process: 0, enter_ns: 0, enter_seq: 0, exit_ns: 1, exit_seq: 0, value: 0 };
+        let b = Op { process: 1, enter_ns: 2, enter_seq: 1, exit_ns: 3, exit_seq: 1, value: 1 };
+        let c = Op { process: 2, enter_ns: 1, enter_seq: 2, exit_ns: 2, exit_seq: 2, value: 2 };
+        assert!(a.completely_precedes(&b));
+        assert!(a.completely_precedes(&c)); // exit (1, seq 0) < enter (1, seq 2)
+        let late_exit = Op { exit_seq: 7, ..a }; // exit (1, seq 7) vs enter (1, seq 2)
+        assert!(!late_exit.completely_precedes(&c));
+        assert!(late_exit.overlaps(&c));
+    }
+
+    #[test]
+    fn equal_ns_ties_fall_to_sequence_numbers() {
+        let a = Op { process: 0, enter_ns: 0, enter_seq: 0, exit_ns: 5, exit_seq: 3, value: 0 };
+        let b = Op { process: 1, enter_ns: 5, enter_seq: 4, exit_ns: 9, exit_seq: 9, value: 1 };
+        let c = Op { process: 1, enter_ns: 5, enter_seq: 2, exit_ns: 9, exit_seq: 9, value: 1 };
+        assert!(a.completely_precedes(&b)); // (5,3) < (5,4)
+        assert!(!a.completely_precedes(&c)); // (5,3) > (5,2)
+    }
+
+    #[test]
     fn conversion_from_execution_preserves_fields() {
         use cnet_sim::{engine::run, ids::ProcessId, spec::TimedTokenSpec};
         use cnet_topology::construct::bitonic;
@@ -114,8 +115,8 @@ mod tests {
         let exec = run(&net, &specs).unwrap();
         let ops = Op::from_execution(&exec);
         assert_eq!(ops[0].process, 7);
-        assert_eq!(ops[0].enter_time, 2.0);
-        assert_eq!(ops[0].exit_time, 5.0);
+        assert_eq!(ops[0].enter_ns, 2_000_000_000);
+        assert_eq!(ops[0].exit_ns, 5_000_000_000);
     }
 
     #[test]

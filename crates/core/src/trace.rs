@@ -1,0 +1,916 @@
+//! The unified trace layer: one event language for every execution source,
+//! and online monitors that consume it one event at a time.
+//!
+//! Three producers used to speak three dialects — the simulator's
+//! `TokenRecord`s, the threaded runtime's `RecordedOp`s, and the checkers'
+//! `Op` slices. This module gives them a single currency:
+//!
+//! * [`OpEvent`] — one completed increment: process, integer-nanosecond
+//!   enter/exit timestamps with explicit sequence-number tiebreaks, and the
+//!   value returned. (`cnet_core::op::Op` is this type, re-exported.)
+//! * [`OpSink`] — anything that accepts a stream of events: a plain
+//!   `Vec<OpEvent>`, or the monitors below.
+//! * [`StreamingLinMonitor`] / [`StreamingScMonitor`] /
+//!   [`StreamingFractionMeter`] / [`StreamingAuditor`] — **incremental**
+//!   forms of the Section 2.4 checkers and Section 5.1 fraction meters:
+//!   each event costs `O(log n)` amortized (a bounded heap of currently
+//!   pending operations plus `O(1)` per-process state), so a live run can
+//!   be audited while it happens with memory proportional to its
+//!   *concurrency*, not its length. The batch functions in
+//!   [`crate::consistency`] and [`crate::fractions`] are thin wrappers
+//!   over these cores.
+//! * [`EventMerger`] — turns per-thread (per-shard) event streams, each
+//!   internally ordered by enter time, into the single globally
+//!   enter-ordered stream the monitors require, using per-shard
+//!   watermarks so events are released exactly when no straggler can
+//!   precede them.
+//!
+//! # Time and ties
+//!
+//! Timestamps are integer nanoseconds from a single monotonic clock, so
+//! comparing them is exact; `enter_seq`/`exit_seq` break the remaining
+//! ties deterministically. The merger assigns sequence numbers so that an
+//! enter and an exit falling in the *same* nanosecond compare as
+//! overlapping — the clock could not separate them, so no precedence (and
+//! hence no violation) is ever fabricated from a tie.
+
+use crate::consistency::Violation;
+use cnet_sim::exec::TimedExecution;
+use cnet_util::json_struct;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// One completed increment operation — the shared event type of the whole
+/// workspace (the simulator, the threaded runtime, and the checkers all
+/// speak it; `cnet_core::op::Op` is an alias).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpEvent {
+    /// The process that issued the operation.
+    pub process: usize,
+    /// Nanoseconds (monotonic, process-local epoch) of the operation's
+    /// first step.
+    pub enter_ns: u64,
+    /// Tiebreak for `enter_ns` (position in a global event order).
+    pub enter_seq: usize,
+    /// Nanoseconds of the operation's last step (when the value was
+    /// obtained).
+    pub exit_ns: u64,
+    /// Tiebreak for `exit_ns`.
+    pub exit_seq: usize,
+    /// The value returned.
+    pub value: u64,
+}
+
+json_struct!(OpEvent { process, enter_ns, enter_seq, exit_ns, exit_seq, value });
+
+impl OpEvent {
+    /// The sort key of the operation's start: `(enter_ns, enter_seq)`.
+    #[inline]
+    pub fn enter_key(&self) -> (u64, usize) {
+        (self.enter_ns, self.enter_seq)
+    }
+
+    /// The sort key of the operation's completion: `(exit_ns, exit_seq)`.
+    #[inline]
+    pub fn exit_key(&self) -> (u64, usize) {
+        (self.exit_ns, self.exit_seq)
+    }
+
+    /// Whether this operation **completely precedes** `other`: its last
+    /// step comes before the other's first step (ties resolved by sequence
+    /// number).
+    #[inline]
+    pub fn completely_precedes(&self, other: &OpEvent) -> bool {
+        self.exit_key() < other.enter_key()
+    }
+
+    /// Whether the two operations overlap in time.
+    #[inline]
+    pub fn overlaps(&self, other: &OpEvent) -> bool {
+        !self.completely_precedes(other) && !other.completely_precedes(self)
+    }
+}
+
+/// Converts simulator seconds to trace nanoseconds: `(t * 1e9)`, rounded.
+/// Monotone, so the simulator's event order survives; residual ties are
+/// covered by the sequence numbers the simulator already assigns.
+#[inline]
+pub fn secs_to_ns(t: f64) -> u64 {
+    (t.max(0.0) * 1.0e9).round() as u64
+}
+
+/// A consumer of trace events.
+pub trait OpSink {
+    /// Accepts one completed operation.
+    fn record(&mut self, ev: OpEvent);
+}
+
+impl OpSink for Vec<OpEvent> {
+    fn record(&mut self, ev: OpEvent) {
+        self.push(ev);
+    }
+}
+
+/// Streams a simulated execution into a sink in **enter order** (the order
+/// the online monitors require), converting times with [`secs_to_ns`] and
+/// keeping the simulator's sequence tiebreaks. Returns the event count.
+pub fn stream_execution(exec: &TimedExecution, sink: &mut impl OpSink) -> usize {
+    let mut events: Vec<OpEvent> = exec
+        .records()
+        .iter()
+        .map(|r| OpEvent {
+            process: r.process.index(),
+            enter_ns: secs_to_ns(r.enter_time),
+            enter_seq: r.enter_seq,
+            exit_ns: secs_to_ns(r.exit_time),
+            exit_seq: r.exit_seq,
+            value: r.value,
+        })
+        .collect();
+    events.sort_by_key(|e| e.enter_key());
+    let n = events.len();
+    for ev in events {
+        sink.record(ev);
+    }
+    n
+}
+
+/// Indices of `ops` sorted by [`OpEvent::enter_key`] (stable), the feed
+/// order for [`StreamingLinMonitor`] and [`StreamingFractionMeter`].
+pub fn enter_order(ops: &[OpEvent]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..ops.len()).collect();
+    order.sort_by_key(|&i| ops[i].enter_key());
+    order
+}
+
+/// An operation still pending inside a monitor, ordered by completion key
+/// (then by arrival, for deterministic pops on full-key ties).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Pending {
+    exit_ns: u64,
+    exit_seq: usize,
+    arrival: usize,
+    value: u64,
+}
+
+/// Online linearizability checker for counting histories.
+///
+/// Feed events in nondecreasing [`OpEvent::enter_key`] order (the natural
+/// order of a live trace; [`enter_order`] provides it for a batch). Each
+/// [`push`](Self::push) is `O(log n)` amortized; memory is bounded by the
+/// maximum number of simultaneously pending operations, not the history
+/// length.
+///
+/// The algorithm is the batch sweep run incrementally: a min-heap of
+/// pending operations keyed by completion, popped as later operations
+/// enter, tracking the maximum value among completed operations. An
+/// operation entering after a completed operation with a larger value is a
+/// violation (for counting, this pairwise condition *is* linearizability —
+/// see [`crate::consistency`]).
+///
+/// # Example
+///
+/// ```
+/// use cnet_core::op::op;
+/// use cnet_core::trace::StreamingLinMonitor;
+///
+/// let mut mon = StreamingLinMonitor::new();
+/// assert!(mon.push(&op(0, 0.0, 1.0, 5)).is_none());
+/// let v = mon.push(&op(1, 2.0, 3.0, 3)).expect("5 finished before 3 started");
+/// assert_eq!((v.earlier, v.later), (0, 1)); // indices in push order
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StreamingLinMonitor {
+    pending: BinaryHeap<Reverse<Pending>>,
+    /// `(value, push index)` of the completed operation with the largest
+    /// value so far.
+    max_finished: Option<(u64, usize)>,
+    last_enter: Option<(u64, usize)>,
+    pushed: usize,
+    first: Option<Violation>,
+}
+
+impl StreamingLinMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one event; returns a violation witness if this event's
+    /// value contradicts an already-completed operation. Witness indices
+    /// are **push indices** (0-based order of `push` calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if events arrive out of enter order.
+    pub fn push(&mut self, ev: &OpEvent) -> Option<Violation> {
+        let key = ev.enter_key();
+        assert!(
+            self.last_enter.is_none_or(|k| k <= key),
+            "StreamingLinMonitor: events must arrive in nondecreasing enter order"
+        );
+        self.last_enter = Some(key);
+        let id = self.pushed;
+        self.pushed += 1;
+        while let Some(&Reverse(top)) = self.pending.peek() {
+            if (top.exit_ns, top.exit_seq) < key {
+                self.pending.pop();
+                if self.max_finished.is_none_or(|(mv, _)| top.value > mv) {
+                    self.max_finished = Some((top.value, top.arrival));
+                }
+            } else {
+                break;
+            }
+        }
+        let verdict = match self.max_finished {
+            Some((mv, mid)) if mv > ev.value => Some(Violation { earlier: mid, later: id }),
+            _ => None,
+        };
+        if let Some(v) = verdict {
+            self.first.get_or_insert(v);
+        }
+        self.pending.push(Reverse(Pending {
+            exit_ns: ev.exit_ns,
+            exit_seq: ev.exit_seq,
+            arrival: id,
+            value: ev.value,
+        }));
+        verdict
+    }
+
+    /// The first violation witnessed, if any (push indices).
+    pub fn first_violation(&self) -> Option<Violation> {
+        self.first
+    }
+
+    /// Whether no violation has been witnessed so far.
+    pub fn is_linearizable(&self) -> bool {
+        self.first.is_none()
+    }
+
+    /// Events consumed so far.
+    pub fn operations(&self) -> usize {
+        self.pushed
+    }
+
+    /// Operations currently pending (the memory bound: maximum concurrency,
+    /// not history length).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl OpSink for StreamingLinMonitor {
+    fn record(&mut self, ev: OpEvent) {
+        let _ = self.push(&ev);
+    }
+}
+
+/// Online sequential-consistency checker for counting histories.
+///
+/// Feed each process's events in its program order (any global interleave
+/// of processes is fine — per-process order is all that matters). `O(1)`
+/// per event: only the previous value per process is retained.
+///
+/// # Example
+///
+/// ```
+/// use cnet_core::op::op;
+/// use cnet_core::trace::StreamingScMonitor;
+///
+/// let mut mon = StreamingScMonitor::new();
+/// assert!(mon.push(&op(0, 0.0, 1.0, 5)).is_none());
+/// assert!(mon.push(&op(1, 2.0, 3.0, 3)).is_none()); // other process: fine
+/// assert!(mon.push(&op(0, 4.0, 5.0, 4)).is_some()); // p0 decreased
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StreamingScMonitor {
+    /// Per process: `(value, push index)` of its previous operation.
+    prev: HashMap<usize, (u64, usize)>,
+    pushed: usize,
+    first: Option<Violation>,
+}
+
+impl StreamingScMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one event; returns a violation witness (push indices) if
+    /// the process's previous operation returned a larger value.
+    pub fn push(&mut self, ev: &OpEvent) -> Option<Violation> {
+        let id = self.pushed;
+        self.pushed += 1;
+        let verdict = match self.prev.insert(ev.process, (ev.value, id)) {
+            Some((pv, pid)) if pv > ev.value => Some(Violation { earlier: pid, later: id }),
+            _ => None,
+        };
+        if let Some(v) = verdict {
+            self.first.get_or_insert(v);
+        }
+        verdict
+    }
+
+    /// The first violation witnessed, if any (push indices).
+    pub fn first_violation(&self) -> Option<Violation> {
+        self.first
+    }
+
+    /// Whether no violation has been witnessed so far.
+    pub fn is_sequentially_consistent(&self) -> bool {
+        self.first.is_none()
+    }
+
+    /// Events consumed so far.
+    pub fn operations(&self) -> usize {
+        self.pushed
+    }
+}
+
+impl OpSink for StreamingScMonitor {
+    fn record(&mut self, ev: OpEvent) {
+        let _ = self.push(&ev);
+    }
+}
+
+/// Per-event verdicts from [`StreamingFractionMeter::push`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventFlags {
+    /// Some completed operation with a larger value completely precedes
+    /// this one (the Section 5.1 non-linearizable-token predicate).
+    pub non_linearizable: bool,
+    /// Some earlier operation *of the same process* returned a larger
+    /// value (the non-sequentially-consistent-token predicate).
+    pub non_sequentially_consistent: bool,
+}
+
+/// Online Section 5.1 inconsistency-fraction meter.
+///
+/// Feed in nondecreasing enter order (like [`StreamingLinMonitor`]);
+/// `O(log n)` amortized per event, memory bounded by concurrency. Each
+/// push classifies that operation immediately, so running fractions are
+/// available at any instant of a live run.
+///
+/// # Example
+///
+/// ```
+/// use cnet_core::op::op;
+/// use cnet_core::trace::StreamingFractionMeter;
+///
+/// let mut meter = StreamingFractionMeter::new();
+/// meter.push(&op(0, 0.0, 1.0, 5));
+/// let flags = meter.push(&op(1, 2.0, 3.0, 1));
+/// assert!(flags.non_linearizable && !flags.non_sequentially_consistent);
+/// assert_eq!(meter.f_nl(), 0.5);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StreamingFractionMeter {
+    pending: BinaryHeap<Reverse<Pending>>,
+    max_finished_value: Option<u64>,
+    /// Per process: the running maximum value it has obtained.
+    process_max: HashMap<usize, u64>,
+    last_enter: Option<(u64, usize)>,
+    total: usize,
+    non_linearizable: usize,
+    non_sequentially_consistent: usize,
+}
+
+impl StreamingFractionMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one event and classifies it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events arrive out of enter order.
+    pub fn push(&mut self, ev: &OpEvent) -> EventFlags {
+        let key = ev.enter_key();
+        assert!(
+            self.last_enter.is_none_or(|k| k <= key),
+            "StreamingFractionMeter: events must arrive in nondecreasing enter order"
+        );
+        self.last_enter = Some(key);
+        let arrival = self.total;
+        self.total += 1;
+        while let Some(&Reverse(top)) = self.pending.peek() {
+            if (top.exit_ns, top.exit_seq) < key {
+                self.pending.pop();
+                self.max_finished_value =
+                    Some(self.max_finished_value.map_or(top.value, |m| m.max(top.value)));
+            } else {
+                break;
+            }
+        }
+        let non_linearizable = self.max_finished_value.is_some_and(|m| m > ev.value);
+        let non_sequentially_consistent = match self.process_max.get_mut(&ev.process) {
+            None => {
+                self.process_max.insert(ev.process, ev.value);
+                false
+            }
+            Some(max) => {
+                let bad = *max > ev.value;
+                *max = (*max).max(ev.value);
+                bad
+            }
+        };
+        self.non_linearizable += usize::from(non_linearizable);
+        self.non_sequentially_consistent += usize::from(non_sequentially_consistent);
+        self.pending.push(Reverse(Pending {
+            exit_ns: ev.exit_ns,
+            exit_seq: ev.exit_seq,
+            arrival,
+            value: ev.value,
+        }));
+        EventFlags { non_linearizable, non_sequentially_consistent }
+    }
+
+    /// Events consumed so far.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Non-linearizable operations seen so far.
+    pub fn non_linearizable(&self) -> usize {
+        self.non_linearizable
+    }
+
+    /// Non-sequentially-consistent operations seen so far.
+    pub fn non_sequentially_consistent(&self) -> usize {
+        self.non_sequentially_consistent
+    }
+
+    /// The running non-linearizability fraction (0 before any event).
+    pub fn f_nl(&self) -> f64 {
+        self.non_linearizable as f64 / self.total.max(1) as f64
+    }
+
+    /// The running non-sequential-consistency fraction (0 before any
+    /// event).
+    pub fn f_nsc(&self) -> f64 {
+        self.non_sequentially_consistent as f64 / self.total.max(1) as f64
+    }
+}
+
+impl OpSink for StreamingFractionMeter {
+    fn record(&mut self, ev: OpEvent) {
+        let _ = self.push(&ev);
+    }
+}
+
+/// All three monitors behind one push: verdicts, witnesses, and running
+/// fractions for a live stream. Feed in nondecreasing enter order, with
+/// each process's events in program order (a live trace satisfies both).
+#[derive(Clone, Debug, Default)]
+pub struct StreamingAuditor {
+    lin: StreamingLinMonitor,
+    sc: StreamingScMonitor,
+    meter: StreamingFractionMeter,
+}
+
+impl StreamingAuditor {
+    /// A fresh auditor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one event through all three monitors.
+    pub fn push(&mut self, ev: &OpEvent) -> EventFlags {
+        let _ = self.lin.push(ev);
+        let _ = self.sc.push(ev);
+        self.meter.push(ev)
+    }
+
+    /// Events consumed so far.
+    pub fn operations(&self) -> usize {
+        self.meter.total()
+    }
+
+    /// Whether no linearizability violation has been witnessed.
+    pub fn is_linearizable(&self) -> bool {
+        self.lin.is_linearizable()
+    }
+
+    /// Whether no sequential-consistency violation has been witnessed.
+    pub fn is_sequentially_consistent(&self) -> bool {
+        self.sc.is_sequentially_consistent()
+    }
+
+    /// First linearizability-violation witness (push indices), if any.
+    pub fn linearizability_violation(&self) -> Option<Violation> {
+        self.lin.first_violation()
+    }
+
+    /// First sequential-consistency-violation witness (push indices), if
+    /// any.
+    pub fn sequential_consistency_violation(&self) -> Option<Violation> {
+        self.sc.first_violation()
+    }
+
+    /// Non-linearizable operations seen so far.
+    pub fn non_linearizable(&self) -> usize {
+        self.meter.non_linearizable()
+    }
+
+    /// Non-sequentially-consistent operations seen so far.
+    pub fn non_sequentially_consistent(&self) -> usize {
+        self.meter.non_sequentially_consistent()
+    }
+
+    /// The running non-linearizability fraction.
+    pub fn f_nl(&self) -> f64 {
+        self.meter.f_nl()
+    }
+
+    /// The running non-sequential-consistency fraction.
+    pub fn f_nsc(&self) -> f64 {
+        self.meter.f_nsc()
+    }
+}
+
+impl OpSink for StreamingAuditor {
+    fn record(&mut self, ev: OpEvent) {
+        let _ = self.push(&ev);
+    }
+}
+
+/// A raw timestamped operation from one recorder shard, before global
+/// sequence numbers exist.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawOp {
+    /// The process that performed the operation.
+    pub process: usize,
+    /// Monotonic nanoseconds at operation start.
+    pub enter_ns: u64,
+    /// Monotonic nanoseconds at operation completion.
+    pub exit_ns: u64,
+    /// The value obtained.
+    pub value: u64,
+}
+
+/// Exit sequence numbers start here so that an enter and an exit in the
+/// same nanosecond compare as *overlapping*: with `exit_seq = GUARD + k`
+/// and `enter_seq = k'` (both `k, k' < GUARD`), a tied
+/// `(ns, exit_seq) < (ns, enter_seq)` is impossible, so a tie never
+/// fabricates a complete-precedence edge the clock cannot certify.
+const EXIT_SEQ_GUARD: usize = usize::MAX / 2;
+
+#[derive(Clone, Debug, Default)]
+struct MergeShard {
+    buf: VecDeque<RawOp>,
+    /// Enter time of the last event pushed (future events are ≥ this).
+    watermark: Option<u64>,
+    finished: bool,
+}
+
+/// Merges per-shard event streams — each internally ordered by enter time,
+/// as any single thread's operations are — into one globally enter-ordered
+/// [`OpEvent`] stream for the monitors.
+///
+/// A buffered event is released once its enter time is at or below every
+/// unfinished shard's **watermark** (the enter time of that shard's latest
+/// event): no straggler can then precede it. Sequence numbers are assigned
+/// at release, with [`EXIT_SEQ_GUARD`]'s conservative tie rule.
+///
+/// # Example
+///
+/// ```
+/// use cnet_core::trace::{EventMerger, RawOp};
+///
+/// let mut m = EventMerger::new(2);
+/// m.push(0, RawOp { process: 0, enter_ns: 10, exit_ns: 20, value: 0 });
+/// m.push(1, RawOp { process: 1, enter_ns: 5, exit_ns: 15, value: 1 });
+/// let mut out = Vec::new();
+/// m.drain_into(&mut out);
+/// m.finish(0);
+/// m.finish(1);
+/// m.drain_into(&mut out);
+/// let enters: Vec<u64> = out.iter().map(|e| e.enter_ns).collect();
+/// assert_eq!(enters, vec![5, 10]); // globally enter-ordered
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventMerger {
+    shards: Vec<MergeShard>,
+    emitted: usize,
+}
+
+impl EventMerger {
+    /// A merger over `shards` input streams.
+    pub fn new(shards: usize) -> Self {
+        EventMerger { shards: vec![MergeShard::default(); shards], emitted: 0 }
+    }
+
+    /// Appends one raw event to a shard's stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, the shard is finished, or enter
+    /// times regress within the shard.
+    pub fn push(&mut self, shard: usize, op: RawOp) {
+        let s = &mut self.shards[shard];
+        assert!(!s.finished, "EventMerger: push after finish on shard {shard}");
+        assert!(
+            s.watermark.is_none_or(|w| w <= op.enter_ns),
+            "EventMerger: enter times regressed within shard {shard}"
+        );
+        s.watermark = Some(op.enter_ns);
+        s.buf.push_back(op);
+    }
+
+    /// Declares a shard's stream complete (it no longer constrains
+    /// release).
+    pub fn finish(&mut self, shard: usize) {
+        self.shards[shard].finished = true;
+    }
+
+    /// Events released so far over the merger's lifetime.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Events currently buffered awaiting release.
+    pub fn buffered(&self) -> usize {
+        self.shards.iter().map(|s| s.buf.len()).sum()
+    }
+
+    /// Releases every event no straggler can precede, in enter order, into
+    /// `sink`; returns how many were released. After every shard is
+    /// [`finish`](Self::finish)ed, one more drain flushes everything.
+    pub fn drain_into(&mut self, sink: &mut impl OpSink) -> usize {
+        // The release threshold: the least watermark over unfinished
+        // shards. An unfinished shard that has produced nothing yet blocks
+        // all release (its first event could be arbitrarily early).
+        let mut threshold = u64::MAX;
+        for s in &self.shards {
+            if !s.finished {
+                match s.watermark {
+                    Some(w) => threshold = threshold.min(w),
+                    None => return 0,
+                }
+            }
+        }
+        let mut released = 0;
+        loop {
+            // The earliest buffered front (ties: lowest shard index).
+            let mut best: Option<(u64, usize)> = None;
+            for (i, s) in self.shards.iter().enumerate() {
+                if let Some(front) = s.buf.front() {
+                    if best.is_none_or(|(e, _)| front.enter_ns < e) {
+                        best = Some((front.enter_ns, i));
+                    }
+                }
+            }
+            let Some((enter, shard)) = best else { break };
+            if enter > threshold {
+                break;
+            }
+            let op = self.shards[shard].buf.pop_front().expect("front observed above");
+            let k = self.emitted;
+            self.emitted += 1;
+            sink.record(OpEvent {
+                process: op.process,
+                enter_ns: op.enter_ns,
+                enter_seq: k,
+                exit_ns: op.exit_ns,
+                exit_seq: EXIT_SEQ_GUARD + k,
+                value: op.value,
+            });
+            released += 1;
+        }
+        released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::{find_linearizability_violation, is_linearizable};
+    use crate::op::op;
+
+    #[test]
+    fn lin_monitor_matches_batch_on_a_violating_history() {
+        let ops =
+            vec![op(0, 0.0, 1.0, 5), op(0, 2.0, 3.0, 6), op(1, 4.0, 5.0, 1), op(1, 6.0, 7.0, 2)];
+        let mut mon = StreamingLinMonitor::new();
+        let mut first = None;
+        for o in &ops {
+            if let Some(v) = mon.push(o) {
+                first.get_or_insert(v);
+            }
+        }
+        let batch = find_linearizability_violation(&ops).unwrap();
+        let streamed = first.unwrap();
+        // Ops are already enter-ordered, so push indices == slice indices.
+        assert_eq!(streamed, batch);
+        assert_eq!(mon.first_violation(), Some(streamed));
+        assert!(!mon.is_linearizable());
+    }
+
+    #[test]
+    fn lin_monitor_accepts_consistent_streams() {
+        let mut mon = StreamingLinMonitor::new();
+        for k in 0..100u64 {
+            let o = op(k as usize % 3, k as f64, k as f64 + 0.5, k);
+            assert!(mon.push(&o).is_none(), "op {k}");
+        }
+        assert!(mon.is_linearizable());
+        assert_eq!(mon.operations(), 100);
+    }
+
+    #[test]
+    fn lin_monitor_memory_is_bounded_by_concurrency() {
+        // Sequential (non-overlapping) ops: the pending heap drains as fast
+        // as it fills, never holding more than one element... plus the one
+        // just pushed.
+        let mut mon = StreamingLinMonitor::new();
+        for k in 0..10_000u64 {
+            mon.push(&op(0, 2.0 * k as f64, 2.0 * k as f64 + 1.0, k));
+            assert!(mon.pending_len() <= 2, "at op {k}: {}", mon.pending_len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing enter order")]
+    fn lin_monitor_rejects_out_of_order_feeds() {
+        let mut mon = StreamingLinMonitor::new();
+        mon.push(&op(0, 5.0, 6.0, 0));
+        mon.push(&op(0, 1.0, 2.0, 1));
+    }
+
+    #[test]
+    fn sc_monitor_tracks_adjacent_pairs_per_process() {
+        let mut mon = StreamingScMonitor::new();
+        assert!(mon.push(&op(0, 0.0, 1.0, 5)).is_none());
+        assert!(mon.push(&op(1, 0.5, 1.5, 0)).is_none());
+        let v = mon.push(&op(0, 2.0, 3.0, 3)).unwrap();
+        assert_eq!((v.earlier, v.later), (0, 2));
+        // After a decrease, a further increase past the *previous* (not
+        // maximal) value is fine — adjacent-pair semantics.
+        assert!(mon.push(&op(0, 4.0, 5.0, 4)).is_none());
+        assert!(!mon.is_sequentially_consistent());
+        assert_eq!(mon.first_violation(), Some(v));
+    }
+
+    #[test]
+    fn fraction_meter_matches_batch_fractions() {
+        use crate::fractions::{non_linearizable_ops, non_sequentially_consistent_ops};
+        let ops = vec![
+            op(0, 0.0, 1.0, 5),
+            op(0, 2.0, 3.0, 2), // non-SC and non-lin
+            op(1, 4.0, 5.0, 3), // non-lin only
+        ];
+        let mut meter = StreamingFractionMeter::new();
+        let flags: Vec<EventFlags> = ops.iter().map(|o| meter.push(o)).collect();
+        assert!(!flags[0].non_linearizable);
+        assert!(flags[1].non_linearizable && flags[1].non_sequentially_consistent);
+        assert!(flags[2].non_linearizable && !flags[2].non_sequentially_consistent);
+        assert_eq!(meter.non_linearizable(), non_linearizable_ops(&ops).len());
+        assert_eq!(
+            meter.non_sequentially_consistent(),
+            non_sequentially_consistent_ops(&ops).len()
+        );
+        assert_eq!(meter.f_nl(), 2.0 / 3.0);
+        assert_eq!(meter.f_nsc(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn auditor_combines_all_three() {
+        let mut aud = StreamingAuditor::new();
+        aud.push(&op(0, 0.0, 1.0, 5));
+        aud.push(&op(0, 2.0, 3.0, 2));
+        assert_eq!(aud.operations(), 2);
+        assert!(!aud.is_linearizable());
+        assert!(!aud.is_sequentially_consistent());
+        assert!(aud.linearizability_violation().is_some());
+        assert!(aud.sequential_consistency_violation().is_some());
+        assert_eq!(aud.non_linearizable(), 1);
+        assert_eq!(aud.f_nsc(), 0.5);
+    }
+
+    #[test]
+    fn vec_is_a_sink_and_stream_execution_orders_by_enter() {
+        use cnet_sim::engine::run;
+        use cnet_sim::workload::{generate, WorkloadConfig};
+        use cnet_topology::construct::bitonic;
+        let net = bitonic(4).unwrap();
+        let cfg = WorkloadConfig {
+            processes: 4,
+            tokens_per_process: 3,
+            c_min: 1.0,
+            c_max: 2.0,
+            local_delay: 0.0,
+            start_spread: 2.0,
+        };
+        let exec = run(&net, &generate(&net, &cfg, 11)).unwrap();
+        let mut events: Vec<OpEvent> = Vec::new();
+        let n = stream_execution(&exec, &mut events);
+        assert_eq!(n, events.len());
+        assert_eq!(n, exec.records().len());
+        assert!(events.windows(2).all(|w| w[0].enter_key() <= w[1].enter_key()));
+        // Same multiset of values as the batch conversion.
+        let mut streamed: Vec<u64> = events.iter().map(|e| e.value).collect();
+        let mut batch: Vec<u64> =
+            crate::op::Op::from_execution(&exec).iter().map(|o| o.value).collect();
+        streamed.sort_unstable();
+        batch.sort_unstable();
+        assert_eq!(streamed, batch);
+    }
+
+    #[test]
+    fn merger_orders_interleaved_shards() {
+        let mut m = EventMerger::new(3);
+        // Shard 2 lags: nothing can be released until it reports.
+        m.push(0, RawOp { process: 0, enter_ns: 10, exit_ns: 12, value: 0 });
+        m.push(1, RawOp { process: 1, enter_ns: 4, exit_ns: 30, value: 1 });
+        let mut out: Vec<OpEvent> = Vec::new();
+        assert_eq!(m.drain_into(&mut out), 0);
+        m.push(2, RawOp { process: 2, enter_ns: 8, exit_ns: 9, value: 2 });
+        // Watermarks now 10/4/8 -> threshold 4: only shard 1's event (enter
+        // 4) is safe.
+        assert_eq!(m.drain_into(&mut out), 1);
+        assert_eq!(out[0].value, 1);
+        m.finish(0);
+        m.finish(1);
+        m.finish(2);
+        assert_eq!(m.drain_into(&mut out), 2);
+        let enters: Vec<u64> = out.iter().map(|e| e.enter_ns).collect();
+        assert_eq!(enters, vec![4, 8, 10]);
+        assert_eq!(m.emitted(), 3);
+        assert_eq!(m.buffered(), 0);
+        // Assigned sequence numbers are the release order.
+        assert!(out.iter().enumerate().all(|(k, e)| e.enter_seq == k));
+    }
+
+    #[test]
+    fn merger_ties_in_one_nanosecond_read_as_overlap() {
+        let mut m = EventMerger::new(2);
+        // Shard 0's op exits in the same nanosecond shard 1's enters.
+        m.push(0, RawOp { process: 0, enter_ns: 5, exit_ns: 10, value: 7 });
+        m.push(1, RawOp { process: 1, enter_ns: 10, exit_ns: 11, value: 0 });
+        m.finish(0);
+        m.finish(1);
+        let mut out: Vec<OpEvent> = Vec::new();
+        m.drain_into(&mut out);
+        assert!(out[0].overlaps(&out[1]), "tied ns must not order the ops");
+        // So the value inversion (7 before 0) is NOT a violation.
+        assert!(is_linearizable(&out));
+    }
+
+    #[test]
+    #[should_panic(expected = "regressed within shard")]
+    fn merger_rejects_regressing_shard_streams() {
+        let mut m = EventMerger::new(1);
+        m.push(0, RawOp { process: 0, enter_ns: 10, exit_ns: 12, value: 0 });
+        m.push(0, RawOp { process: 0, enter_ns: 3, exit_ns: 4, value: 1 });
+    }
+
+    #[test]
+    fn merged_stream_feeds_monitors_directly() {
+        // Two shards, one genuinely non-linearizable pattern: shard 0's op
+        // finishes (value 5) strictly before shard 1's op begins (value 1).
+        let mut m = EventMerger::new(2);
+        m.push(0, RawOp { process: 0, enter_ns: 0, exit_ns: 10, value: 5 });
+        m.push(0, RawOp { process: 0, enter_ns: 40, exit_ns: 50, value: 6 });
+        m.push(1, RawOp { process: 1, enter_ns: 20, exit_ns: 30, value: 1 });
+        m.finish(0);
+        m.finish(1);
+        let mut aud = StreamingAuditor::new();
+        m.drain_into(&mut aud);
+        assert_eq!(aud.operations(), 3);
+        assert!(!aud.is_linearizable());
+        assert!(aud.is_sequentially_consistent()); // per-process values increase
+        assert_eq!(aud.non_linearizable(), 1);
+    }
+
+    #[test]
+    fn op_event_round_trips_through_json() {
+        use cnet_util::json;
+        let ev = OpEvent {
+            process: 3,
+            enter_ns: 250_000_000,
+            enter_seq: 42,
+            exit_ns: 1_750_000_000,
+            exit_seq: 43,
+            value: 42,
+        };
+        let back: OpEvent = json::from_str(&json::to_string(&ev)).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn secs_to_ns_is_monotone_and_rounds() {
+        assert_eq!(secs_to_ns(0.0), 0);
+        assert_eq!(secs_to_ns(1.0), 1_000_000_000);
+        assert_eq!(secs_to_ns(2.5e-9), 3); // rounds
+        assert_eq!(secs_to_ns(-1.0), 0); // clamps
+        let mut prev = 0;
+        for k in 0..1000 {
+            let ns = secs_to_ns(k as f64 * 0.001);
+            assert!(ns >= prev);
+            prev = ns;
+        }
+    }
+}

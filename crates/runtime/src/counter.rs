@@ -14,12 +14,14 @@
 //!   traversals against each other.
 
 use crate::compiled::CompiledNetwork;
+use crate::recorder::TraceRecorder;
 use crate::ProcessCounter;
 use cnet_topology::ids::SourceId;
 use cnet_topology::network::WireEnd;
 use cnet_topology::Network;
 use cnet_util::sync::CachePadded;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A counting network laid out in shared memory: one atomic round-robin
 /// word per balancer, one atomic counter per output wire — every word on
@@ -64,6 +66,9 @@ pub struct SharedNetworkCounter {
     /// Next value handed out by each counter; counter `j` starts at `j` and
     /// strides by the fan-out. One cache line each.
     counters: Box<[CachePadded<AtomicU64>]>,
+    /// When present, [`ProcessCounter::next_for`] records every traversal
+    /// into the recorder's per-process shard (batched boundary stamps).
+    recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl SharedNetworkCounter {
@@ -80,7 +85,16 @@ impl SharedNetworkCounter {
         let counters = (0..engine.fan_out())
             .map(|j| CachePadded::new(AtomicU64::new(j as u64)))
             .collect();
-        SharedNetworkCounter { engine, balancers, counters }
+        SharedNetworkCounter { engine, balancers, counters, recorder: None }
+    }
+
+    /// Like [`new`](Self::new), with every [`ProcessCounter::next_for`]
+    /// operation recorded into `recorder` (process `p` writes shard `p`, so
+    /// process ids must stay below [`TraceRecorder::shards`]).
+    pub fn with_recorder(net: &Network, recorder: Arc<TraceRecorder>) -> Self {
+        let mut counter = SharedNetworkCounter::new(net);
+        counter.recorder = Some(recorder);
+        counter
     }
 
     /// The compiled routing tables this counter traverses.
@@ -124,7 +138,14 @@ impl SharedNetworkCounter {
 
 impl ProcessCounter for SharedNetworkCounter {
     fn next_for(&self, process: usize) -> u64 {
-        self.increment_from(process % self.engine.fan_in())
+        match &self.recorder {
+            None => self.increment_from(process % self.engine.fan_in()),
+            Some(rec) => {
+                let value = self.increment_from(process % self.engine.fan_in());
+                rec.record(process, value);
+                value
+            }
+        }
     }
 }
 

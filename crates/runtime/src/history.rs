@@ -1,26 +1,31 @@
 //! Wall-clock operation recording for real threaded runs.
 //!
 //! [`drive`] runs a multi-threaded increment workload against any
-//! [`ProcessCounter`], timestamping every operation against a common
-//! monotonic epoch, and returns [`RecordedOp`]s convertible to
-//! [`cnet_core::Op`] — so the consistency checkers and fraction meters of
-//! `cnet-core` apply to real executions exactly as they do to simulated
-//! ones.
+//! [`ProcessCounter`], timestamping every operation in integer nanoseconds
+//! against a common monotonic clock ([`cnet_util::time::Clock`]), and
+//! returns [`RecordedOp`]s convertible to [`cnet_core::Op`] — so the
+//! consistency checkers and fraction meters of `cnet-core` apply to real
+//! executions exactly as they do to simulated ones. [`stream_records`]
+//! feeds a finished batch straight into any [`OpSink`] (e.g. the online
+//! monitors); for auditing *while* the run executes, see
+//! [`crate::recorder`].
 
 use crate::ProcessCounter;
 use cnet_core::op::Op;
+use cnet_core::trace::OpSink;
+use cnet_util::time::Clock;
 use std::thread;
-use std::time::Instant;
 
 /// One recorded increment operation from a threaded run.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecordedOp {
     /// The process (thread index) that performed the operation.
     pub process: usize,
-    /// Seconds since the workload's epoch at which the operation started.
-    pub enter: f64,
-    /// Seconds since the epoch at which the value was obtained.
-    pub exit: f64,
+    /// Nanoseconds since the workload's epoch at which the operation
+    /// started.
+    pub enter_ns: u64,
+    /// Nanoseconds since the epoch at which the value was obtained.
+    pub exit_ns: u64,
     /// The value obtained.
     pub value: u64,
 }
@@ -31,9 +36,9 @@ impl RecordedOp {
     pub fn to_op(self) -> Op {
         Op {
             process: self.process,
-            enter_time: self.enter,
+            enter_ns: self.enter_ns,
             enter_seq: self.value as usize,
-            exit_time: self.exit,
+            exit_ns: self.exit_ns,
             exit_seq: self.value as usize,
             value: self.value,
         }
@@ -43,6 +48,18 @@ impl RecordedOp {
 /// Converts a batch of recorded operations for the `cnet-core` checkers.
 pub fn to_ops(records: &[RecordedOp]) -> Vec<Op> {
     records.iter().map(|r| r.to_op()).collect()
+}
+
+/// Streams a finished batch of records into a sink in enter order (the
+/// order the online monitors require). Returns the event count.
+pub fn stream_records(records: &[RecordedOp], sink: &mut impl OpSink) -> usize {
+    let mut ops = to_ops(records);
+    ops.sort_by_key(|o| o.enter_key());
+    let n = ops.len();
+    for op in ops {
+        sink.record(op);
+    }
+    n
 }
 
 /// A threaded increment workload.
@@ -69,19 +86,27 @@ pub struct Workload {
 /// assert!(is_linearizable(&to_ops(&records)));
 /// ```
 pub fn drive<C: ProcessCounter>(counter: &C, workload: Workload) -> Vec<RecordedOp> {
-    let epoch = Instant::now();
+    let clock = Clock::new();
     thread::scope(|s| {
         let handles: Vec<_> = (0..workload.threads)
             .map(|p| {
+                let clock = &clock;
                 s.spawn(move || {
                     let mut ops = Vec::with_capacity(workload.increments_per_thread);
                     for _ in 0..workload.increments_per_thread {
-                        let enter = epoch.elapsed().as_secs_f64();
+                        let enter = clock.raw();
                         let value = counter.next_for(p);
-                        let exit = epoch.elapsed().as_secs_f64();
-                        ops.push(RecordedOp { process: p, enter, exit, value });
+                        let exit = clock.raw();
+                        ops.push((enter, exit, value));
                     }
-                    ops
+                    ops.into_iter()
+                        .map(|(enter, exit, value)| RecordedOp {
+                            process: p,
+                            enter_ns: clock.raw_to_ns(enter),
+                            exit_ns: clock.raw_to_ns(exit),
+                            value,
+                        })
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
@@ -107,7 +132,7 @@ mod tests {
         values.sort_unstable();
         assert_eq!(values, (0..120).collect::<Vec<_>>());
         for r in &records {
-            assert!(r.enter <= r.exit);
+            assert!(r.enter_ns <= r.exit_ns);
         }
     }
 
@@ -142,7 +167,20 @@ mod tests {
         let records = drive(&counter, Workload { threads: 2, increments_per_thread: 50 });
         for p in 0..2 {
             let mine: Vec<_> = records.iter().filter(|r| r.process == p).collect();
-            assert!(mine.windows(2).all(|w| w[0].exit <= w[1].enter));
+            assert!(mine.windows(2).all(|w| w[0].exit_ns <= w[1].enter_ns));
         }
+    }
+
+    #[test]
+    fn streamed_records_match_batch_verdicts() {
+        use cnet_core::trace::StreamingAuditor;
+        let counter = FetchAddCounter::new();
+        let records = drive(&counter, Workload { threads: 3, increments_per_thread: 60 });
+        let mut aud = StreamingAuditor::new();
+        let n = stream_records(&records, &mut aud);
+        assert_eq!(n, 180);
+        assert!(aud.is_linearizable());
+        assert!(aud.is_sequentially_consistent());
+        assert_eq!(aud.f_nl(), 0.0);
     }
 }

@@ -22,9 +22,14 @@
 //!   synchronization built on *any* counter, which needs only gap-free
 //!   values (and is the motivating example for settling for sequential
 //!   consistency);
-//! * [`history`] — wall-clock operation recording, producing
-//!   [`cnet_core::Op`]s so the same checkers that analyze simulated
-//!   executions analyze real threaded runs.
+//! * [`history`] — wall-clock operation recording (integer nanoseconds
+//!   from a calibrated monotonic clock), producing [`cnet_core::Op`]s so
+//!   the same checkers that analyze simulated executions analyze real
+//!   threaded runs;
+//! * [`recorder`] — the always-on observability path: per-thread sharded
+//!   ring buffers ([`recorder::TraceRecorder`]) capture every increment at
+//!   a few nanoseconds apiece and [`recorder::drive_audited`] streams them
+//!   through `cnet-core`'s online monitors *while the run executes*.
 //!
 //! # Example
 //!
@@ -52,6 +57,7 @@ pub mod diffracting;
 pub mod history;
 pub mod message_passing;
 pub mod paced;
+pub mod recorder;
 pub mod stats;
 
 pub use baseline::{FetchAddCounter, LockCounter};
@@ -60,6 +66,7 @@ pub use compiled::CompiledNetwork;
 pub use counter::{GraphWalkCounter, SharedNetworkCounter};
 pub use diffracting::DiffractingTree;
 pub use history::{drive, RecordedOp, Workload};
+pub use recorder::{drain_remaining, drive_audited, AuditedRun, TraceRecorder, Traced};
 pub use message_passing::MessagePassingCounter;
 pub use paced::LocallyPacedCounter;
 pub use stats::InstrumentedNetworkCounter;

@@ -118,12 +118,12 @@ mod tests {
         let records = drive(&paced, Workload { threads: 2, increments_per_thread: 8 });
         for p in 0..2 {
             let mut mine: Vec<_> = records.iter().filter(|r| r.process == p).collect();
-            mine.sort_by(|a, b| a.enter.total_cmp(&b.enter));
+            mine.sort_by_key(|r| r.enter_ns);
             for pair in mine.windows(2) {
-                let gap = pair[1].exit - pair[0].exit;
+                let gap = pair[1].exit_ns - pair[0].exit_ns;
                 assert!(
-                    gap >= delay.as_secs_f64() * 0.8,
-                    "process {p}: completion gap {gap} below the pace"
+                    gap as f64 >= delay.as_nanos() as f64 * 0.8,
+                    "process {p}: completion gap {gap}ns below the pace"
                 );
             }
         }

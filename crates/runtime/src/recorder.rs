@@ -1,0 +1,496 @@
+//! The always-on trace recorder: per-thread sharded ring buffers that
+//! capture every increment at a cost small enough to leave hot-path
+//! throughput intact, drained off the hot path into the online monitors.
+//!
+//! # Design
+//!
+//! * **One shard per thread.** Each worker writes only its own ring, so
+//!   the hot path takes no locks and contends on no shared word. A shard's
+//!   `head`/`tail` indices sit on their own cache lines
+//!   ([`cnet_util::sync::CachePadded`]).
+//! * **Batched boundary timestamps.** Reading the cycle counter costs more
+//!   than the whole ring write (tens of cycles, and far more under
+//!   virtualization), so the recorder does not stamp every operation.
+//!   Instead it takes one raw [`cnet_util::time::raw_ticks`] reading per
+//!   *batch* of [`BATCH`] operations, at the batch boundary, and every
+//!   operation in the batch is recorded with the interval
+//!   `[previous boundary stamp, this boundary stamp]`. Both ends of that
+//!   interval only ever *widen* the true interval (the batch's first
+//!   operation enters after the previous boundary; its last exits before
+//!   the next), so every real-time precedence the monitors derive from
+//!   recorded events is a genuine precedence — widening can hide a
+//!   violation that fits inside one batch span (≈ `BATCH` operation
+//!   latencies, about a microsecond), never fabricate one. The scheduling
+//!   pathologies that produce real violations hold operations open across
+//!   preemptions, orders of magnitude longer than a batch.
+//! * **Raw ticks on the hot path.** Conversion to nanoseconds through the
+//!   calibrated [`Clock`] happens at drain time, off the measured path.
+//! * **Three words per event.** `enter`, `exit`, `value` as relaxed atomic
+//!   stores, published by a release store of `head`; the drainer's acquire
+//!   load of `head` makes the slots visible. Each shard has exactly one
+//!   writer, so `head` needs no read-modify-write, and unpublished
+//!   (pending) slots beyond `head` are invisible to the drainer until the
+//!   batch's release.
+//! * **Overflow drops, never blocks.** A full ring counts the event in
+//!   [`TraceRecorder::dropped`] and moves on — recording must never
+//!   throttle the counter it observes. Size rings to the workload
+//!   (`capacity ≥ increments per thread` guarantees zero drops).
+//!
+//! [`drive_audited`] ties it together: workers hammer a counter wrapped
+//! with a recorder ([`Traced`], or the `with_recorder` constructors on
+//! [`crate::SharedNetworkCounter`] / [`crate::DiffractingTree`]) while the
+//! driving thread periodically drains the rings through an
+//! [`EventMerger`] into a [`StreamingAuditor`] — consistency verdicts and
+//! Section 5.1 fractions, live, while the run executes.
+
+use crate::{ProcessCounter, Workload};
+use cnet_core::trace::{EventMerger, OpSink, RawOp, StreamingAuditor};
+use cnet_util::sync::CachePadded;
+use cnet_util::time::{raw_ticks, Clock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Operations per timestamp batch: one cycle-counter read amortized over
+/// this many events (capped at the ring capacity for tiny rings).
+pub const BATCH: usize = 16;
+
+/// One ring slot: an event's raw-tick interval and value.
+#[derive(Debug)]
+struct Slot {
+    enter: AtomicU64,
+    exit: AtomicU64,
+    value: AtomicU64,
+}
+
+/// One single-writer ring.
+#[derive(Debug)]
+struct Shard {
+    /// Events published (written only by the shard's owning thread).
+    head: CachePadded<AtomicUsize>,
+    /// Events consumed (written only by the drainer).
+    tail: CachePadded<AtomicUsize>,
+    /// Events lost to a full ring.
+    dropped: CachePadded<AtomicU64>,
+    /// Last drained enter time (drainer-only): clamps the (theoretically
+    /// impossible, on sane TSCs) regression so the merger's per-shard
+    /// ordering invariant holds unconditionally.
+    last_enter_ns: AtomicU64,
+    /// The shard's last batch-boundary stamp (writer-only): the enter bound
+    /// of every event in the batch being accumulated.
+    last_stamp: AtomicU64,
+    /// Events written beyond `head` but not yet published (writer-only).
+    pending: AtomicUsize,
+    slots: Box<[Slot]>,
+}
+
+/// The sharded ring-buffer recorder (see module docs). Writers call
+/// [`record`](Self::record) (one thread per shard); one drainer at a time
+/// calls [`drain_into`](Self::drain_into). All methods take `&self`, so a
+/// recorder can be shared (`Arc`) between the counter that writes it and
+/// the auditor loop that drains it.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    clock: Clock,
+    shards: Box<[Shard]>,
+    mask: usize,
+    /// Effective batch size: `min(BATCH, capacity)`.
+    batch: usize,
+}
+
+impl TraceRecorder {
+    /// A recorder with `shards` rings of at least `capacity` events each
+    /// (rounded up to a power of two). Each shard must be written by at
+    /// most one thread at a time; shard `s` is reported as process `s`.
+    pub fn new(shards: usize, capacity: usize) -> TraceRecorder {
+        let cap = capacity.max(2).next_power_of_two();
+        let clock = Clock::new();
+        let origin = raw_ticks();
+        let make_shard = || Shard {
+            head: CachePadded::new(AtomicUsize::new(0)),
+            tail: CachePadded::new(AtomicUsize::new(0)),
+            dropped: CachePadded::new(AtomicU64::new(0)),
+            last_enter_ns: AtomicU64::new(0),
+            last_stamp: AtomicU64::new(origin),
+            pending: AtomicUsize::new(0),
+            slots: (0..cap)
+                .map(|_| Slot {
+                    enter: AtomicU64::new(0),
+                    exit: AtomicU64::new(0),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+        };
+        TraceRecorder {
+            clock,
+            shards: (0..shards).map(|_| make_shard()).collect(),
+            mask: cap - 1,
+            batch: BATCH.min(cap),
+        }
+    }
+
+    /// The number of shards (the maximum worker count).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ring capacity per shard, in events.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Records one completed operation on `shard` (its timestamp interval
+    /// is the enclosing batch's boundary interval; see module docs).
+    /// Returns `false` (and counts a drop) if the ring is full. The caller
+    /// must be the shard's only concurrent writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[inline]
+    pub fn record(&self, shard: usize, value: u64) -> bool {
+        let s = &self.shards[shard];
+        let head = s.head.load(Ordering::Relaxed);
+        let pending = s.pending.load(Ordering::Relaxed);
+        if head.wrapping_add(pending).wrapping_sub(s.tail.load(Ordering::Acquire)) > self.mask {
+            s.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        s.slots[head.wrapping_add(pending) & self.mask].value.store(value, Ordering::Relaxed);
+        let pending = pending + 1;
+        if pending == self.batch {
+            self.publish(s, head, pending);
+        } else {
+            s.pending.store(pending, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Stamps and publishes the shard's pending batch.
+    fn publish(&self, s: &Shard, head: usize, pending: usize) {
+        let now = raw_ticks();
+        let enter = s.last_stamp.load(Ordering::Relaxed);
+        for i in 0..pending {
+            let slot = &s.slots[head.wrapping_add(i) & self.mask];
+            slot.enter.store(enter, Ordering::Relaxed);
+            slot.exit.store(now, Ordering::Relaxed);
+        }
+        s.last_stamp.store(now, Ordering::Relaxed);
+        s.pending.store(0, Ordering::Relaxed);
+        s.head.store(head.wrapping_add(pending), Ordering::Release);
+    }
+
+    /// Publishes `shard`'s partial batch, if any. Must be called by the
+    /// shard's writing thread, or after that thread has quiesced (e.g.
+    /// been joined) — never concurrently with its [`record`](Self::record)
+    /// calls.
+    pub fn flush(&self, shard: usize) {
+        let s = &self.shards[shard];
+        let pending = s.pending.load(Ordering::Relaxed);
+        if pending > 0 {
+            self.publish(s, s.head.load(Ordering::Relaxed), pending);
+        }
+    }
+
+    /// Total events lost to full rings so far.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Moves every currently-published event out of the rings into the
+    /// merger (shard `s` feeds merger shard `s` as process `s`),
+    /// converting raw ticks to nanoseconds. Returns how many events moved.
+    /// Call from one drainer thread at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the merger has fewer shards than the recorder.
+    pub fn drain_into(&self, merger: &mut EventMerger) -> usize {
+        let mut moved = 0;
+        for (si, s) in self.shards.iter().enumerate() {
+            let head = s.head.load(Ordering::Acquire);
+            let mut tail = s.tail.load(Ordering::Relaxed);
+            let mut last_enter = s.last_enter_ns.load(Ordering::Relaxed);
+            while tail != head {
+                let slot = &s.slots[tail & self.mask];
+                let enter_raw = slot.enter.load(Ordering::Relaxed);
+                let exit_raw = slot.exit.load(Ordering::Relaxed);
+                let value = slot.value.load(Ordering::Relaxed);
+                // Clamp so per-shard enters never regress and intervals
+                // stay well-formed even under TSC pathologies.
+                let enter_ns = self.clock.raw_to_ns(enter_raw).max(last_enter);
+                let exit_ns = self.clock.raw_to_ns(exit_raw).max(enter_ns);
+                last_enter = enter_ns;
+                merger.push(si, RawOp { process: si, enter_ns, exit_ns, value });
+                tail = tail.wrapping_add(1);
+                moved += 1;
+            }
+            s.last_enter_ns.store(last_enter, Ordering::Relaxed);
+            s.tail.store(tail, Ordering::Release);
+        }
+        moved
+    }
+}
+
+/// Wraps any [`ProcessCounter`] so every operation is recorded: process
+/// `p`'s operations land in shard `p` of the recorder (so `p` must stay
+/// below [`TraceRecorder::shards`], with one thread per process).
+#[derive(Debug)]
+pub struct Traced<C> {
+    inner: C,
+    recorder: Arc<TraceRecorder>,
+}
+
+impl<C: ProcessCounter> Traced<C> {
+    /// Wraps `inner` with `recorder`.
+    pub fn new(inner: C, recorder: Arc<TraceRecorder>) -> Traced<C> {
+        Traced { inner, recorder }
+    }
+
+    /// The wrapped counter.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The recorder operations land in.
+    pub fn recorder(&self) -> &Arc<TraceRecorder> {
+        &self.recorder
+    }
+}
+
+impl<C: ProcessCounter> ProcessCounter for Traced<C> {
+    fn next_for(&self, process: usize) -> u64 {
+        let value = self.inner.next_for(process);
+        self.recorder.record(process, value);
+        value
+    }
+}
+
+/// The outcome of an audited run: the auditor (verdicts, witnesses,
+/// fractions) plus the recording bookkeeping.
+#[derive(Debug)]
+pub struct AuditedRun {
+    /// The auditor after consuming the whole merged stream.
+    pub auditor: StreamingAuditor,
+    /// Events that reached the auditor.
+    pub recorded: usize,
+    /// Events lost to full rings (0 when `capacity ≥ increments per
+    /// thread`).
+    pub dropped: u64,
+}
+
+/// Runs `workload` against a counter that records into `recorder` (wrap it
+/// with [`Traced`] or build it `with_recorder`), draining the rings into a
+/// [`StreamingAuditor`] **while the workers run**. `on_progress` fires
+/// after each non-empty drain with the auditor's running state.
+///
+/// # Panics
+///
+/// Panics if the recorder has fewer shards than the workload has threads
+/// (two threads would share a ring, breaking the single-writer contract).
+pub fn drive_audited<C: ProcessCounter>(
+    counter: &C,
+    recorder: &TraceRecorder,
+    workload: Workload,
+    mut on_progress: impl FnMut(&StreamingAuditor),
+) -> AuditedRun {
+    assert!(
+        recorder.shards() >= workload.threads,
+        "recorder has {} shards for {} threads",
+        recorder.shards(),
+        workload.threads
+    );
+    let shards = recorder.shards();
+    let mut merger = EventMerger::new(shards);
+    let mut auditor = StreamingAuditor::new();
+    let finished = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for p in 0..workload.threads {
+            let finished = &finished;
+            s.spawn(move || {
+                for _ in 0..workload.increments_per_thread {
+                    counter.next_for(p);
+                }
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+        loop {
+            let done = finished.load(Ordering::Acquire) == workload.threads;
+            if recorder.drain_into(&mut merger) > 0 {
+                merger.drain_into(&mut auditor);
+                on_progress(&auditor);
+            }
+            if done {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    });
+    // Workers are joined: publish every partial batch, collect the stream,
+    // then release the merger's watermarks (finished shards no longer
+    // constrain release).
+    for sh in 0..shards {
+        recorder.flush(sh);
+    }
+    recorder.drain_into(&mut merger);
+    for sh in 0..shards {
+        merger.finish(sh);
+    }
+    merger.drain_into(&mut auditor);
+    let recorded = auditor.operations();
+    AuditedRun { auditor, recorded, dropped: recorder.dropped() }
+}
+
+/// Flushes partial batches and drains whatever remains in `recorder` into
+/// an arbitrary sink, merging shards in enter order (a convenience for
+/// post-run, non-live auditing — all writers must have quiesced).
+pub fn drain_remaining(recorder: &TraceRecorder, sink: &mut impl OpSink) -> usize {
+    let mut merger = EventMerger::new(recorder.shards());
+    for sh in 0..recorder.shards() {
+        recorder.flush(sh);
+    }
+    recorder.drain_into(&mut merger);
+    for sh in 0..recorder.shards() {
+        merger.finish(sh);
+    }
+    merger.drain_into(sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FetchAddCounter;
+    use cnet_core::trace::OpEvent;
+
+    #[test]
+    fn record_and_drain_round_trip() {
+        let rec = TraceRecorder::new(2, 8);
+        assert!(rec.record(0, 0));
+        assert!(rec.record(0, 2));
+        assert!(rec.record(1, 1));
+        let mut events: Vec<OpEvent> = Vec::new();
+        let n = drain_remaining(&rec, &mut events);
+        assert_eq!(n, 3);
+        // Globally enter-ordered; shard index is the process.
+        assert!(events.windows(2).all(|w| w[0].enter_key() <= w[1].enter_key()));
+        let mine: Vec<u64> =
+            events.iter().filter(|e| e.process == 0).map(|e| e.value).collect();
+        assert_eq!(mine, vec![0, 2]);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn batches_share_boundary_intervals() {
+        let rec = TraceRecorder::new(1, 64); // batch = BATCH = 16
+        for v in 0..40u64 {
+            assert!(rec.record(0, v));
+        }
+        // Two full batches published without any flush; the partial third
+        // batch needs one.
+        let mut merger = EventMerger::new(1);
+        assert_eq!(rec.drain_into(&mut merger), 32);
+        rec.flush(0);
+        assert_eq!(rec.drain_into(&mut merger), 8);
+        merger.finish(0);
+        let mut events: Vec<OpEvent> = Vec::new();
+        merger.drain_into(&mut events);
+        assert_eq!(events.len(), 40);
+        // Every op in a batch carries the batch's boundary interval...
+        let first = &events[0];
+        assert!(events[..16]
+            .iter()
+            .all(|e| e.enter_ns == first.enter_ns && e.exit_ns == first.exit_ns));
+        // ...so in-batch ops mutually overlap, and adjacent batches meet at
+        // the shared boundary instant, which reads as overlap — the
+        // widening never fabricates a precedence.
+        assert!(events[0].overlaps(&events[15]));
+        assert_eq!(events[16].enter_ns, events[0].exit_ns);
+        assert!(!events[0].completely_precedes(&events[16]));
+        // Batches separated by a full intervening batch do order.
+        assert!(events[0].completely_precedes(&events[39]));
+    }
+
+    #[test]
+    fn full_ring_drops_instead_of_blocking() {
+        let rec = TraceRecorder::new(1, 2); // capacity 2, batch 2
+        assert!(rec.record(0, 0));
+        assert!(rec.record(0, 1)); // full batch, auto-published
+        assert!(!rec.record(0, 2)); // full
+        assert_eq!(rec.dropped(), 1);
+        // Draining frees the ring for further events.
+        let mut merger = EventMerger::new(1);
+        assert_eq!(rec.drain_into(&mut merger), 2);
+        assert!(rec.record(0, 3));
+        rec.flush(0);
+        rec.drain_into(&mut merger);
+        merger.finish(0);
+        let mut out: Vec<OpEvent> = Vec::new();
+        merger.drain_into(&mut out);
+        let values: Vec<u64> = out.iter().map(|e| e.value).collect();
+        assert_eq!(values, vec![0, 1, 3]); // 2 was dropped
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        let rec = TraceRecorder::new(1, 1000);
+        assert_eq!(rec.capacity(), 1024);
+        assert_eq!(TraceRecorder::new(3, 1).shards(), 3);
+    }
+
+    #[test]
+    fn traced_fetch_add_audits_clean_live() {
+        let threads = 4;
+        let per_thread = 500;
+        let recorder = Arc::new(TraceRecorder::new(threads, per_thread));
+        let counter = Traced::new(FetchAddCounter::new(), Arc::clone(&recorder));
+        let mut progress_calls = 0usize;
+        let run = drive_audited(
+            &counter,
+            &recorder,
+            Workload { threads, increments_per_thread: per_thread },
+            |_| progress_calls += 1,
+        );
+        assert_eq!(run.recorded, threads * per_thread);
+        assert_eq!(run.dropped, 0);
+        assert!(progress_calls >= 1);
+        // A fetch-and-add word under a monotone global clock audits clean:
+        // recorded intervals only widen the true ones, so a recorded
+        // precedence is a real-time precedence, which implies the earlier
+        // op's fetch_add happened first, hence the smaller value.
+        assert!(run.auditor.is_linearizable());
+        assert!(run.auditor.is_sequentially_consistent());
+        assert_eq!(run.auditor.f_nl(), 0.0);
+        assert_eq!(run.auditor.f_nsc(), 0.0);
+    }
+
+    #[test]
+    fn audited_run_with_idle_threads_still_flushes() {
+        // More shards than threads: idle shards must not block the merger.
+        let recorder = Arc::new(TraceRecorder::new(6, 64));
+        let counter = Traced::new(FetchAddCounter::new(), Arc::clone(&recorder));
+        let run = drive_audited(
+            &counter,
+            &recorder,
+            Workload { threads: 2, increments_per_thread: 50 },
+            |_| {},
+        );
+        assert_eq!(run.recorded, 100);
+        assert!(run.auditor.is_linearizable());
+    }
+
+    #[test]
+    fn overflow_during_audited_run_is_reported_not_fatal() {
+        // Tiny rings with a workload far beyond them: drops are counted,
+        // the run completes, and what was recorded still audits.
+        let recorder = Arc::new(TraceRecorder::new(2, 4));
+        let counter = Traced::new(FetchAddCounter::new(), Arc::clone(&recorder));
+        let run = drive_audited(
+            &counter,
+            &recorder,
+            Workload { threads: 2, increments_per_thread: 2000 },
+            |_| {},
+        );
+        assert_eq!(run.recorded as u64 + run.dropped, 4000);
+        assert!(run.auditor.is_sequentially_consistent());
+    }
+}

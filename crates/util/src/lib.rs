@@ -20,7 +20,11 @@
 //!   `proptest!` / `prop_assert!` macro surface, seeded case generation and
 //!   failure-seed reporting (replaces `proptest`);
 //! * [`bench`] — a criterion-compatible timer harness so the `benches/`
-//!   targets compile and run as plain binaries (replaces `criterion`).
+//!   targets compile and run as plain binaries (replaces `criterion`);
+//! * [`time`] — a calibrated monotonic nanosecond clock ([`time::Clock`])
+//!   cheap enough to timestamp individual lock-free operations (`rdtsc` on
+//!   x86_64, `Instant` elsewhere), for the trace recorder in
+//!   `cnet-runtime`.
 //!
 //! Determinism is the point, not a side effect: the paper's consistency
 //! checkers only mean something when runs are replayable, so every source
@@ -32,3 +36,4 @@ pub mod json;
 pub mod proptest;
 pub mod rng;
 pub mod sync;
+pub mod time;

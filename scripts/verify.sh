@@ -40,10 +40,25 @@ if [ "$fail" -ne 0 ]; then
 fi
 echo "manifest scan: ok (all dependencies are in-tree path dependencies)"
 
-cargo build --release --offline --workspace
+# Warnings gate: the release build must be clean under -D warnings.
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 # Smoke-run the benchmark pipeline: under `cargo test` (no --bench flag)
 # each harness=false bench target executes its routines once, so this
 # verifies the measurement code paths without paying for a full run.
 cargo test -q --offline -p cnet-bench
+
+# Audit smoke: a single-threaded run against the compiled backend, streamed
+# through the online monitors, must come back with zero violations (one
+# sequential process drains the network between ops, so the step property
+# makes its values strictly increase; any violation here is a recorder or
+# monitor bug). Multi-threaded audits are *expected* to catch genuine SC
+# violations on preemption-induced overtaking — see EXPERIMENTS.md — so
+# they are not a pass/fail gate.
+audit_out=$(cargo run -q --release --offline -p cnet-cli -- audit 8 --backend compiled)
+echo "$audit_out" | tail -n 3
+if ! echo "$audit_out" | grep -q "audit verdict: clean"; then
+    echo "error: cnet audit reported violations on the compiled backend" >&2
+    exit 1
+fi
 echo "verify: ok"

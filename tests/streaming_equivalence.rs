@@ -1,0 +1,181 @@
+//! The PR-3 refactor's load-bearing property: the incremental (streaming)
+//! consistency monitors in `cnet_core::trace` agree, event for event, with
+//! the retained batch sweeps in `cnet_core::consistency` /
+//! `cnet_core::fractions` — and both agree with a brute-force quadratic
+//! oracle — on arbitrary operation sets, including the adversarial
+//! executions produced by the Theorem 3.2 transformation
+//! (`cnet_sim::transform::desequentialize`).
+//!
+//! Failing seeds are logged by the harness; replay with
+//! `CNET_PROPTEST_SEED=<seed>`.
+
+use cnet_core::consistency::{
+    find_linearizability_violation, find_sequential_consistency_violation, is_linearizable,
+    is_sequentially_consistent,
+};
+use cnet_core::fractions::{
+    non_linearizability_fraction, non_linearizable_ops, non_sequential_consistency_fraction,
+    non_sequentially_consistent_ops,
+};
+use cnet_core::op::Op;
+use cnet_core::trace::{enter_order, stream_execution};
+use cnet_core::{StreamingAuditor, StreamingFractionMeter, StreamingLinMonitor, StreamingScMonitor};
+use cnet_sim::engine::run;
+use cnet_sim::transform::desequentialize;
+use cnet_sim::workload::{generate, WorkloadConfig};
+use cnet_topology::construct::bitonic;
+use cnet_util::proptest::prelude::*;
+
+/// Random operation sets: arbitrary processes, overlapping integer-ns
+/// intervals, and values drawn from a small range so collisions and
+/// inversions are common.
+fn random_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0usize..5, 0u64..600, 0u64..200, 0u64..30), 0..48).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(k, (process, enter_ns, duration, value))| Op {
+                process,
+                enter_ns,
+                enter_seq: k,
+                exit_ns: enter_ns + duration,
+                exit_seq: k,
+                value,
+            })
+            .collect()
+    })
+}
+
+/// Brute-force oracle: some op completely precedes another with a larger
+/// value.
+fn quadratic_non_linearizable(ops: &[Op]) -> bool {
+    ops.iter().any(|a| {
+        ops.iter().any(|b| a.completely_precedes(b) && a.value > b.value)
+    })
+}
+
+/// Brute-force oracle: some *same-process* op is followed, in per-process
+/// program order (enter key), by an op with a smaller value. Real processes
+/// are sequential, so enter order *is* program order; random test data may
+/// make a process overlap itself, which is why this deliberately does not
+/// require `completely_precedes`.
+fn quadratic_non_sequentially_consistent(ops: &[Op]) -> bool {
+    ops.iter().any(|a| {
+        ops.iter().any(|b| {
+            a.process == b.process && a.enter_key() < b.enter_key() && a.value > b.value
+        })
+    })
+}
+
+/// Streams `ops` in enter order through fresh monitors.
+fn stream(ops: &[Op]) -> (StreamingLinMonitor, StreamingScMonitor, StreamingFractionMeter) {
+    let mut lin = StreamingLinMonitor::new();
+    let mut sc = StreamingScMonitor::new();
+    let mut meter = StreamingFractionMeter::new();
+    for &i in &enter_order(ops) {
+        lin.push(&ops[i]);
+        sc.push(&ops[i]);
+        meter.push(&ops[i]);
+    }
+    (lin, sc, meter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On arbitrary operation sets, the streaming verdicts match the batch
+    /// sweeps, and both match the quadratic oracles.
+    #[test]
+    fn streaming_monitors_match_batch_sweeps(ops in random_ops()) {
+        let (lin, sc, _) = stream(&ops);
+        let oracle_lin = !quadratic_non_linearizable(&ops);
+        prop_assert_eq!(lin.is_linearizable(), oracle_lin);
+        prop_assert_eq!(is_linearizable(&ops), oracle_lin);
+        prop_assert_eq!(find_linearizability_violation(&ops).is_none(), oracle_lin);
+        let oracle_sc = !quadratic_non_sequentially_consistent(&ops);
+        prop_assert_eq!(sc.is_sequentially_consistent(), oracle_sc);
+        prop_assert_eq!(is_sequentially_consistent(&ops), oracle_sc);
+        prop_assert_eq!(find_sequential_consistency_violation(&ops).is_none(), oracle_sc);
+    }
+
+    /// Batch violation witnesses index the original slice and are real
+    /// violations of the claimed kind.
+    #[test]
+    fn batch_witnesses_are_genuine(ops in random_ops()) {
+        if let Some(v) = find_linearizability_violation(&ops) {
+            prop_assert!(ops[v.earlier].completely_precedes(&ops[v.later]));
+            prop_assert!(ops[v.earlier].value > ops[v.later].value);
+        }
+        if let Some(v) = find_sequential_consistency_violation(&ops) {
+            prop_assert_eq!(ops[v.earlier].process, ops[v.later].process);
+            // Program order, not real-time precedence: see the SC oracle.
+            prop_assert!(ops[v.earlier].enter_key() < ops[v.later].enter_key());
+            prop_assert!(ops[v.earlier].value > ops[v.later].value);
+        }
+    }
+
+    /// The streaming fraction meter reproduces the batch Section 5.1
+    /// counts and fractions, and its memory stays bounded by the maximum
+    /// concurrency, not the stream length.
+    #[test]
+    fn streaming_fractions_match_batch_fractions(ops in random_ops()) {
+        let (lin, _, meter) = stream(&ops);
+        prop_assert_eq!(meter.total(), ops.len());
+        prop_assert_eq!(meter.non_linearizable(), non_linearizable_ops(&ops).len());
+        prop_assert_eq!(
+            meter.non_sequentially_consistent(),
+            non_sequentially_consistent_ops(&ops).len()
+        );
+        let f_nl = non_linearizability_fraction(&ops);
+        let f_nsc = non_sequential_consistency_fraction(&ops);
+        prop_assert!((meter.f_nl() - f_nl).abs() < 1e-12);
+        prop_assert!((meter.f_nsc() - f_nsc).abs() < 1e-12);
+        // Bounded memory: the heap never holds more ops than can overlap.
+        let mut max_concurrency = 0usize;
+        for a in &ops {
+            let overlapping = ops.iter().filter(|b| a.overlaps(b)).count();
+            max_concurrency = max_concurrency.max(overlapping);
+        }
+        prop_assert!(lin.pending_len() <= max_concurrency.max(1));
+    }
+
+    /// Theorem 3.2 adversarial permutations: when the transformation
+    /// applies, the streamed verdicts on the transformed execution agree
+    /// with the batch sweeps, and the transformed run is indeed not
+    /// sequentially consistent.
+    #[test]
+    fn adversarial_transforms_agree_end_to_end(
+        lgw in 1usize..3,
+        seed in 0u64..400,
+        ratio in 4.0f64..24.0,
+    ) {
+        let net = bitonic(1 << lgw).unwrap();
+        let cfg = WorkloadConfig {
+            processes: 4,
+            tokens_per_process: 3,
+            c_min: 0.5,
+            c_max: 0.5 * ratio,
+            local_delay: 0.0,
+            start_spread: 1.0,
+        };
+        let specs = generate(&net, &cfg, seed);
+        let exec = run(&net, &specs).unwrap();
+        // Only non-linearizable executions (with slack) transform; skip the
+        // rest — the unconditional agreement is covered above.
+        let Ok(outcome) = desequentialize(&net, &specs, &exec) else { return Ok(()) };
+        let twisted = run(&net, &outcome.specs).unwrap();
+        let ops = Op::from_execution(&twisted);
+        let mut auditor = StreamingAuditor::new();
+        let n = stream_execution(&twisted, &mut auditor);
+        prop_assert_eq!(n, ops.len());
+        prop_assert_eq!(auditor.operations(), ops.len());
+        prop_assert_eq!(auditor.is_linearizable(), is_linearizable(&ops));
+        prop_assert_eq!(
+            auditor.is_sequentially_consistent(),
+            is_sequentially_consistent(&ops)
+        );
+        prop_assert!((auditor.f_nl() - non_linearizability_fraction(&ops)).abs() < 1e-12);
+        prop_assert!((auditor.f_nsc() - non_sequential_consistency_fraction(&ops)).abs() < 1e-12);
+        // The whole point of the construction:
+        prop_assert!(!auditor.is_sequentially_consistent());
+    }
+}
