@@ -8,11 +8,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod net;
 pub mod report;
 pub mod search;
 pub mod sweeps;
 pub mod throughput;
 
+pub use net::{run_net_throughput, NetThroughputConfig};
 pub use report::{write_json, Table};
 pub use throughput::{run_throughput_sweep, Measurement, ThroughputConfig, ThroughputReport};
 pub use search::{maximize, SearchOutcome, SearchSpace};

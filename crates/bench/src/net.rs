@@ -1,0 +1,149 @@
+//! Networked throughput: the `cnet-net` loopback service measured with
+//! the same [`Measurement`] schema as the in-process sweep.
+//!
+//! For each thread count, a [`CounterServer`] is started on an ephemeral
+//! loopback port and hammered by [`run_loadgen`] workers (one connection
+//! per worker, pipelined bursts). Two backends bracket the space: the
+//! `fetch_add` baseline isolates pure transport cost, and the compiled
+//! bitonic network shows what a real counting network delivers across a
+//! socket. Rows land in `BENCH_throughput.json` with
+//! `"transport": "tcp"`, next to their shared-memory counterparts, so the
+//! socket tax is a ratio you can read off one artifact.
+
+use crate::throughput::Measurement;
+use cnet_net::loadgen::{run_loadgen, LoadGenConfig};
+use cnet_net::server::{CounterServer, ServerConfig};
+use cnet_runtime::{FetchAddCounter, ProcessCounter, SharedNetworkCounter};
+use cnet_topology::construct::bitonic;
+use std::sync::Arc;
+
+/// Configuration of one networked sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetThroughputConfig {
+    /// Network fan `w` for the counting-network backend.
+    pub fan: usize,
+    /// Client thread counts to sweep (one connection per thread).
+    pub threads: Vec<usize>,
+    /// Operations each client thread pushes per timed run.
+    pub ops_per_thread: usize,
+    /// Pipelined burst size per connection.
+    pub batch: usize,
+    /// Timed repetitions per cell; the best run is kept (matching the
+    /// in-process sweep's noise filter).
+    pub repeats: usize,
+}
+
+impl Default for NetThroughputConfig {
+    fn default() -> Self {
+        NetThroughputConfig {
+            fan: 8,
+            threads: vec![1, 2, 4],
+            ops_per_thread: 5_000,
+            batch: 64,
+            repeats: 3,
+        }
+    }
+}
+
+/// Times one (backend, threads) cell: fresh server + fresh load per
+/// repetition, best run kept.
+fn measure_net(
+    label: (&str, &str),
+    build: &dyn Fn() -> Arc<dyn ProcessCounter + Send + Sync>,
+    threads: usize,
+    cfg: &NetThroughputConfig,
+) -> std::io::Result<Measurement> {
+    let total_ops = threads * cfg.ops_per_thread;
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.repeats.max(1) {
+        let mut server = CounterServer::start(
+            "127.0.0.1:0",
+            build(),
+            ServerConfig {
+                max_connections: threads.max(1),
+                processes: cfg.fan,
+                ..ServerConfig::default()
+            },
+        )?;
+        let report = run_loadgen(
+            server.local_addr(),
+            &LoadGenConfig {
+                threads,
+                ops_per_thread: cfg.ops_per_thread,
+                batch: cfg.batch,
+                collect_values: false,
+            },
+        )?;
+        server.shutdown();
+        best = best.min(report.seconds);
+    }
+    Ok(Measurement {
+        counter: label.0.to_string(),
+        network: label.1.to_string(),
+        threads,
+        total_ops,
+        seconds: best,
+        mops: total_ops as f64 / best / 1.0e6,
+        audited: false,
+        transport: Measurement::TRANSPORT_TCP.to_string(),
+    })
+}
+
+/// Runs the networked sweep and returns rows ready to append to a
+/// [`ThroughputReport`](crate::ThroughputReport)'s measurements.
+///
+/// # Errors
+///
+/// Surfaces server-bind or client I/O failures.
+///
+/// # Panics
+///
+/// Panics if `cfg.fan` is not a supported power of two.
+pub fn run_net_throughput(cfg: &NetThroughputConfig) -> std::io::Result<Vec<Measurement>> {
+    let fan = cfg.fan;
+    let backends: [(&str, &str, Box<dyn Fn() -> Arc<dyn ProcessCounter + Send + Sync>>); 2] = [
+        ("fetch_add", "-", Box::new(|| Arc::new(FetchAddCounter::new()))),
+        (
+            "compiled",
+            "bitonic",
+            Box::new(move || {
+                Arc::new(SharedNetworkCounter::new(
+                    &bitonic(fan).expect("power-of-two fan"),
+                ))
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for &threads in &cfg.threads {
+        for (counter, network, build) in &backends {
+            rows.push(measure_net((counter, network), build, threads, cfg)?);
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_sweep_produces_tcp_rows() {
+        let rows = run_net_throughput(&NetThroughputConfig {
+            fan: 4,
+            threads: vec![1, 2],
+            ops_per_thread: 200,
+            batch: 16,
+            repeats: 1,
+        })
+        .expect("loopback sweep runs");
+        assert_eq!(rows.len(), 4); // 2 thread counts x 2 backends
+        for row in &rows {
+            assert_eq!(row.transport, Measurement::TRANSPORT_TCP);
+            assert!(!row.audited);
+            assert_eq!(row.total_ops, row.threads * 200);
+            assert!(row.mops > 0.0, "{row:?}");
+        }
+        assert!(rows.iter().any(|r| r.counter == "fetch_add"));
+        assert!(rows.iter().any(|r| r.counter == "compiled" && r.network == "bitonic"));
+    }
+}

@@ -21,6 +21,7 @@ use cnet_runtime::{
     SharedNetworkCounter, TraceRecorder,
 };
 use cnet_topology::construct::{bitonic, counting_tree, periodic};
+use cnet_util::json::{FromJson, JsonError, ToJson, Value};
 use cnet_util::json_struct;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -75,9 +76,54 @@ pub struct Measurement {
     /// recorder (the audited-throughput mode); `false` rows are the
     /// un-instrumented baseline.
     pub audited: bool,
+    /// How the increments reached the counter: `memory` for in-process
+    /// shared-memory rows, `tcp` for rows measured through `cnet-net`'s
+    /// loopback service.
+    pub transport: String,
 }
 
-json_struct!(Measurement { counter, network, threads, total_ops, seconds, mops, audited });
+impl Measurement {
+    /// The transport label of in-process rows (the schema-v2 default).
+    pub const TRANSPORT_MEMORY: &'static str = "memory";
+    /// The transport label of `cnet-net` loopback-service rows.
+    pub const TRANSPORT_TCP: &'static str = "tcp";
+}
+
+// Hand-written (not `json_struct!`) so `transport` may be absent in older
+// schema-v2 artifacts: missing means `"memory"`, keeping every previously
+// committed BENCH_throughput.json parseable.
+impl ToJson for Measurement {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("counter".to_string(), self.counter.to_json()),
+            ("network".to_string(), self.network.to_json()),
+            ("threads".to_string(), self.threads.to_json()),
+            ("total_ops".to_string(), self.total_ops.to_json()),
+            ("seconds".to_string(), self.seconds.to_json()),
+            ("mops".to_string(), self.mops.to_json()),
+            ("audited".to_string(), self.audited.to_json()),
+            ("transport".to_string(), self.transport.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Measurement {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(Measurement {
+            counter: cnet_util::json::field(v, "counter")?,
+            network: cnet_util::json::field(v, "network")?,
+            threads: cnet_util::json::field(v, "threads")?,
+            total_ops: cnet_util::json::field(v, "total_ops")?,
+            seconds: cnet_util::json::field(v, "seconds")?,
+            mops: cnet_util::json::field(v, "mops")?,
+            audited: cnet_util::json::field(v, "audited")?,
+            transport: match v.get("transport") {
+                Some(t) => FromJson::from_json(t)?,
+                None => Measurement::TRANSPORT_MEMORY.to_string(),
+            },
+        })
+    }
+}
 
 /// The machine-readable result of a sweep — the schema of
 /// `BENCH_throughput.json` (see README.md, "Benchmark artifacts").
@@ -145,6 +191,7 @@ fn measure<C: ProcessCounter>(
         seconds,
         mops: total_ops as f64 / seconds / 1.0e6,
         audited: false,
+        transport: Measurement::TRANSPORT_MEMORY.to_string(),
     }
 }
 
@@ -179,6 +226,7 @@ fn measure_audited<C: ProcessCounter>(
         seconds,
         mops: total_ops as f64 / seconds / 1.0e6,
         audited: true,
+        transport: Measurement::TRANSPORT_MEMORY.to_string(),
     }
 }
 
@@ -251,15 +299,20 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
 }
 
 impl ThroughputReport {
-    /// The un-instrumented measurement for a `(counter, network, threads)`
-    /// cell, if swept.
+    /// The un-instrumented in-process measurement for a `(counter,
+    /// network, threads)` cell, if swept.
     pub fn cell(&self, counter: &str, network: &str, threads: usize) -> Option<&Measurement> {
         self.measurements.iter().find(|m| {
-            !m.audited && m.counter == counter && m.network == network && m.threads == threads
+            !m.audited
+                && m.transport == Measurement::TRANSPORT_MEMORY
+                && m.counter == counter
+                && m.network == network
+                && m.threads == threads
         })
     }
 
-    /// The audited (recorder-on) measurement for a cell, if swept.
+    /// The audited (recorder-on) in-process measurement for a cell, if
+    /// swept.
     pub fn audited_cell(
         &self,
         counter: &str,
@@ -267,7 +320,22 @@ impl ThroughputReport {
         threads: usize,
     ) -> Option<&Measurement> {
         self.measurements.iter().find(|m| {
-            m.audited && m.counter == counter && m.network == network && m.threads == threads
+            m.audited
+                && m.transport == Measurement::TRANSPORT_MEMORY
+                && m.counter == counter
+                && m.network == network
+                && m.threads == threads
+        })
+    }
+
+    /// The networked (loopback-TCP) measurement for a cell, if measured —
+    /// rows appended by `cnet bench --net` or `cnet loadgen --out`.
+    pub fn net_cell(&self, counter: &str, network: &str, threads: usize) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| {
+            m.transport == Measurement::TRANSPORT_TCP
+                && m.counter == counter
+                && m.network == network
+                && m.threads == threads
         })
     }
 
@@ -293,21 +361,24 @@ impl ThroughputReport {
     /// Renders the human-readable summary: one row per thread count, one
     /// column per counter/network combination, in Mops/s.
     pub fn summary(&self) -> Table {
-        let mut columns: Vec<(String, String, bool)> = Vec::new();
+        let mut columns: Vec<(String, String, bool, String)> = Vec::new();
         for m in &self.measurements {
-            let key = (m.counter.clone(), m.network.clone(), m.audited);
+            let key = (m.counter.clone(), m.network.clone(), m.audited, m.transport.clone());
             if !columns.contains(&key) {
                 columns.push(key);
             }
         }
         let mut headers = vec!["threads".to_string()];
-        headers.extend(columns.iter().map(|(c, n, audited)| {
-            let base = if n == "-" { c.clone() } else { format!("{c}/{n}") };
+        headers.extend(columns.iter().map(|(c, n, audited, transport)| {
+            let mut label = if n == "-" { c.clone() } else { format!("{c}/{n}") };
             if *audited {
-                format!("{base}+audit")
-            } else {
-                base
+                label.push_str("+audit");
             }
+            if transport != Measurement::TRANSPORT_MEMORY {
+                label.push('@');
+                label.push_str(transport);
+            }
+            label
         }));
         let mut table = Table::new(headers);
         let mut threads_seen: Vec<usize> = Vec::new();
@@ -318,8 +389,10 @@ impl ThroughputReport {
         }
         for &t in &threads_seen {
             let mut row = vec![t.to_string()];
-            for (c, n, audited) in &columns {
-                let cell = if *audited {
+            for (c, n, audited, transport) in &columns {
+                let cell = if transport == Measurement::TRANSPORT_TCP {
+                    self.net_cell(c, n, t)
+                } else if *audited {
                     self.audited_cell(c, n, t)
                 } else {
                     self.cell(c, n, t)
@@ -376,6 +449,39 @@ mod tests {
         assert!(r.is_finite() && r > 0.0, "retention {r}");
         assert!(report.retention("graph_walk", "bitonic", 2).is_none());
         assert!(report.retention("compiled", "bitonic", 64).is_none());
+    }
+
+    #[test]
+    fn measurement_transport_defaults_to_memory_when_absent() {
+        // A pre-`transport` schema-v2 row (as committed by earlier PRs).
+        let text = concat!(
+            r#"{"counter":"fetch_add","network":"-","threads":2,"#,
+            r#""total_ops":100,"seconds":0.5,"mops":0.0002,"audited":false}"#
+        );
+        let m: Measurement = json::from_str(text).expect("legacy row parses");
+        assert_eq!(m.transport, Measurement::TRANSPORT_MEMORY);
+        // Re-serialized rows carry the field explicitly and round-trip.
+        let back: Measurement = json::from_str(&json::to_string_pretty(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tcp_rows_are_separate_cells() {
+        let mut report = run_throughput_sweep(&tiny());
+        assert!(report.net_cell("fetch_add", "-", 2).is_none());
+        let mut tcp = report.cell("fetch_add", "-", 2).unwrap().clone();
+        tcp.transport = Measurement::TRANSPORT_TCP.to_string();
+        tcp.mops /= 100.0;
+        report.measurements.push(tcp);
+        // The tcp row neither shadows nor is shadowed by the memory row.
+        assert!(report.net_cell("fetch_add", "-", 2).is_some());
+        assert!(!report
+            .cell("fetch_add", "-", 2)
+            .unwrap()
+            .transport
+            .contains("tcp"));
+        let rendered = report.summary().to_string();
+        assert!(rendered.contains("fetch_add@tcp"));
     }
 
     #[test]

@@ -38,7 +38,16 @@ pub fn usage() -> String {
      \x20           --threads 1,2,4,8 --ops --repeats --out <file.json>\n\
      \x20 audit     threaded run through the trace recorder with live online\n\
      \x20           consistency monitors; flags: --backend compiled|graph_walk|\n\
-     \x20           diffracting|fetch_add|lock --family --threads --ops\n\
+     \x20           diffracting|fetch_add|lock|remote --family --threads --ops\n\
+     \x20           --addr HOST:PORT (backend remote audits a live serve)\n\
+     \x20 serve     counting service on a TCP socket; blocks until a client\n\
+     \x20           sends Shutdown; flags: --backend compiled|fetch_add|lock|\n\
+     \x20           diffracting --family --addr 127.0.0.1:0 --max-conns\n\
+     \x20           --processes --backpressure reject|block --audit 0/1\n\
+     \x20           --port-file <file>\n\
+     \x20 loadgen   hammer a running serve; flags: --addr HOST:PORT --threads\n\
+     \x20           --ops (total) --batch --check 0/1 --shutdown 0/1\n\
+     \x20           --out <file.json> --label C --network N\n\
      \n\
      families: bitonic (b), periodic (p), tree (t), block (l), merger (m)\n"
         .to_string()
@@ -59,6 +68,12 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         }
         if command == "audit" {
             return cmd_audit(rest);
+        }
+        if command == "serve" {
+            return cmd_serve(rest);
+        }
+        if command == "loadgen" {
+            return cmd_loadgen(rest);
         }
     }
     let [command, family, w, rest @ ..] = args else {
@@ -264,7 +279,7 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
     };
     let fan: usize = w.parse().map_err(|_| format!("'{w}' is not a valid width"))?;
     let opts = Options::parse(flags)?;
-    opts.allow(&["threads", "ops", "repeats", "out"])?;
+    opts.allow(&["threads", "ops", "repeats", "out", "net"])?;
     let threads = match opts.get("threads") {
         None => vec![1, 2, 4, 8],
         Some(list) => list
@@ -287,7 +302,20 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
     if !fan.is_power_of_two() || fan < 2 {
         return Err(format!("unsupported width {fan}: expected a power of two >= 2"));
     }
-    let report = cnet_bench::run_throughput_sweep(&cfg);
+    let mut report = cnet_bench::run_throughput_sweep(&cfg);
+    if opts.usize_or("net", 0)? != 0 {
+        // Loopback-TCP rows land in the same artifact (`"transport":
+        // "tcp"`), so the socket tax reads off one file.
+        let net_rows = cnet_bench::run_net_throughput(&cnet_bench::NetThroughputConfig {
+            fan,
+            threads: cfg.threads.clone(),
+            ops_per_thread: cfg.ops_per_thread,
+            batch: 64,
+            repeats: cfg.repeats,
+        })
+        .map_err(|e| format!("networked sweep: {e}"))?;
+        report.measurements.extend(net_rows);
+    }
     let mut out = format!(
         "== throughput sweep (Mops/s): w={}, {} ops/thread, best of {}, {} cores ==\n\n{}",
         report.fan,
@@ -312,12 +340,209 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
             r * 100.0
         );
     }
+    if let (Some(tcp), Some(mem)) =
+        (report.net_cell("fetch_add", "-", top), report.cell("fetch_add", "-", top))
+    {
+        let _ = writeln!(
+            out,
+            "loopback TCP fetch_add at {top} threads: {:.2} Mops/s ({:.1}% of shared memory)",
+            tcp.mops,
+            tcp.mops / mem.mops * 100.0
+        );
+    }
     if let Some(path) = opts.get("out") {
         cnet_bench::write_json(std::path::Path::new(path), &report)
             .map_err(|e| format!("write {path}: {e}"))?;
         let _ = writeln!(out, "report written to {path}");
     }
     Ok(out)
+}
+
+/// Builds the serveable backend named by `--backend`.
+fn serve_backend(
+    backend: &str,
+    family: &str,
+    w: &str,
+    fan: usize,
+) -> Result<Arc<dyn ProcessCounter + Send + Sync>, String> {
+    match backend {
+        "compiled" => {
+            let net = parse_network(family, w)?;
+            Ok(Arc::new(cnet_runtime::SharedNetworkCounter::new(&net)))
+        }
+        "fetch_add" => Ok(Arc::new(cnet_runtime::FetchAddCounter::new())),
+        "lock" => Ok(Arc::new(cnet_runtime::LockCounter::new())),
+        "diffracting" => Ok(Arc::new(cnet_runtime::DiffractingTree::new(fan, 4)?)),
+        other => Err(format!(
+            "unknown backend '{other}' (expected compiled, fetch_add, lock, or diffracting)"
+        )),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    let [w, flags @ ..] = args else {
+        return Err(
+            "expected: cnet serve <w> [--backend B] [--family F] [--addr HOST:PORT] \
+             [--max-conns N] [--processes N] [--backpressure reject|block] [--audit 0/1] \
+             [--port-file file]"
+                .to_string(),
+        );
+    };
+    let fan: usize = w.parse().map_err(|_| format!("'{w}' is not a valid width"))?;
+    let opts = Options::parse(flags)?;
+    opts.allow(&[
+        "backend",
+        "family",
+        "addr",
+        "max-conns",
+        "processes",
+        "backpressure",
+        "audit",
+        "port-file",
+    ])?;
+    let backend_name = opts.get("backend").unwrap_or("compiled").to_string();
+    let family = opts.get("family").unwrap_or("bitonic").to_string();
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    let max_connections = opts.usize_or("max-conns", 64)?.max(1);
+    let cfg = cnet_net::server::ServerConfig {
+        max_connections,
+        processes: opts.usize_or("processes", fan)?.max(1),
+        backpressure: match opts.get("backpressure").unwrap_or("reject") {
+            "reject" => cnet_net::server::Backpressure::Reject,
+            "block" => cnet_net::server::Backpressure::Block,
+            other => return Err(format!("--backpressure expects reject or block, got '{other}'")),
+        },
+    };
+    let backend = serve_backend(&backend_name, &family, w, fan)?;
+    let audit = opts.usize_or("audit", 0)? != 0;
+    let recorder = audit.then(|| Arc::new(TraceRecorder::new(max_connections, 1 << 16)));
+    let mut server = match &recorder {
+        Some(rec) => cnet_net::server::CounterServer::with_recorder(
+            &addr as &str,
+            backend,
+            Arc::clone(rec),
+            cfg,
+        ),
+        None => cnet_net::server::CounterServer::start(&addr as &str, backend, cfg),
+    }
+    .map_err(|e| format!("serve {addr}: {e}"))?;
+    let bound = server.local_addr();
+    // Announce readiness on stderr immediately (stdout output is rendered
+    // only after the command returns) so scripts can connect.
+    eprintln!("cnet serve: backend={backend_name} listening on {bound}");
+    if let Some(path) = opts.get("port-file") {
+        std::fs::write(path, bound.to_string()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    server.wait_for_shutdown_request();
+    server.shutdown();
+    let stats = server.stats();
+    let mut out = format!(
+        "cnet serve: drained after a remote shutdown request\n\
+         connections: {} served, {} rejected\n\
+         requests:    {}\n\
+         increments:  {} ({} batched frames)\n",
+        stats.total_connections,
+        stats.rejected_connections,
+        stats.requests,
+        stats.ops,
+        stats.batches,
+    );
+    if let Some(rec) = &recorder {
+        let mut auditor = cnet_core::trace::StreamingAuditor::new();
+        cnet_runtime::drain_remaining(rec, &mut auditor);
+        let _ = writeln!(out, "audit: {}", auditor.summary());
+    }
+    Ok(out)
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<String, String> {
+    let opts = Options::parse(args)?;
+    opts.allow(&[
+        "addr", "threads", "ops", "batch", "check", "shutdown", "out", "label", "network",
+    ])?;
+    let addr = opts.get("addr").ok_or("loadgen needs --addr HOST:PORT")?.to_string();
+    let threads = opts.usize_or("threads", 4)?.max(1);
+    let total_ops = opts.usize_or("ops", 100_000)?.max(1);
+    let check = opts.usize_or("check", 1)? != 0;
+    let cfg = cnet_net::loadgen::LoadGenConfig {
+        threads,
+        ops_per_thread: total_ops.div_ceil(threads),
+        batch: opts.usize_or("batch", 64)?.max(1),
+        collect_values: check,
+    };
+    let report = cnet_net::loadgen::run_loadgen(&addr as &str, &cfg)
+        .map_err(|e| format!("loadgen against {addr}: {e}"))?;
+    let mut out = format!(
+        "cnet loadgen: {} threads x {} ops = {} increments in {:.3}s ({:.0} ops/s)\n",
+        report.threads,
+        cfg.ops_per_thread,
+        report.total_ops,
+        report.seconds,
+        report.ops_per_sec(),
+    );
+    match report.is_permutation() {
+        Some(true) => {
+            let _ = writeln!(out, "permutation 0..{}: true", report.total_ops);
+        }
+        Some(false) => {
+            return Err(format!(
+                "values are NOT a permutation of 0..{} — the service broke the counting contract",
+                report.total_ops
+            ));
+        }
+        None => {}
+    }
+    if opts.usize_or("shutdown", 0)? != 0 {
+        let client = cnet_net::RemoteCounter::connect(&addr as &str, 1)
+            .map_err(|e| format!("shutdown connect {addr}: {e}"))?;
+        client.shutdown_server().map_err(|e| format!("shutdown {addr}: {e}"))?;
+        let _ = writeln!(out, "server shutdown requested and acknowledged");
+    }
+    if let Some(path) = opts.get("out") {
+        let row = cnet_bench::Measurement {
+            counter: opts.get("label").unwrap_or("fetch_add").to_string(),
+            network: opts.get("network").unwrap_or("-").to_string(),
+            threads,
+            total_ops: report.total_ops as usize,
+            seconds: report.seconds,
+            mops: report.ops_per_sec() / 1.0e6,
+            audited: false,
+            transport: cnet_bench::Measurement::TRANSPORT_TCP.to_string(),
+        };
+        merge_net_row(std::path::Path::new(path), row)?;
+        let _ = writeln!(out, "tcp throughput row merged into {path}");
+    }
+    Ok(out)
+}
+
+/// Appends (or replaces) a networked-throughput row in a schema-v2
+/// `BENCH_throughput.json`, creating a minimal report when the file does
+/// not exist yet.
+fn merge_net_row(
+    path: &std::path::Path,
+    row: cnet_bench::Measurement,
+) -> Result<(), String> {
+    let mut report: cnet_bench::ThroughputReport = match std::fs::read_to_string(path) {
+        Ok(text) => cnet_util::json::from_str(&text)
+            .map_err(|e| format!("{}: not a schema-v2 report: {e}", path.display()))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => cnet_bench::ThroughputReport {
+            version: 2,
+            fan: 0,
+            ops_per_thread: 0,
+            repeats: 1,
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            measurements: Vec::new(),
+        },
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    report.measurements.retain(|m| {
+        !(m.transport == row.transport
+            && m.counter == row.counter
+            && m.network == row.network
+            && m.threads == row.threads)
+    });
+    report.measurements.push(row);
+    cnet_bench::write_json(path, &report).map_err(|e| format!("write {}: {e}", path.display()))
 }
 
 /// Drives an audited run, collecting a bounded set of "live" lines each
@@ -351,14 +576,14 @@ fn audit_workload<C: ProcessCounter>(
 fn cmd_audit(args: &[String]) -> Result<String, String> {
     let [w, flags @ ..] = args else {
         return Err(
-            "expected: cnet audit <w> [--backend compiled|graph_walk|diffracting|fetch_add|lock] \
-             [--family F] [--threads N] [--ops N]"
+            "expected: cnet audit <w> [--backend compiled|graph_walk|diffracting|fetch_add|lock|\
+             remote] [--family F] [--threads N] [--ops N] [--addr HOST:PORT]"
                 .to_string(),
         );
     };
     let fan: usize = w.parse().map_err(|_| format!("'{w}' is not a valid width"))?;
     let opts = Options::parse(flags)?;
-    opts.allow(&["backend", "family", "threads", "ops"])?;
+    opts.allow(&["backend", "family", "threads", "ops", "addr"])?;
     let backend = opts.get("backend").unwrap_or("compiled").to_string();
     let family = opts.get("family").unwrap_or("bitonic").to_string();
     let threads = opts.usize_or("threads", 1)?.max(1);
@@ -395,10 +620,20 @@ fn cmd_audit(args: &[String]) -> Result<String, String> {
             let counter = Traced::new(cnet_runtime::LockCounter::new(), Arc::clone(&recorder));
             audit_workload(&counter, &recorder, workload, &mut live)
         }
+        // Audits a *live socket*: each audit thread drives its own pooled
+        // connection to a running `cnet serve`, and the recorded intervals
+        // are the client-observed ones (network delay included).
+        "remote" => {
+            let addr = opts.get("addr").ok_or("backend remote needs --addr HOST:PORT")?;
+            let remote = cnet_net::RemoteCounter::connect(addr, threads)
+                .map_err(|e| format!("connect {addr}: {e}"))?;
+            let counter = Traced::new(remote, Arc::clone(&recorder));
+            audit_workload(&counter, &recorder, workload, &mut live)
+        }
         other => {
             return Err(format!(
                 "unknown backend '{other}' (expected compiled, graph_walk, diffracting, \
-                 fetch_add, or lock)"
+                 fetch_add, lock, or remote)"
             ))
         }
     };
@@ -534,9 +769,125 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for c in ["info", "dot", "simulate", "waves", "race", "replay", "run", "bench", "audit"] {
+        for c in [
+            "info", "dot", "simulate", "waves", "race", "replay", "run", "bench", "audit",
+            "serve", "loadgen",
+        ] {
             assert!(u.contains(c), "{c}");
         }
+    }
+
+    /// Boots `cnet serve` in a thread, discovers the ephemeral port via
+    /// `--port-file`, drives it with `cnet loadgen --check --shutdown`,
+    /// and reads both transcripts — the two-terminal quickstart, in-process.
+    #[test]
+    fn serve_and_loadgen_round_trip_with_audit() {
+        let port_file = std::env::temp_dir().join("cnet_cli_test_serve.port");
+        let _ = std::fs::remove_file(&port_file);
+        let pf = port_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn({
+            let pf = pf.clone();
+            move || {
+                call(&[
+                    "serve", "4", "--backend", "fetch_add", "--audit", "1", "--max-conns", "8",
+                    "--port-file", &pf,
+                ])
+            }
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "serve never wrote the port file");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let out = call(&[
+            "loadgen", "--addr", &addr, "--threads", "4", "--ops", "2000", "--batch", "32",
+            "--check", "1", "--shutdown", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("= 2000 increments"), "{out}");
+        assert!(out.contains("permutation 0..2000: true"), "{out}");
+        assert!(out.contains("server shutdown requested and acknowledged"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("drained after a remote shutdown request"), "{served}");
+        assert!(served.contains("increments:  2000"), "{served}");
+        assert!(served.contains("audit: 2000 ops audited"), "{served}");
+        assert!(served.contains("clean"), "{served}");
+        let _ = std::fs::remove_file(&port_file);
+    }
+
+    #[test]
+    fn loadgen_merges_a_tcp_row_into_the_artifact() {
+        let port_file = std::env::temp_dir().join("cnet_cli_test_merge.port");
+        let out_file = std::env::temp_dir().join("cnet_cli_test_merge.json");
+        let _ = std::fs::remove_file(&port_file);
+        let _ = std::fs::remove_file(&out_file);
+        let pf = port_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn({
+            let pf = pf.clone();
+            move || call(&["serve", "4", "--backend", "compiled", "--port-file", &pf])
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "serve never wrote the port file");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let out_str = out_file.to_str().unwrap();
+        // Merge twice: the second run must replace the first row, not
+        // stack. (`--check 0`: against a long-lived server the values are
+        // a later window of the count, not 0..n.)
+        for _ in 0..2 {
+            let out = call(&[
+                "loadgen", "--addr", &addr, "--threads", "2", "--ops", "500", "--check", "0",
+                "--out", out_str, "--label", "compiled", "--network", "bitonic",
+            ])
+            .unwrap();
+            assert!(out.contains("tcp throughput row merged"), "{out}");
+        }
+        call(&["loadgen", "--addr", &addr, "--ops", "1", "--check", "0", "--shutdown", "1"])
+            .unwrap();
+        server.join().unwrap().unwrap();
+        let text = std::fs::read_to_string(&out_file).unwrap();
+        let report: cnet_bench::ThroughputReport = cnet_util::json::from_str(&text).unwrap();
+        let rows: Vec<_> = report
+            .measurements
+            .iter()
+            .filter(|m| m.transport == cnet_bench::Measurement::TRANSPORT_TCP)
+            .collect();
+        assert_eq!(rows.len(), 1, "{rows:?}");
+        assert_eq!(rows[0].counter, "compiled");
+        assert_eq!(rows[0].network, "bitonic");
+        assert_eq!(rows[0].threads, 2);
+        assert!(report.net_cell("compiled", "bitonic", 2).is_some());
+        let _ = std::fs::remove_file(&port_file);
+        let _ = std::fs::remove_file(&out_file);
+    }
+
+    #[test]
+    fn serve_and_loadgen_reject_bad_arguments() {
+        assert!(call(&["serve"]).unwrap_err().contains("cnet serve <w>"));
+        assert!(call(&["serve", "4", "--backend", "quantum"])
+            .unwrap_err()
+            .contains("unknown backend"));
+        assert!(call(&["serve", "4", "--backpressure", "panic"])
+            .unwrap_err()
+            .contains("reject or block"));
+        assert!(call(&["loadgen"]).unwrap_err().contains("needs --addr"));
+        assert!(call(&["loadgen", "--addr", "127.0.0.1:1", "--ops", "1"])
+            .unwrap_err()
+            .contains("loadgen against"));
+        assert!(call(&["loadgen", "--addr", "x", "--bogus", "1"])
+            .unwrap_err()
+            .contains("unknown flag"));
     }
 
     #[test]
@@ -586,6 +937,44 @@ mod tests {
         assert!(out.contains("F_nl  ="));
         assert!(out.contains("F_nsc ="));
         assert!(out.contains("audit verdict:"));
+    }
+
+    /// `cnet audit --backend remote` runs the client-side audit against a
+    /// live socket: intervals include the wire, every op still accounted.
+    #[test]
+    fn audit_remote_backend_runs_against_a_live_serve() {
+        let port_file = std::env::temp_dir().join("cnet_cli_test_audit_remote.port");
+        let _ = std::fs::remove_file(&port_file);
+        let pf = port_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn({
+            let pf = pf.clone();
+            move || call(&["serve", "4", "--backend", "fetch_add", "--port-file", &pf])
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "serve never wrote the port file");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        let out = call(&[
+            "audit", "4", "--backend", "remote", "--addr", &addr, "--threads", "2", "--ops",
+            "200",
+        ])
+        .unwrap();
+        assert!(out.contains("backend=remote"), "{out}");
+        assert!(out.contains("events recorded:         400"), "{out}");
+        assert!(out.contains("audit verdict:"), "{out}");
+        call(&["loadgen", "--addr", &addr, "--ops", "1", "--check", "0", "--shutdown", "1"])
+            .unwrap();
+        server.join().unwrap().unwrap();
+        assert!(call(&["audit", "4", "--backend", "remote"])
+            .unwrap_err()
+            .contains("needs --addr"));
+        let _ = std::fs::remove_file(&port_file);
     }
 
     #[test]

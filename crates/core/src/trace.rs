@@ -529,6 +529,29 @@ impl StreamingAuditor {
     pub fn f_nsc(&self) -> f64 {
         self.meter.f_nsc()
     }
+
+    /// Whether the stream so far is both linearizable and sequentially
+    /// consistent — the "clean" verdict every audit surface (the `cnet
+    /// audit` command, the networked `CounterServer`, `verify.sh`'s smoke)
+    /// reports.
+    pub fn is_clean(&self) -> bool {
+        self.is_linearizable() && self.is_sequentially_consistent()
+    }
+
+    /// One-line human-readable verdict: operation count, violation counts,
+    /// and the running fractions — the shared rendering for audit verdicts
+    /// across the CLI and the network service layer.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ops audited: non-linearizable {} (F_nl={:.4}), non-SC {} (F_nsc={:.4}) — {}",
+            self.operations(),
+            self.non_linearizable(),
+            self.f_nl(),
+            self.non_sequentially_consistent(),
+            self.f_nsc(),
+            if self.is_clean() { "clean" } else { "violations detected" }
+        )
+    }
 }
 
 impl OpSink for StreamingAuditor {
@@ -788,6 +811,20 @@ mod tests {
         assert!(aud.sequential_consistency_violation().is_some());
         assert_eq!(aud.non_linearizable(), 1);
         assert_eq!(aud.f_nsc(), 0.5);
+    }
+
+    #[test]
+    fn auditor_verdict_and_summary() {
+        let mut aud = StreamingAuditor::new();
+        aud.push(&op(0, 0.0, 1.0, 0));
+        aud.push(&op(0, 2.0, 3.0, 1));
+        assert!(aud.is_clean());
+        let s = aud.summary();
+        assert!(s.contains("2 ops audited"), "{s}");
+        assert!(s.ends_with("clean"), "{s}");
+        aud.push(&op(1, 4.0, 5.0, 0)); // duplicate value, out of order
+        assert!(!aud.is_clean());
+        assert!(aud.summary().ends_with("violations detected"));
     }
 
     #[test]

@@ -1,0 +1,411 @@
+//! The pipelining client: [`RemoteCounter`] speaks the wire protocol to a
+//! [`CounterServer`](crate::server::CounterServer) and implements
+//! [`ProcessCounter`], so every harness in the workspace — benchmarks,
+//! audits, property tests — runs unchanged against a counter on the other
+//! side of a socket.
+//!
+//! # Connection pool
+//!
+//! The client holds `pool` independent connection slots. A caller's
+//! `process` id picks slot `process % pool`; distinct slots never share a
+//! connection, so `pool >= threads` gives each load-generator thread a
+//! private stream with no client-side contention. Connections are dialed
+//! lazily and redialed with exponential backoff after a failure.
+//!
+//! # Delivery semantics
+//!
+//! Dialing retries freely — no request has been sent. Once a request has
+//! been written, an I/O failure surfaces as an error instead of being
+//! retried blindly: the server may already have performed the increment,
+//! and a silent retry would double-count, breaking the permutation
+//! guarantee the audits depend on. The connection is torn down so the
+//! *next* call redials.
+
+use crate::wire::{read_frame, write_request, ErrorCode, Request, Response, StatsSnapshot};
+use cnet_runtime::ProcessCounter;
+use cnet_util::sync::{CachePadded, Mutex};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Independent connection slots (callers map to `process % pool`).
+    pub pool: usize,
+    /// Dial attempts per call before giving up.
+    pub max_dial_attempts: u32,
+    /// First redial backoff; doubles per attempt, capped at 100x.
+    pub base_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            pool: 1,
+            max_dial_attempts: 10,
+            base_backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+/// One pooled connection: buffered halves plus the per-connection
+/// sequence counter the protocol stamps on every frame.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    seq: u32,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    fn dial(addr: SocketAddr) -> io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            seq: 0,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends `req`, returning the sequence number it was stamped with.
+    fn send(&mut self, req: &Request) -> io::Result<u32> {
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        write_request(&mut self.writer, seq, req)?;
+        Ok(seq)
+    }
+
+    /// Reads one response and checks it echoes `expect_seq`.
+    fn recv(&mut self, expect_seq: u32) -> io::Result<Response> {
+        let Some(payload) = read_frame(&mut self.reader, &mut self.buf)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        };
+        let (seq, resp) = Response::decode(payload)?;
+        if seq != expect_seq {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("sequence mismatch: sent {expect_seq}, got {seq}"),
+            ));
+        }
+        Ok(resp)
+    }
+
+    /// One round trip: send, flush, receive.
+    fn call(&mut self, req: &Request) -> io::Result<Response> {
+        let seq = self.send(req)?;
+        self.writer.flush()?;
+        self.recv(seq)
+    }
+}
+
+/// A [`ProcessCounter`] served over TCP.
+///
+/// See the [module docs](self) for pooling and delivery semantics.
+pub struct RemoteCounter {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    slots: Box<[CachePadded<Mutex<Option<Conn>>>]>,
+}
+
+impl std::fmt::Debug for RemoteCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteCounter")
+            .field("addr", &self.addr)
+            .field("pool", &self.cfg.pool)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteCounter {
+    /// Connects to `addr` with a pool of `pool` connection slots. Dials one
+    /// connection eagerly so an unreachable server fails here, not on the
+    /// first increment.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` does not resolve or the server is unreachable.
+    pub fn connect(addr: impl ToSocketAddrs, pool: usize) -> io::Result<RemoteCounter> {
+        RemoteCounter::with_config(
+            addr,
+            ClientConfig { pool: pool.max(1), ..ClientConfig::default() },
+        )
+    }
+
+    /// [`connect`](Self::connect) with explicit [`ClientConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` does not resolve or the server is unreachable.
+    pub fn with_config(addr: impl ToSocketAddrs, cfg: ClientConfig) -> io::Result<RemoteCounter> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let cfg = ClientConfig { pool: cfg.pool.max(1), ..cfg };
+        let slots: Box<[CachePadded<Mutex<Option<Conn>>>]> =
+            (0..cfg.pool).map(|_| CachePadded::new(Mutex::new(None))).collect();
+        *slots[0].lock() = Some(Conn::dial(addr)?);
+        Ok(RemoteCounter { addr, cfg, slots })
+    }
+
+    /// The server address this client dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of connection slots in the pool.
+    pub fn pool(&self) -> usize {
+        self.cfg.pool
+    }
+
+    /// Runs `f` on the slot's live connection, dialing (with backoff) if
+    /// the slot is empty. A failed call tears the connection down so the
+    /// next call redials.
+    fn with_conn<T>(
+        &self,
+        process: usize,
+        f: impl FnOnce(&mut Conn) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut slot = self.slots[process % self.cfg.pool].lock();
+        if slot.is_none() {
+            let mut backoff = self.cfg.base_backoff;
+            let mut last_err = None;
+            for attempt in 0..self.cfg.max_dial_attempts.max(1) {
+                match Conn::dial(self.addr) {
+                    Ok(conn) => {
+                        *slot = Some(conn);
+                        break;
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        if attempt + 1 < self.cfg.max_dial_attempts.max(1) {
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(self.cfg.base_backoff * 100);
+                        }
+                    }
+                }
+            }
+            if slot.is_none() {
+                return Err(last_err.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::NotConnected, "dial failed")
+                }));
+            }
+        }
+        let conn = slot.as_mut().expect("connection dialed above");
+        let result = f(conn);
+        if result.is_err() {
+            *slot = None; // redial on the next call
+        }
+        result
+    }
+
+    /// Fallible single increment as `process`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, and server refusals mapped through
+    /// [`response_error`].
+    pub fn try_next(&self, process: usize) -> io::Result<u64> {
+        self.with_conn(process, |conn| match conn.call(&Request::Next)? {
+            Response::Value { value } => Ok(value),
+            other => Err(response_error(&other)),
+        })
+    }
+
+    /// Fallible batched increment: `n` values in one round trip.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, server refusals, and a batch echoing the wrong
+    /// length.
+    pub fn next_batch(&self, process: usize, n: u32) -> io::Result<Vec<u64>> {
+        self.with_conn(process, |conn| match conn.call(&Request::NextBatch { n })? {
+            Response::Batch { values } if values.len() == n as usize => Ok(values),
+            Response::Batch { values } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("asked for {n} values, got {}", values.len()),
+            )),
+            other => Err(response_error(&other)),
+        })
+    }
+
+    /// `k` single increments pipelined on one connection: all requests are
+    /// written before any response is read, so the batch costs one flush
+    /// and one round trip instead of `k`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server refusals; on error the connection is torn
+    /// down (some of the `k` increments may have executed server-side).
+    pub fn next_pipelined(&self, process: usize, k: usize) -> io::Result<Vec<u64>> {
+        self.with_conn(process, |conn| {
+            let seqs: Vec<u32> = (0..k)
+                .map(|_| conn.send(&Request::Next))
+                .collect::<io::Result<_>>()?;
+            conn.writer.flush()?;
+            seqs.into_iter()
+                .map(|seq| match conn.recv(seq)? {
+                    Response::Value { value } => Ok(value),
+                    other => Err(response_error(&other)),
+                })
+                .collect()
+        })
+    }
+
+    /// Round-trip liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a non-`Pong` answer.
+    pub fn ping(&self, process: usize) -> io::Result<()> {
+        self.with_conn(process, |conn| match conn.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(response_error(&other)),
+        })
+    }
+
+    /// Fetches the server's aggregated statistics.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a non-`Stats` answer.
+    pub fn server_stats(&self) -> io::Result<StatsSnapshot> {
+        self.with_conn(0, |conn| match conn.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(response_error(&other)),
+        })
+    }
+
+    /// Asks the server to shut down; resolves once the server acknowledges
+    /// with [`Response::Bye`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a non-`Bye` answer.
+    pub fn shutdown_server(&self) -> io::Result<()> {
+        self.with_conn(0, |conn| match conn.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(response_error(&other)),
+        })
+    }
+}
+
+impl ProcessCounter for RemoteCounter {
+    /// Panics on I/O or protocol errors — the trait is infallible. Use
+    /// [`RemoteCounter::try_next`] where failures must be handled.
+    fn next_for(&self, process: usize) -> u64 {
+        match self.try_next(process) {
+            Ok(value) => value,
+            Err(e) => panic!("remote increment against {} failed: {e}", self.addr),
+        }
+    }
+}
+
+/// Maps a refusal (or protocol surprise) to an [`io::Error`].
+pub fn response_error(resp: &Response) -> io::Error {
+    match resp {
+        Response::Error(ErrorCode::Busy) => {
+            io::Error::new(io::ErrorKind::ConnectionRefused, "server busy (at connection limit)")
+        }
+        Response::Error(ErrorCode::ShuttingDown) => {
+            io::Error::new(io::ErrorKind::ConnectionAborted, "server shutting down")
+        }
+        Response::Error(code) => {
+            io::Error::new(io::ErrorKind::InvalidData, format!("server error: {code:?}"))
+        }
+        other => io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unexpected response: {other:?}"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{CounterServer, ServerConfig};
+    use cnet_runtime::FetchAddCounter;
+    use std::sync::Arc;
+
+    fn server() -> CounterServer {
+        CounterServer::start(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            ServerConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_batch_and_pipelined_calls_round_trip() {
+        let server = server();
+        let client = RemoteCounter::connect(server.local_addr(), 2).unwrap();
+        let mut values = vec![client.try_next(0).unwrap()];
+        values.extend(client.next_batch(1, 5).unwrap());
+        values.extend(client.next_pipelined(0, 6).unwrap());
+        values.sort_unstable();
+        assert_eq!(values, (0..12).collect::<Vec<u64>>());
+        client.ping(0).unwrap();
+        let stats = client.server_stats().unwrap();
+        assert_eq!(stats.ops, 12);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn implements_process_counter() {
+        let server = server();
+        let client = RemoteCounter::connect(server.local_addr(), 1).unwrap();
+        let counter: &dyn ProcessCounter = &client;
+        assert_eq!(counter.next_for(0), 0);
+        assert_eq!(counter.next_for(7), 1);
+    }
+
+    #[test]
+    fn connect_to_dead_server_fails_eagerly() {
+        // Bind-then-drop yields a port with (very likely) no listener.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        assert!(RemoteCounter::connect(addr, 1).is_err());
+    }
+
+    #[test]
+    fn reconnects_after_server_restart_on_same_port() {
+        let mut first = server();
+        let addr = first.local_addr();
+        let client = RemoteCounter::with_config(
+            addr,
+            ClientConfig { pool: 1, max_dial_attempts: 40, ..ClientConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(client.try_next(0).unwrap(), 0);
+        first.shutdown();
+        // The in-flight-free failure surfaces as an error, not a retry.
+        assert!(client.try_next(0).is_err());
+        // A fresh server on the same port: the next call redials.
+        let replacement = CounterServer::start(
+            addr,
+            Arc::new(FetchAddCounter::new()),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let value = client.try_next(0).unwrap();
+        assert_eq!(value, 0, "fresh backend restarts the count");
+        drop(replacement);
+    }
+
+    #[test]
+    fn shutdown_request_is_acknowledged() {
+        let server = server();
+        let client = RemoteCounter::connect(server.local_addr(), 1).unwrap();
+        client.shutdown_server().unwrap();
+        server.wait_for_shutdown_request();
+        assert!(server.shutdown_requested());
+    }
+}

@@ -1,0 +1,34 @@
+//! # cnet-net — the counting service over plain `std::net`
+//!
+//! Turns any [`ProcessCounter`](cnet_runtime::ProcessCounter) backend into
+//! a network service, hermetically: the whole stack — wire protocol,
+//! server, client, load generator — is built on `std::net` TCP with zero
+//! external dependencies, matching the workspace's in-tree-only policy.
+//!
+//! The paper's question (sequentially consistent versus linearizable
+//! counting) is about counters shared *between processes*; this crate
+//! makes the process boundary real. A counting network served over a
+//! socket keeps its step-property guarantees per connection slot, and the
+//! server can stream every increment into the PR 3 online monitors, so
+//! `f_nl`/`f_nsc` can be measured across an actual transport rather than
+//! simulated wire delays.
+//!
+//! | module | what it is |
+//! |---|---|
+//! | [`wire`] | length-prefixed binary frames: `Next`, `NextBatch`, `Ping`, `Stats`, `Shutdown` |
+//! | [`server`] | sharded thread-per-connection [`CounterServer`] with backpressure and graceful drain |
+//! | [`client`] | pooling, pipelining [`RemoteCounter`] — itself a `ProcessCounter` |
+//! | [`loadgen`] | multi-threaded load generator with end-to-end permutation checking |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, RemoteCounter};
+pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
+pub use server::{Backpressure, CounterServer, ServerConfig};
+pub use wire::{Request, Response, StatsSnapshot};

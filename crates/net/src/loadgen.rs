@@ -1,0 +1,191 @@
+//! Multi-threaded load generator for a running counting service.
+//!
+//! Each worker thread owns one connection-pool slot (`pool == threads`)
+//! and pushes its share of the total operation count through
+//! [`RemoteCounter::next_pipelined`] bursts, so the socket sees batched
+//! writes and the server amortizes one flush per burst. The run returns
+//! wall-clock throughput plus (optionally) every value received, so
+//! callers can check the permutation property — `n` increments return
+//! exactly `0..n` — end to end across the wire.
+
+use crate::client::{ClientConfig, RemoteCounter};
+use std::io;
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Load-generator parameters.
+#[derive(Clone, Debug)]
+pub struct LoadGenConfig {
+    /// Worker threads (and client connections).
+    pub threads: usize,
+    /// Operations per worker thread.
+    pub ops_per_thread: usize,
+    /// Pipelined burst size (1 = one round trip per op).
+    pub batch: usize,
+    /// Keep every received value for permutation checking.
+    pub collect_values: bool,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig { threads: 4, ops_per_thread: 1000, batch: 32, collect_values: false }
+    }
+}
+
+/// What a load-generator run measured.
+#[derive(Clone, Debug)]
+pub struct LoadGenReport {
+    /// Worker threads that ran.
+    pub threads: usize,
+    /// Total operations completed across all workers.
+    pub total_ops: u64,
+    /// Wall-clock duration of the measured region, in seconds.
+    pub seconds: f64,
+    /// Every value received, in no particular order (only when
+    /// [`LoadGenConfig::collect_values`] is set).
+    pub values: Option<Vec<u64>>,
+}
+
+impl LoadGenReport {
+    /// Throughput in operations per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.total_ops as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether the collected values are exactly the permutation
+    /// `0..total_ops` — the counting-service correctness criterion.
+    /// `None` when values were not collected.
+    pub fn is_permutation(&self) -> Option<bool> {
+        let values = self.values.as_ref()?;
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        Some(
+            sorted.len() as u64 == self.total_ops
+                && sorted.iter().copied().eq(0..self.total_ops),
+        )
+    }
+}
+
+/// Runs the load: `threads` workers, each completing `ops_per_thread`
+/// operations in pipelined bursts of `batch`.
+///
+/// # Errors
+///
+/// Connection failures and any worker's first I/O error (remaining
+/// workers still drain before the error is returned).
+pub fn run_loadgen(addr: impl ToSocketAddrs, cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
+    let threads = cfg.threads.max(1);
+    let batch = cfg.batch.max(1);
+    let client = Arc::new(RemoteCounter::with_config(
+        addr,
+        ClientConfig { pool: threads, ..ClientConfig::default() },
+    )?);
+    let start = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|slot| {
+            let client = Arc::clone(&client);
+            let ops = cfg.ops_per_thread;
+            let collect = cfg.collect_values;
+            std::thread::spawn(move || -> io::Result<Vec<u64>> {
+                let mut mine = Vec::with_capacity(if collect { ops } else { 0 });
+                let mut done = 0usize;
+                while done < ops {
+                    let burst = batch.min(ops - done);
+                    let values = client.next_pipelined(slot, burst)?;
+                    done += values.len();
+                    if collect {
+                        mine.extend(values);
+                    }
+                }
+                Ok(mine)
+            })
+        })
+        .collect();
+    let mut values = cfg.collect_values.then(Vec::new);
+    let mut first_err = None;
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(mine)) => {
+                if let Some(all) = &mut values {
+                    all.extend(mine);
+                }
+            }
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or_else(|| {
+                    Some(io::Error::other("load-generator worker panicked"))
+                });
+            }
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    Ok(LoadGenReport {
+        threads,
+        total_ops: (threads * cfg.ops_per_thread) as u64,
+        seconds,
+        values,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{CounterServer, ServerConfig};
+    use cnet_runtime::FetchAddCounter;
+
+    #[test]
+    fn loadgen_values_form_a_permutation() {
+        let mut server = CounterServer::start(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            ServerConfig { max_connections: 8, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let report = run_loadgen(
+            server.local_addr(),
+            &LoadGenConfig {
+                threads: 4,
+                ops_per_thread: 250,
+                batch: 16,
+                collect_values: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.total_ops, 1000);
+        assert_eq!(report.is_permutation(), Some(true));
+        assert!(report.ops_per_sec() > 0.0);
+        server.shutdown();
+        assert_eq!(server.stats().ops, 1000);
+    }
+
+    #[test]
+    fn loadgen_without_collection_reports_throughput_only() {
+        let server = CounterServer::start(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let report = run_loadgen(
+            server.local_addr(),
+            &LoadGenConfig {
+                threads: 2,
+                ops_per_thread: 100,
+                batch: 10,
+                collect_values: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.total_ops, 200);
+        assert!(report.values.is_none());
+        assert_eq!(report.is_permutation(), None);
+    }
+}

@@ -1,0 +1,688 @@
+//! The sharded thread-per-connection counting server.
+//!
+//! # Threading model
+//!
+//! One **acceptor** thread owns the listening socket (non-blocking, polled
+//! so shutdown is never stuck in `accept`). Each accepted connection is
+//! assigned a **slot** — an index below
+//! [`ServerConfig::max_connections`] — and served by its own thread: a
+//! read-decode-serve-write loop over buffered halves of the stream.
+//! Requests already buffered are served before the writer flushes, so a
+//! pipelining client pays one flush per burst, not per request.
+//!
+//! A connection's slot doubles as its identity everywhere else:
+//!
+//! * **process id** — the backend sees `slot % processes`, so a
+//!   counting-network backend routes each connection to a stable input
+//!   wire, exactly like a thread in the shared-memory runtime;
+//! * **stats shard** — each slot owns a cache-padded statistics record
+//!   ([`CounterServer::stats`] aggregates them on demand), so serving
+//!   threads never contend on bookkeeping;
+//! * **recorder shard** — with a [`TraceRecorder`] attached, the slot is
+//!   the recorder shard, preserving the recorder's single-writer contract
+//!   (a slot is freed only after its handler quiesces and flushes).
+//!
+//! # Backpressure
+//!
+//! At the connection limit the acceptor either **rejects** (answers
+//! [`ErrorCode::Busy`] and closes — the client sees a clean refusal, not a
+//! hang) or **blocks** (holds the fresh connection unserved until a slot
+//! frees), per [`Backpressure`].
+//!
+//! # Shutdown
+//!
+//! [`CounterServer::shutdown`] (also run on drop) drains gracefully: stop
+//! accepting, shut down the read half of every live connection (handlers
+//! answer what they have already read, then see end-of-stream and exit),
+//! join every thread via the shared [`Drain`] idiom. A client can trigger
+//! the same thing remotely with a [`Request::Shutdown`] frame — the server
+//! acknowledges with [`Response::Bye`] and wakes whoever is parked in
+//! [`CounterServer::wait_for_shutdown_request`].
+
+use crate::wire::{
+    read_frame, write_response, ErrorCode, Request, Response, StatsSnapshot, MAX_BATCH,
+};
+use cnet_runtime::drain::Drain;
+use cnet_runtime::{ProcessCounter, TraceRecorder};
+use cnet_util::sync::{CachePadded, Mutex};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::Duration;
+
+/// What the acceptor does when every connection slot is taken.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Answer [`ErrorCode::Busy`] and close the new connection.
+    #[default]
+    Reject,
+    /// Park the new connection until a slot frees (or the server stops).
+    Block,
+}
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Connection slots: the maximum number of concurrently served
+    /// connections, and the recorder-shard space when auditing.
+    pub max_connections: usize,
+    /// Policy at the connection limit.
+    pub backpressure: Backpressure,
+    /// Logical process-id space: slot `s` performs backend operations as
+    /// process `s % processes` (match the backend's fan-in for
+    /// counting-network backends).
+    pub processes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { max_connections: 64, backpressure: Backpressure::Reject, processes: 8 }
+    }
+}
+
+/// Per-slot statistics, one cache line each so serving threads never share.
+#[derive(Debug, Default)]
+struct SlotStats {
+    requests: AtomicU64,
+    ops: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Slot allocation and shutdown signalling, under one lock + condvar.
+#[derive(Debug)]
+struct Gate {
+    free: Vec<usize>,
+    active: usize,
+}
+
+struct Shared {
+    backend: Arc<dyn ProcessCounter + Send + Sync>,
+    recorder: Option<Arc<TraceRecorder>>,
+    cfg: ServerConfig,
+    /// Stop serving: acceptor exits, handlers refuse increments.
+    stop: AtomicBool,
+    /// A `Shutdown` frame arrived (remote shutdown request).
+    shutdown_requested: AtomicBool,
+    gate: Mutex<Gate>,
+    gate_cv: Condvar,
+    /// Live stream handles per slot, for read-half shutdown at drain time.
+    conns: Mutex<Vec<Option<TcpStream>>>,
+    /// Per-connection threads, joined at shutdown.
+    workers: Mutex<Drain>,
+    slot_stats: Box<[CachePadded<SlotStats>]>,
+    total_connections: CachePadded<AtomicU64>,
+    rejected_connections: CachePadded<AtomicU64>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
+}
+
+/// A running counting service over any [`ProcessCounter`] backend.
+///
+/// # Example
+///
+/// ```
+/// use cnet_net::server::{CounterServer, ServerConfig};
+/// use cnet_net::client::RemoteCounter;
+/// use cnet_runtime::{FetchAddCounter, ProcessCounter};
+/// use std::sync::Arc;
+///
+/// let mut server = CounterServer::start(
+///     "127.0.0.1:0",
+///     Arc::new(FetchAddCounter::new()),
+///     ServerConfig::default(),
+/// )?;
+/// let client = RemoteCounter::connect(server.local_addr(), 1)?;
+/// assert_eq!(client.next_for(0), 0);
+/// assert_eq!(client.next_for(0), 1);
+/// server.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct CounterServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Drain,
+    down: bool,
+}
+
+impl CounterServer {
+    /// Binds `addr` (use port 0 for an ephemeral port; see
+    /// [`local_addr`](Self::local_addr)) and starts serving `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn ProcessCounter + Send + Sync>,
+        cfg: ServerConfig,
+    ) -> io::Result<CounterServer> {
+        CounterServer::start_inner(addr, backend, None, cfg)
+    }
+
+    /// Like [`start`](Self::start), additionally recording every increment
+    /// served into `recorder` (slot `s` writes shard `s`), so the online
+    /// monitors can audit the service across the socket boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; fails with `InvalidInput` if the recorder
+    /// has fewer shards than `cfg.max_connections`.
+    pub fn with_recorder(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn ProcessCounter + Send + Sync>,
+        recorder: Arc<TraceRecorder>,
+        cfg: ServerConfig,
+    ) -> io::Result<CounterServer> {
+        if recorder.shards() < cfg.max_connections {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "recorder has {} shards for {} connection slots",
+                    recorder.shards(),
+                    cfg.max_connections
+                ),
+            ));
+        }
+        CounterServer::start_inner(addr, backend, Some(recorder), cfg)
+    }
+
+    fn start_inner(
+        addr: impl ToSocketAddrs,
+        backend: Arc<dyn ProcessCounter + Send + Sync>,
+        recorder: Option<Arc<TraceRecorder>>,
+        cfg: ServerConfig,
+    ) -> io::Result<CounterServer> {
+        let cfg = ServerConfig {
+            max_connections: cfg.max_connections.max(1),
+            processes: cfg.processes.max(1),
+            ..cfg
+        };
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            backend,
+            recorder,
+            cfg,
+            stop: AtomicBool::new(false),
+            shutdown_requested: AtomicBool::new(false),
+            gate: Mutex::new(Gate {
+                free: (0..cfg.max_connections).rev().collect(),
+                active: 0,
+            }),
+            gate_cv: Condvar::new(),
+            conns: Mutex::new((0..cfg.max_connections).map(|_| None).collect()),
+            workers: Mutex::new(Drain::new()),
+            slot_stats: (0..cfg.max_connections).map(|_| CachePadded::default()).collect(),
+            total_connections: CachePadded::new(AtomicU64::new(0)),
+            rejected_connections: CachePadded::new(AtomicU64::new(0)),
+        });
+        let mut acceptor = Drain::with_capacity(1);
+        let shared2 = Arc::clone(&shared);
+        acceptor.push(std::thread::spawn(move || accept_loop(&shared2, &listener)));
+        Ok(CounterServer { addr, shared, acceptor, down: false })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The recorder increments are streamed into, when auditing.
+    pub fn recorder(&self) -> Option<&Arc<TraceRecorder>> {
+        self.shared.recorder.as_ref()
+    }
+
+    /// Aggregates the per-slot statistics into one snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        snapshot(&self.shared)
+    }
+
+    /// Whether a client has sent a [`Request::Shutdown`] frame.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown_requested.load(Ordering::Acquire)
+    }
+
+    /// Blocks until a remote shutdown request arrives (or the server is
+    /// shut down locally).
+    pub fn wait_for_shutdown_request(&self) {
+        let mut gate = self.shared.gate.lock();
+        while !self.shared.shutdown_requested.load(Ordering::Acquire)
+            && !self.shared.stop.load(Ordering::Acquire)
+        {
+            gate = self
+                .shared
+                .gate_cv
+                .wait_timeout(gate, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Drains and stops the server: no new connections, every handler
+    /// answers the requests it has already read and exits, every thread is
+    /// joined. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.gate_cv.notify_all();
+        self.acceptor.join_all();
+        // End-of-stream every live connection's read half: blocked readers
+        // wake with EOF, pending responses still flush out the write half.
+        for conn in self.shared.conns.lock().iter().flatten() {
+            let _ = conn.shutdown(SockShutdown::Read);
+        }
+        self.shared.workers.lock().join_all();
+    }
+}
+
+impl Drop for CounterServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn snapshot(shared: &Shared) -> StatsSnapshot {
+    let mut s = StatsSnapshot {
+        active_connections: shared.gate.lock().active as u64,
+        total_connections: shared.total_connections.load(Ordering::Relaxed),
+        rejected_connections: shared.rejected_connections.load(Ordering::Relaxed),
+        ..StatsSnapshot::default()
+    };
+    for slot in shared.slot_stats.iter() {
+        s.requests += slot.requests.load(Ordering::Relaxed);
+        s.ops += slot.ops.load(Ordering::Relaxed);
+        s.batches += slot.batches.load(Ordering::Relaxed);
+    }
+    s
+}
+
+/// Acquires a connection slot per the backpressure policy; `None` means
+/// the connection should be refused (or the server is stopping).
+fn acquire_slot(shared: &Shared) -> Option<usize> {
+    let mut gate = shared.gate.lock();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(slot) = gate.free.pop() {
+            gate.active += 1;
+            return Some(slot);
+        }
+        match shared.cfg.backpressure {
+            Backpressure::Reject => return None,
+            Backpressure::Block => {
+                gate = shared
+                    .gate_cv
+                    .wait_timeout(gate, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        }
+    }
+}
+
+fn release_slot(shared: &Shared, slot: usize) {
+    shared.conns.lock()[slot] = None;
+    let mut gate = shared.gate.lock();
+    gate.free.push(slot);
+    gate.active -= 1;
+    drop(gate);
+    shared.gate_cv.notify_all();
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                match acquire_slot(shared) {
+                    Some(slot) => {
+                        shared.total_connections.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(clone) = stream.try_clone() {
+                            shared.conns.lock()[slot] = Some(clone);
+                        }
+                        let worker_shared = Arc::clone(shared);
+                        let handle = std::thread::spawn(move || {
+                            let _ = serve_connection(&worker_shared, slot, stream);
+                            if let Some(rec) = &worker_shared.recorder {
+                                rec.flush(slot);
+                            }
+                            release_slot(&worker_shared, slot);
+                        });
+                        shared.workers.lock().push(handle);
+                    }
+                    None if shared.stop.load(Ordering::Acquire) => break,
+                    None => {
+                        shared.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                        // Best-effort refusal so the client sees Busy, not
+                        // a silent close.
+                        let mut w = BufWriter::new(stream);
+                        let _ = write_response(&mut w, 0, &Response::Error(ErrorCode::Busy));
+                        let _ = w.flush();
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+/// Serves one connection until end-of-stream, a malformed frame, or
+/// shutdown. Buffered requests are served before the writer flushes, so
+/// pipelined bursts cost one flush.
+fn serve_connection(shared: &Shared, slot: usize, stream: TcpStream) -> io::Result<()> {
+    let process = slot % shared.cfg.processes;
+    let stats = &shared.slot_stats[slot];
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf = Vec::new();
+    let mut batch_values = Vec::new();
+    loop {
+        // Flush only when no request is already buffered (a non-blocking
+        // check — `fill_buf` would park before the responses went out):
+        // the pipelining amortization point.
+        if reader.buffer().is_empty() {
+            writer.flush()?;
+        }
+        let Some(payload) = read_frame(&mut reader, &mut buf)? else {
+            break; // clean close
+        };
+        let (seq, req) = match Request::decode(payload) {
+            Ok(decoded) => decoded,
+            Err(_) => {
+                // Cannot trust anything in the frame, including its seq.
+                write_response(&mut writer, 0, &Response::Error(ErrorCode::Malformed))?;
+                writer.flush()?;
+                break;
+            }
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        match req {
+            Request::Next => {
+                if shared.stop.load(Ordering::Acquire) {
+                    write_response(&mut writer, seq, &Response::Error(ErrorCode::ShuttingDown))?;
+                    writer.flush()?;
+                    break;
+                }
+                let value = shared.backend.next_for(process);
+                if let Some(rec) = &shared.recorder {
+                    rec.record(slot, value);
+                }
+                stats.ops.fetch_add(1, Ordering::Relaxed);
+                write_response(&mut writer, seq, &Response::Value { value })?;
+            }
+            Request::NextBatch { n } => {
+                if shared.stop.load(Ordering::Acquire) {
+                    write_response(&mut writer, seq, &Response::Error(ErrorCode::ShuttingDown))?;
+                    writer.flush()?;
+                    break;
+                }
+                if n == 0 || n > MAX_BATCH {
+                    write_response(&mut writer, seq, &Response::Error(ErrorCode::BadBatch))?;
+                    continue;
+                }
+                batch_values.clear();
+                for _ in 0..n {
+                    let value = shared.backend.next_for(process);
+                    if let Some(rec) = &shared.recorder {
+                        rec.record(slot, value);
+                    }
+                    batch_values.push(value);
+                }
+                stats.ops.fetch_add(u64::from(n), Ordering::Relaxed);
+                stats.batches.fetch_add(1, Ordering::Relaxed);
+                write_response(
+                    &mut writer,
+                    seq,
+                    &Response::Batch { values: std::mem::take(&mut batch_values) },
+                )?;
+            }
+            Request::Ping => write_response(&mut writer, seq, &Response::Pong)?,
+            Request::Stats => {
+                write_response(&mut writer, seq, &Response::Stats(snapshot(shared)))?
+            }
+            Request::Shutdown => {
+                write_response(&mut writer, seq, &Response::Bye)?;
+                writer.flush()?;
+                shared.shutdown_requested.store(true, Ordering::Release);
+                shared.gate_cv.notify_all();
+                break;
+            }
+        }
+    }
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::write_request;
+    use cnet_runtime::FetchAddCounter;
+    use std::io::Read;
+
+    fn fetch_add_server(cfg: ServerConfig) -> CounterServer {
+        CounterServer::start("127.0.0.1:0", Arc::new(FetchAddCounter::new()), cfg).unwrap()
+    }
+
+    /// A minimal raw client for exercising the wire directly.
+    struct Raw {
+        stream: TcpStream,
+        buf: Vec<u8>,
+        seq: u32,
+    }
+
+    impl Raw {
+        fn connect(addr: SocketAddr) -> Raw {
+            Raw { stream: TcpStream::connect(addr).unwrap(), buf: Vec::new(), seq: 0 }
+        }
+
+        fn send(&mut self, req: &Request) -> u32 {
+            let seq = self.seq;
+            self.seq += 1;
+            write_request(&mut self.stream, seq, req).unwrap();
+            seq
+        }
+
+        fn recv(&mut self) -> (u32, Response) {
+            let payload = read_frame(&mut self.stream, &mut self.buf).unwrap().unwrap();
+            Response::decode(payload).unwrap()
+        }
+    }
+
+    #[test]
+    fn serves_values_and_batches_with_seq_echo() {
+        let mut server = fetch_add_server(ServerConfig::default());
+        let mut c = Raw::connect(server.local_addr());
+        let s0 = c.send(&Request::Next);
+        assert_eq!(c.recv(), (s0, Response::Value { value: 0 }));
+        let s1 = c.send(&Request::NextBatch { n: 4 });
+        assert_eq!(c.recv(), (s1, Response::Batch { values: vec![1, 2, 3, 4] }));
+        let s2 = c.send(&Request::Ping);
+        assert_eq!(c.recv(), (s2, Response::Pong));
+        let s3 = c.send(&Request::Stats);
+        let (seq, resp) = c.recv();
+        assert_eq!(seq, s3);
+        let Response::Stats(stats) = resp else { panic!("expected stats, got {resp:?}") };
+        assert_eq!(stats.ops, 5);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.requests, 4); // the Stats request itself counted
+        assert_eq!(stats.active_connections, 1);
+        server.shutdown();
+        let final_stats = server.stats();
+        assert_eq!(final_stats.total_connections, 1);
+        assert_eq!(final_stats.ops, 5);
+    }
+
+    #[test]
+    fn pipelined_requests_all_get_answers() {
+        let server = fetch_add_server(ServerConfig::default());
+        let mut c = Raw::connect(server.local_addr());
+        // Burst of requests before reading anything.
+        let seqs: Vec<u32> = (0..32).map(|_| c.send(&Request::Next)).collect();
+        let mut values = Vec::new();
+        for expected_seq in seqs {
+            let (seq, resp) = c.recv();
+            assert_eq!(seq, expected_seq);
+            let Response::Value { value } = resp else { panic!("{resp:?}") };
+            values.push(value);
+        }
+        values.sort_unstable();
+        assert_eq!(values, (0..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn reject_backpressure_answers_busy() {
+        let server = fetch_add_server(ServerConfig {
+            max_connections: 1,
+            backpressure: Backpressure::Reject,
+            processes: 1,
+        });
+        let mut first = Raw::connect(server.local_addr());
+        let s = first.send(&Request::Next);
+        assert_eq!(first.recv(), (s, Response::Value { value: 0 }));
+        // Second connection: refused with Busy.
+        let mut second = Raw::connect(server.local_addr());
+        let (_, resp) = second.recv();
+        assert_eq!(resp, Response::Error(ErrorCode::Busy));
+        // The slot frees once the first client leaves.
+        drop(first.stream);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut served = false;
+        while std::time::Instant::now() < deadline {
+            let mut c = Raw::connect(server.local_addr());
+            c.send(&Request::Ping);
+            if let (_, Response::Pong) = c.recv() {
+                served = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(served, "slot never freed after client disconnect");
+        assert!(server.stats().rejected_connections >= 1);
+    }
+
+    #[test]
+    fn block_backpressure_serves_once_a_slot_frees() {
+        let server = fetch_add_server(ServerConfig {
+            max_connections: 1,
+            backpressure: Backpressure::Block,
+            processes: 1,
+        });
+        let addr = server.local_addr();
+        let mut first = Raw::connect(addr);
+        let s = first.send(&Request::Next);
+        assert_eq!(first.recv(), (s, Response::Value { value: 0 }));
+        // Second connection parks; it is served after the first leaves.
+        let waiter = std::thread::spawn(move || {
+            let mut c = Raw::connect(addr);
+            c.send(&Request::Next);
+            c.recv()
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        drop(first.stream);
+        let (_, resp) = waiter.join().unwrap();
+        assert_eq!(resp, Response::Value { value: 1 });
+    }
+
+    #[test]
+    fn malformed_frames_get_an_error_and_a_close() {
+        let server = fetch_add_server(ServerConfig::default());
+        let mut c = Raw::connect(server.local_addr());
+        // A syntactically valid frame with a bogus opcode.
+        let mut frame = Vec::new();
+        Request::Ping.encode(3, &mut frame);
+        frame[5] = 0x6f; // corrupt the opcode byte (len(4) + version(1))
+        use std::io::Write as _;
+        c.stream.write_all(&frame).unwrap();
+        let (_, resp) = c.recv();
+        assert_eq!(resp, Response::Error(ErrorCode::Malformed));
+        // The server closed the connection after the error.
+        let mut rest = Vec::new();
+        c.stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn shutdown_frame_drains_the_server() {
+        let mut server = fetch_add_server(ServerConfig::default());
+        assert!(!server.shutdown_requested());
+        let mut c = Raw::connect(server.local_addr());
+        let s0 = c.send(&Request::Next);
+        assert_eq!(c.recv(), (s0, Response::Value { value: 0 }));
+        let s1 = c.send(&Request::Shutdown);
+        assert_eq!(c.recv(), (s1, Response::Bye));
+        server.wait_for_shutdown_request();
+        assert!(server.shutdown_requested());
+        server.shutdown();
+        // Fresh connections are no longer accepted/served.
+        if let Ok(mut stream) = TcpStream::connect(server.local_addr()) {
+            let _ = write_request(&mut stream, 0, &Request::Ping);
+            let mut rest = Vec::new();
+            let _ = stream.read_to_end(&mut rest);
+            assert!(rest.is_empty(), "a drained server must not serve");
+        }
+    }
+
+    #[test]
+    fn bad_batch_sizes_are_refused_without_closing() {
+        let server = fetch_add_server(ServerConfig::default());
+        let mut c = Raw::connect(server.local_addr());
+        let s0 = c.send(&Request::NextBatch { n: 0 });
+        assert_eq!(c.recv(), (s0, Response::Error(ErrorCode::BadBatch)));
+        let s1 = c.send(&Request::NextBatch { n: MAX_BATCH + 1 });
+        assert_eq!(c.recv(), (s1, Response::Error(ErrorCode::BadBatch)));
+        // Connection still usable.
+        let s2 = c.send(&Request::Next);
+        assert_eq!(c.recv(), (s2, Response::Value { value: 0 }));
+    }
+
+    #[test]
+    fn recorder_sees_every_served_increment() {
+        let recorder = Arc::new(TraceRecorder::new(4, 1024));
+        let mut server = CounterServer::with_recorder(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            Arc::clone(&recorder),
+            ServerConfig { max_connections: 4, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut c = Raw::connect(server.local_addr());
+        let s = c.send(&Request::NextBatch { n: 100 });
+        let (_, resp) = c.recv();
+        assert_eq!(s, 0);
+        let Response::Batch { values } = resp else { panic!("{resp:?}") };
+        assert_eq!(values.len(), 100);
+        drop(c);
+        server.shutdown();
+        let mut auditor = cnet_core::trace::StreamingAuditor::new();
+        cnet_runtime::recorder::drain_remaining(&recorder, &mut auditor);
+        assert_eq!(auditor.operations(), 100);
+        assert!(auditor.is_clean(), "{}", auditor.summary());
+    }
+
+    #[test]
+    fn with_recorder_validates_shard_count() {
+        let recorder = Arc::new(TraceRecorder::new(2, 16));
+        let err = CounterServer::with_recorder(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            recorder,
+            ServerConfig { max_connections: 8, ..ServerConfig::default() },
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,624 @@
+//! The counting-service wire protocol: compact length-prefixed binary
+//! frames over any byte stream.
+//!
+//! # Frame layout
+//!
+//! Every frame is `[len: u32 LE][payload]`, where `payload` is
+//!
+//! ```text
+//! [version: u8][opcode: u8][seq: u32 LE][body ...]
+//! ```
+//!
+//! `len` counts the payload bytes only (so the minimum frame is
+//! [`HEADER_LEN`] bytes of payload) and is capped at [`MAX_FRAME`] — a
+//! reader never allocates unboundedly on a corrupt or hostile length word.
+//! `seq` is a per-connection sequence number: the client stamps each
+//! request, the server echoes the stamp in the matching response, and both
+//! sides can therefore pipeline many requests on one connection and match
+//! responses without heads-of-line bookkeeping.
+//!
+//! # Opcodes
+//!
+//! | opcode | direction | frame | body |
+//! |-------:|-----------|-------|------|
+//! | `0x01` | → server  | [`Request::Next`] | — |
+//! | `0x02` | → server  | [`Request::NextBatch`] | `n: u32 LE` |
+//! | `0x03` | → server  | [`Request::Ping`] | — |
+//! | `0x04` | → server  | [`Request::Stats`] | — |
+//! | `0x05` | → server  | [`Request::Shutdown`] | — |
+//! | `0x81` | ← server  | [`Response::Value`] | `value: u64 LE` |
+//! | `0x82` | ← server  | [`Response::Batch`] | `n: u32 LE`, `n × u64 LE` |
+//! | `0x83` | ← server  | [`Response::Pong`] | — |
+//! | `0x84` | ← server  | [`Response::Stats`] | 6 × `u64 LE` ([`StatsSnapshot`]) |
+//! | `0x85` | ← server  | [`Response::Bye`] | — |
+//! | `0x86` | ← server  | [`Response::Error`] | `code: u8` ([`ErrorCode`]) |
+//!
+//! Integers are little-endian throughout. Decoding is strict: unknown
+//! versions and opcodes, truncated bodies, and trailing bytes are all
+//! [`WireError`]s — a server answers them with [`Response::Error`] and
+//! drops the connection rather than guessing.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in every frame.
+pub const VERSION: u8 = 1;
+
+/// Fixed payload header: version, opcode, sequence number.
+pub const HEADER_LEN: usize = 6;
+
+/// Hard cap on a frame's payload length; larger length words are treated
+/// as corruption.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Hard cap on a `NextBatch` request (keeps one request's response under
+/// [`MAX_FRAME`] and bounds the work one frame can demand).
+pub const MAX_BATCH: u32 = 1 << 16;
+
+/// A request frame, client to server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// One increment; answered with [`Response::Value`].
+    Next,
+    /// `n` increments in one frame; answered with [`Response::Batch`] of
+    /// `n` values. The batch is the protocol's amortization lever: one
+    /// round trip, one syscall pair, `n` counter operations.
+    NextBatch {
+        /// Number of increments requested (`1..=MAX_BATCH`).
+        n: u32,
+    },
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Server statistics; answered with [`Response::Stats`].
+    Stats,
+    /// Asks the whole server to drain and stop; answered with
+    /// [`Response::Bye`] before the connection closes.
+    Shutdown,
+}
+
+/// A response frame, server to client, echoing the request's `seq`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The value obtained by one increment.
+    Value {
+        /// The counter value handed out.
+        value: u64,
+    },
+    /// The values obtained by a `NextBatch`.
+    Batch {
+        /// One value per requested increment, in issue order.
+        values: Vec<u64>,
+    },
+    /// Liveness answer.
+    Pong,
+    /// A snapshot of the server's aggregate statistics.
+    Stats(StatsSnapshot),
+    /// Acknowledges a `Shutdown`; the server is draining.
+    Bye,
+    /// The request could not be served; the server closes the connection
+    /// after sending this.
+    Error(ErrorCode),
+}
+
+/// Why a request was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame failed to decode (bad version, opcode, or body).
+    Malformed = 1,
+    /// A `NextBatch` asked for 0 or more than [`MAX_BATCH`] values.
+    BadBatch = 2,
+    /// The server is at its connection limit (reject backpressure policy).
+    Busy = 3,
+    /// The server is draining and no longer serves increments.
+    ShuttingDown = 4,
+}
+
+impl ErrorCode {
+    fn from_byte(b: u8) -> Result<ErrorCode, WireError> {
+        match b {
+            1 => Ok(ErrorCode::Malformed),
+            2 => Ok(ErrorCode::BadBatch),
+            3 => Ok(ErrorCode::Busy),
+            4 => Ok(ErrorCode::ShuttingDown),
+            other => Err(WireError::BadErrorCode(other)),
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Malformed => "malformed frame",
+            ErrorCode::BadBatch => "batch size out of range",
+            ErrorCode::Busy => "server at connection limit",
+            ErrorCode::ShuttingDown => "server shutting down",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Aggregate server statistics, as carried by [`Response::Stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections currently open.
+    pub active_connections: u64,
+    /// Connections accepted since start.
+    pub total_connections: u64,
+    /// Connections refused by the reject backpressure policy.
+    pub rejected_connections: u64,
+    /// Request frames served.
+    pub requests: u64,
+    /// Counter values handed out (a `NextBatch{n}` counts `n`).
+    pub ops: u64,
+    /// `NextBatch` frames served.
+    pub batches: u64,
+}
+
+/// A malformed frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Payload shorter than the fixed header.
+    TooShort(usize),
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Body shorter than the opcode requires.
+    Truncated {
+        /// The opcode whose body was cut off.
+        opcode: u8,
+        /// Bytes actually present after the header.
+        got: usize,
+        /// Bytes the opcode's body requires.
+        want: usize,
+    },
+    /// Body longer than the opcode allows.
+    TrailingBytes(u8),
+    /// Unknown error code in an `Error` response.
+    BadErrorCode(u8),
+    /// Length word over [`MAX_FRAME`] or under [`HEADER_LEN`].
+    BadLength(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::TooShort(n) => write!(f, "payload of {n} bytes is shorter than the header"),
+            WireError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            WireError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::Truncated { opcode, got, want } => {
+                write!(f, "opcode {opcode:#04x} body truncated: {got} of {want} bytes")
+            }
+            WireError::TrailingBytes(op) => write!(f, "opcode {op:#04x} carries trailing bytes"),
+            WireError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
+            WireError::BadLength(n) => write!(f, "frame length {n} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+fn put_header(out: &mut Vec<u8>, opcode: u8, seq: u32, body_len: usize) {
+    let len = (HEADER_LEN + body_len) as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(VERSION);
+    out.push(opcode);
+    out.extend_from_slice(&seq.to_le_bytes());
+}
+
+/// Splits a decoded payload into `(seq, opcode, body)`, checking version
+/// and header length.
+fn split_payload(payload: &[u8]) -> Result<(u32, u8, &[u8]), WireError> {
+    if payload.len() < HEADER_LEN {
+        return Err(WireError::TooShort(payload.len()));
+    }
+    if payload[0] != VERSION {
+        return Err(WireError::BadVersion(payload[0]));
+    }
+    let seq = u32::from_le_bytes(payload[2..6].try_into().expect("4 bytes"));
+    Ok((seq, payload[1], &payload[HEADER_LEN..]))
+}
+
+fn body_exactly(opcode: u8, body: &[u8], want: usize) -> Result<(), WireError> {
+    match body.len().cmp(&want) {
+        std::cmp::Ordering::Less => {
+            Err(WireError::Truncated { opcode, got: body.len(), want })
+        }
+        std::cmp::Ordering::Greater => Err(WireError::TrailingBytes(opcode)),
+        std::cmp::Ordering::Equal => Ok(()),
+    }
+}
+
+impl Request {
+    /// Appends the full frame (length prefix included) to `out`.
+    pub fn encode(&self, seq: u32, out: &mut Vec<u8>) {
+        match self {
+            Request::Next => put_header(out, 0x01, seq, 0),
+            Request::NextBatch { n } => {
+                put_header(out, 0x02, seq, 4);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Request::Ping => put_header(out, 0x03, seq, 0),
+            Request::Stats => put_header(out, 0x04, seq, 0),
+            Request::Shutdown => put_header(out, 0x05, seq, 0),
+        }
+    }
+
+    /// Decodes a request from a frame payload (length prefix already
+    /// stripped), returning the sequence number alongside.
+    ///
+    /// # Errors
+    ///
+    /// Any structural defect is a [`WireError`].
+    pub fn decode(payload: &[u8]) -> Result<(u32, Request), WireError> {
+        let (seq, opcode, body) = split_payload(payload)?;
+        let req = match opcode {
+            0x01 => {
+                body_exactly(opcode, body, 0)?;
+                Request::Next
+            }
+            0x02 => {
+                body_exactly(opcode, body, 4)?;
+                Request::NextBatch { n: u32::from_le_bytes(body.try_into().expect("4 bytes")) }
+            }
+            0x03 => {
+                body_exactly(opcode, body, 0)?;
+                Request::Ping
+            }
+            0x04 => {
+                body_exactly(opcode, body, 0)?;
+                Request::Stats
+            }
+            0x05 => {
+                body_exactly(opcode, body, 0)?;
+                Request::Shutdown
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        Ok((seq, req))
+    }
+}
+
+impl Response {
+    /// Appends the full frame (length prefix included) to `out`.
+    pub fn encode(&self, seq: u32, out: &mut Vec<u8>) {
+        match self {
+            Response::Value { value } => {
+                put_header(out, 0x81, seq, 8);
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            Response::Batch { values } => {
+                put_header(out, 0x82, seq, 4 + 8 * values.len());
+                out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+                for v in values {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::Pong => put_header(out, 0x83, seq, 0),
+            Response::Stats(s) => {
+                put_header(out, 0x84, seq, 48);
+                for word in [
+                    s.active_connections,
+                    s.total_connections,
+                    s.rejected_connections,
+                    s.requests,
+                    s.ops,
+                    s.batches,
+                ] {
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+            }
+            Response::Bye => put_header(out, 0x85, seq, 0),
+            Response::Error(code) => {
+                put_header(out, 0x86, seq, 1);
+                out.push(*code as u8);
+            }
+        }
+    }
+
+    /// Decodes a response from a frame payload, returning the echoed
+    /// sequence number alongside.
+    ///
+    /// # Errors
+    ///
+    /// Any structural defect is a [`WireError`].
+    pub fn decode(payload: &[u8]) -> Result<(u32, Response), WireError> {
+        let (seq, opcode, body) = split_payload(payload)?;
+        let resp = match opcode {
+            0x81 => {
+                body_exactly(opcode, body, 8)?;
+                Response::Value { value: u64::from_le_bytes(body.try_into().expect("8 bytes")) }
+            }
+            0x82 => {
+                if body.len() < 4 {
+                    return Err(WireError::Truncated { opcode, got: body.len(), want: 4 });
+                }
+                let n = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+                body_exactly(opcode, &body[4..], 8 * n)?;
+                let values = body[4..]
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect();
+                Response::Batch { values }
+            }
+            0x83 => {
+                body_exactly(opcode, body, 0)?;
+                Response::Pong
+            }
+            0x84 => {
+                body_exactly(opcode, body, 48)?;
+                let word = |i: usize| {
+                    u64::from_le_bytes(body[8 * i..8 * (i + 1)].try_into().expect("8 bytes"))
+                };
+                Response::Stats(StatsSnapshot {
+                    active_connections: word(0),
+                    total_connections: word(1),
+                    rejected_connections: word(2),
+                    requests: word(3),
+                    ops: word(4),
+                    batches: word(5),
+                })
+            }
+            0x85 => {
+                body_exactly(opcode, body, 0)?;
+                Response::Bye
+            }
+            0x86 => {
+                body_exactly(opcode, body, 1)?;
+                Response::Error(ErrorCode::from_byte(body[0])?)
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        Ok((seq, resp))
+    }
+}
+
+/// Reads one frame's payload into `buf` (resized to fit), returning `None`
+/// on a clean end-of-stream at a frame boundary.
+///
+/// # Errors
+///
+/// I/O failures pass through; an out-of-range length word or a stream cut
+/// mid-frame is `InvalidData`/`UnexpectedEof`.
+pub fn read_frame<'a>(
+    r: &mut impl Read,
+    buf: &'a mut Vec<u8>,
+) -> io::Result<Option<&'a [u8]>> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before any length byte is a closed connection, not an
+    // error; EOF mid-prefix or mid-payload is a cut frame.
+    match r.read(&mut len_bytes[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut len_bytes[1..])?,
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if !(HEADER_LEN..=MAX_FRAME).contains(&len) {
+        return Err(WireError::BadLength(len).into());
+    }
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(Some(buf.as_slice()))
+}
+
+/// Encodes and writes one request frame (no flush).
+///
+/// # Errors
+///
+/// I/O failures pass through.
+pub fn write_request(w: &mut impl Write, seq: u32, req: &Request) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + 8);
+    req.encode(seq, &mut frame);
+    w.write_all(&frame)
+}
+
+/// Encodes and writes one response frame (no flush).
+///
+/// # Errors
+///
+/// I/O failures pass through.
+pub fn write_response(w: &mut impl Write, seq: u32, resp: &Response) -> io::Result<()> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + 16);
+    resp.encode(seq, &mut frame);
+    w.write_all(&frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Next,
+            Request::NextBatch { n: 1 },
+            Request::NextBatch { n: MAX_BATCH },
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        vec![
+            Response::Value { value: 0 },
+            Response::Value { value: u64::MAX },
+            Response::Batch { values: vec![] },
+            Response::Batch { values: vec![7, 8, 9] },
+            Response::Pong,
+            Response::Stats(StatsSnapshot {
+                active_connections: 1,
+                total_connections: 2,
+                rejected_connections: 3,
+                requests: 4,
+                ops: 5,
+                batches: 6,
+            }),
+            Response::Bye,
+            Response::Error(ErrorCode::Busy),
+        ]
+    }
+
+    /// Strips the length prefix after checking it matches the payload.
+    fn payload(frame: &[u8]) -> &[u8] {
+        let len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        &frame[4..]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for (i, req) in requests().into_iter().enumerate() {
+            let seq = 1000 + i as u32;
+            let mut frame = Vec::new();
+            req.encode(seq, &mut frame);
+            let (got_seq, got) = Request::decode(payload(&frame)).unwrap();
+            assert_eq!((got_seq, got), (seq, req));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for (i, resp) in responses().into_iter().enumerate() {
+            let seq = 77 + i as u32;
+            let mut frame = Vec::new();
+            resp.encode(seq, &mut frame);
+            let (got_seq, got) = Response::decode(payload(&frame)).unwrap();
+            assert_eq!(got_seq, seq);
+            assert_eq!(got, resp);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        for req in requests() {
+            let mut frame = Vec::new();
+            req.encode(9, &mut frame);
+            let p = payload(&frame).to_vec();
+            // Every strict prefix of the payload fails to decode.
+            for cut in 0..p.len() {
+                assert!(Request::decode(&p[..cut]).is_err(), "{req:?} cut at {cut}");
+            }
+        }
+        for resp in responses() {
+            let mut frame = Vec::new();
+            resp.encode(9, &mut frame);
+            let p = payload(&frame).to_vec();
+            for cut in 0..p.len() {
+                assert!(Response::decode(&p[..cut]).is_err(), "{resp:?} cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected() {
+        let mut frame = Vec::new();
+        Request::Next.encode(3, &mut frame);
+        let mut p = payload(&frame).to_vec();
+        p[0] = 99; // version
+        assert_eq!(Request::decode(&p), Err(WireError::BadVersion(99)));
+        p[0] = VERSION;
+        p[1] = 0x7f; // opcode
+        assert_eq!(Request::decode(&p), Err(WireError::BadOpcode(0x7f)));
+        // A request opcode is not a response and vice versa.
+        p[1] = 0x01;
+        assert_eq!(Response::decode(&p), Err(WireError::BadOpcode(0x01)));
+        let mut rframe = Vec::new();
+        Response::Pong.encode(3, &mut rframe);
+        assert_eq!(
+            Request::decode(payload(&rframe)),
+            Err(WireError::BadOpcode(0x83))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = Vec::new();
+        Request::Ping.encode(1, &mut frame);
+        let mut p = payload(&frame).to_vec();
+        p.push(0);
+        assert_eq!(Request::decode(&p), Err(WireError::TrailingBytes(0x03)));
+        let mut rframe = Vec::new();
+        Response::Value { value: 4 }.encode(1, &mut rframe);
+        let mut rp = payload(&rframe).to_vec();
+        rp.extend_from_slice(&[0, 0]);
+        assert_eq!(Response::decode(&rp), Err(WireError::TrailingBytes(0x81)));
+    }
+
+    #[test]
+    fn batch_length_must_match_count() {
+        let mut frame = Vec::new();
+        Response::Batch { values: vec![1, 2] }.encode(5, &mut frame);
+        let mut p = payload(&frame).to_vec();
+        // Claim 3 values while carrying 2.
+        p[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            Response::decode(&p),
+            Err(WireError::Truncated { opcode: 0x82, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_error_codes_are_rejected() {
+        let mut frame = Vec::new();
+        Response::Error(ErrorCode::Malformed).encode(2, &mut frame);
+        let mut p = payload(&frame).to_vec();
+        *p.last_mut().unwrap() = 250;
+        assert_eq!(Response::decode(&p), Err(WireError::BadErrorCode(250)));
+    }
+
+    #[test]
+    fn frame_reader_round_trips_and_bounds_lengths() {
+        let mut bytes = Vec::new();
+        Request::NextBatch { n: 3 }.encode(1, &mut bytes);
+        Request::Shutdown.encode(2, &mut bytes);
+        let mut cursor = io::Cursor::new(bytes);
+        let mut buf = Vec::new();
+        let p1 = read_frame(&mut cursor, &mut buf).unwrap().unwrap().to_vec();
+        assert_eq!(Request::decode(&p1).unwrap(), (1, Request::NextBatch { n: 3 }));
+        let p2 = read_frame(&mut cursor, &mut buf).unwrap().unwrap().to_vec();
+        assert_eq!(Request::decode(&p2).unwrap(), (2, Request::Shutdown));
+        assert!(read_frame(&mut cursor, &mut buf).unwrap().is_none()); // clean EOF
+
+        // Oversized length word: rejected before any allocation attempt.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut cursor = io::Cursor::new(huge.to_vec());
+        assert_eq!(
+            read_frame(&mut cursor, &mut buf).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Undersized too (a length that cannot hold the header).
+        let tiny = 2u32.to_le_bytes();
+        let mut cursor = io::Cursor::new(tiny.to_vec());
+        assert_eq!(
+            read_frame(&mut cursor, &mut buf).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // A stream cut mid-payload is UnexpectedEof, not a clean close.
+        let mut bytes = Vec::new();
+        Request::Next.encode(7, &mut bytes);
+        bytes.truncate(bytes.len() - 2);
+        let mut cursor = io::Cursor::new(bytes);
+        assert_eq!(
+            read_frame(&mut cursor, &mut buf).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn write_helpers_emit_parseable_frames() {
+        let mut out = Vec::new();
+        write_request(&mut out, 5, &Request::Ping).unwrap();
+        write_response(&mut out, 5, &Response::Pong).unwrap();
+        let mut cursor = io::Cursor::new(out);
+        let mut buf = Vec::new();
+        let p = read_frame(&mut cursor, &mut buf).unwrap().unwrap().to_vec();
+        assert_eq!(Request::decode(&p).unwrap(), (5, Request::Ping));
+        let p = read_frame(&mut cursor, &mut buf).unwrap().unwrap().to_vec();
+        assert_eq!(Response::decode(&p).unwrap(), (5, Response::Pong));
+    }
+}

@@ -54,6 +54,7 @@ pub mod barrier;
 pub mod compiled;
 pub mod counter;
 pub mod diffracting;
+pub mod drain;
 pub mod history;
 pub mod message_passing;
 pub mod paced;
@@ -65,6 +66,7 @@ pub use barrier::CounterBarrier;
 pub use compiled::CompiledNetwork;
 pub use counter::{GraphWalkCounter, SharedNetworkCounter};
 pub use diffracting::DiffractingTree;
+pub use drain::Drain;
 pub use history::{drive, RecordedOp, Workload};
 pub use recorder::{drain_remaining, drive_audited, AuditedRun, TraceRecorder, Traced};
 pub use message_passing::MessagePassingCounter;

@@ -15,10 +15,10 @@
 //! output channels are read straight off them.
 
 use crate::compiled::{CompiledNetwork, Hop};
+use crate::drain::Drain;
 use crate::ProcessCounter;
 use cnet_topology::Network;
 use cnet_util::sync::{unbounded, Receiver, Sender};
-use std::thread::JoinHandle;
 
 /// A token in flight: where to send the obtained value.
 enum Msg {
@@ -51,8 +51,9 @@ pub struct MessagePassingCounter {
     inputs: Vec<Sender<Msg>>,
     /// Every server's inbox sender, for shutdown.
     all_servers: Vec<Sender<Msg>>,
-    /// Server threads, joined on drop.
-    handles: Vec<JoinHandle<()>>,
+    /// Server threads, joined on drop (the shared signal-then-join idiom —
+    /// see [`Drain`]).
+    drain: Drain,
     fan_in: usize,
 }
 
@@ -79,14 +80,14 @@ impl MessagePassingCounter {
             }
         };
 
-        let mut handles = Vec::with_capacity(engine.size() + engine.fan_out());
+        let mut drain = Drain::with_capacity(engine.size() + engine.fan_out());
         // Balancer servers: round-robin forwarding, wired straight off the
         // compiled hop slices.
         for b in 0..engine.size() {
             let inbox = bal_channels[b].1.clone();
             let outputs: Vec<Sender<Msg>> =
                 engine.hops(b).iter().map(|&hop| sender_for(hop)).collect();
-            handles.push(std::thread::spawn(move || {
+            drain.push(std::thread::spawn(move || {
                 let mut state = 0usize;
                 while let Ok(msg) = inbox.recv() {
                     match msg {
@@ -105,7 +106,7 @@ impl MessagePassingCounter {
         for (j, (_, inbox)) in counter_channels.iter().enumerate() {
             let inbox = inbox.clone();
             let mut value = j as u64;
-            handles.push(std::thread::spawn(move || {
+            drain.push(std::thread::spawn(move || {
                 while let Ok(msg) = inbox.recv() {
                     match msg {
                         Msg::Token { reply } => {
@@ -126,7 +127,7 @@ impl MessagePassingCounter {
             .chain(counter_channels.iter().map(|(s, _)| s.clone()))
             .collect();
 
-        MessagePassingCounter { inputs, all_servers, handles, fan_in: engine.fan_in() }
+        MessagePassingCounter { inputs, all_servers, drain, fan_in: engine.fan_in() }
     }
 
     /// Injects one token on input wire `input` and blocks until its value
@@ -153,12 +154,14 @@ impl ProcessCounter for MessagePassingCounter {
 
 impl Drop for MessagePassingCounter {
     fn drop(&mut self) {
+        // Signal, then drain: every server sees a Shutdown in its inbox and
+        // exits its loop; `Drain` joins them all (and would also do so from
+        // its own drop, were this impl removed — the explicit call keeps
+        // the signal and the join visibly paired).
         for s in &self.all_servers {
             let _ = s.send(Msg::Shutdown);
         }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.drain.join_all();
     }
 }
 

@@ -14,13 +14,26 @@
 //! recorded histories confirm.
 
 use crate::ProcessCounter;
-use cnet_util::sync::Mutex;
+use cnet_util::sync::{CachePadded, Mutex};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// Number of timer-state shards (power of two). Distinct processes land on
+/// distinct shards for all practical process counts, so pacing bookkeeping
+/// never couples them through one lock (the paper's whole point is that
+/// the condition is *local* — the wrapper must not reintroduce global
+/// coordination through its own implementation).
+const PACE_SHARDS: usize = 64;
 
 /// A counter wrapper enforcing a minimum local inter-operation delay: after
 /// a process's operation completes, that process's next operation is held
 /// back until the delay has elapsed.
+///
+/// Timer state is sharded by process id across [`PACE_SHARDS`] cache-padded
+/// locks: process `p` only ever touches shard `p mod PACE_SHARDS`, so up to
+/// 64 concurrent processes do their pacing bookkeeping with zero
+/// cross-process contention (and beyond that, contention grows 64× slower
+/// than the old single-`Mutex<HashMap>` layout).
 ///
 /// # Example
 ///
@@ -38,10 +51,10 @@ use std::time::{Duration, Instant};
 pub struct LocallyPacedCounter<C> {
     inner: C,
     local_delay: Duration,
-    /// When each process's last operation completed. A mutexed map keeps the
-    /// wrapper simple; the lock is held only for the bookkeeping reads and
-    /// writes, never across the inner operation or the wait.
-    last_exit: Mutex<HashMap<usize, Instant>>,
+    /// When each process's last operation completed, sharded by process id.
+    /// Each shard's lock is held only for the bookkeeping reads and writes,
+    /// never across the inner operation or the wait.
+    last_exit: Box<[CachePadded<Mutex<HashMap<usize, Instant>>>]>,
 }
 
 impl<C: ProcessCounter> LocallyPacedCounter<C> {
@@ -50,7 +63,13 @@ impl<C: ProcessCounter> LocallyPacedCounter<C> {
     /// `local_delay > d(G)·(c_max − 2·c_min)` for the network's empirical
     /// delay envelope.
     pub fn new(inner: C, local_delay: Duration) -> Self {
-        LocallyPacedCounter { inner, local_delay, last_exit: Mutex::new(HashMap::new()) }
+        LocallyPacedCounter {
+            inner,
+            local_delay,
+            last_exit: (0..PACE_SHARDS)
+                .map(|_| CachePadded::new(Mutex::new(HashMap::new())))
+                .collect(),
+        }
     }
 
     /// The wrapped counter.
@@ -62,19 +81,38 @@ impl<C: ProcessCounter> LocallyPacedCounter<C> {
     pub fn local_delay(&self) -> Duration {
         self.local_delay
     }
+
+    /// The number of independent timer-state shards.
+    pub fn shard_count(&self) -> usize {
+        self.last_exit.len()
+    }
+
+    /// The shard holding `process`'s timer state.
+    pub fn shard_of(&self, process: usize) -> usize {
+        process & (PACE_SHARDS - 1)
+    }
+
+    fn shard(&self, process: usize) -> &Mutex<HashMap<usize, Instant>> {
+        &self.last_exit[self.shard_of(process)]
+    }
 }
 
 impl<C: ProcessCounter> ProcessCounter for LocallyPacedCounter<C> {
     fn next_for(&self, process: usize) -> u64 {
-        let release = self.last_exit.lock().get(&process).map(|&t| t + self.local_delay);
+        let release =
+            self.shard(process).lock().get(&process).map(|&t| t + self.local_delay);
         if let Some(release) = release {
-            // Spin-wait with yields: the delays in question are micro-scale.
+            // Spin-wait with yields: the delays in question are micro-scale,
+            // and the yield keeps waiting processes from monopolizing a core
+            // (without it, concurrent waits serialize in wall-clock time on
+            // machines with fewer cores than processes).
             while Instant::now() < release {
                 std::hint::spin_loop();
+                std::thread::yield_now();
             }
         }
         let value = self.inner.next_for(process);
-        self.last_exit.lock().insert(process, Instant::now());
+        self.shard(process).lock().insert(process, Instant::now());
         value
     }
 }
@@ -133,6 +171,59 @@ mod tests {
         let mut values: Vec<u64> = records.iter().map(|r| r.value).collect();
         values.sort_unstable();
         assert_eq!(values, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn timer_state_is_sharded_by_process() {
+        let paced = LocallyPacedCounter::new(FetchAddCounter::new(), Duration::ZERO);
+        assert_eq!(paced.shard_count(), 64);
+        // The first 64 process ids land on 64 distinct shards, so they
+        // never touch one another's pacing lock.
+        let mut shards: Vec<usize> = (0..64).map(|p| paced.shard_of(p)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        assert_eq!(shards.len(), 64);
+        // Beyond that the mapping wraps but stays stable.
+        assert_eq!(paced.shard_of(64), paced.shard_of(0));
+        assert_eq!(paced.shard_of(130), paced.shard_of(2));
+    }
+
+    #[test]
+    fn pacing_does_not_serialize_distinct_processes() {
+        // Regression test for the old single-`Mutex<HashMap>` layout: P
+        // processes pacing concurrently must finish in about the per-process
+        // pacing time (K−1 enforced gaps), not P times that. The bound sits
+        // halfway to the fully serialized cost so scheduler noise cannot
+        // trip it, while genuine cross-process serialization still would.
+        let processes: u32 = 8;
+        let ops: u32 = 3;
+        let delay = Duration::from_millis(20);
+        let paced = LocallyPacedCounter::new(FetchAddCounter::new(), delay);
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for p in 0..processes {
+                let paced = &paced;
+                s.spawn(move || {
+                    for _ in 0..ops {
+                        paced.next_for(p as usize);
+                    }
+                });
+            }
+        });
+        let elapsed = t0.elapsed();
+        let concurrent = delay * (ops - 1);
+        let serialized = delay * (ops - 1) * processes;
+        assert!(
+            elapsed >= concurrent,
+            "pacing gaps must still be enforced: {elapsed:?} < {concurrent:?}"
+        );
+        assert!(
+            elapsed < serialized / 2,
+            "distinct processes serialized through pacing state: {elapsed:?} \
+             (fully serial would be {serialized:?})"
+        );
+        // Values stay dense through the sharded bookkeeping.
+        assert_eq!(paced.inner().next(), u64::from(processes * ops));
     }
 
     #[test]

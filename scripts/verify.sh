@@ -61,4 +61,58 @@ if ! echo "$audit_out" | grep -q "audit verdict: clean"; then
     echo "error: cnet audit reported violations on the compiled backend" >&2
     exit 1
 fi
+
+# Service smoke: boot `cnet serve` on an ephemeral loopback port, discover
+# the port through --port-file, drive it with `cnet loadgen --check`
+# (values must be an exact permutation of 0..n), ask for a remote
+# shutdown, and require the server to drain within a bounded deadline.
+port_file=$(mktemp)
+rm -f "$port_file"
+cargo run -q --release --offline -p cnet-cli -- \
+    serve 8 --backend fetch_add --audit 1 --max-conns 8 --port-file "$port_file" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "error: cnet serve exited before binding" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ ! -s "$port_file" ]; then
+    echo "error: cnet serve never wrote its port file" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+addr=$(cat "$port_file")
+loadgen_out=$(cargo run -q --release --offline -p cnet-cli -- \
+    loadgen --addr "$addr" --threads 4 --ops 20000 --batch 64 --check 1 --shutdown 1)
+echo "$loadgen_out"
+if ! echo "$loadgen_out" | grep -q "permutation 0..20000: true"; then
+    echo "error: networked values were not a permutation of 0..n" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# Bounded drain: the server must exit cleanly shortly after the Shutdown
+# frame was acknowledged.
+drained=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        drained=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$drained" -ne 1 ]; then
+    echo "error: cnet serve failed to drain after a shutdown request" >&2
+    kill -9 "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+wait "$serve_pid"
+rm -f "$port_file"
+
+# The committed benchmark artifact must parse under the schema-v2 reader
+# (including transport-tagged networked rows).
+cargo test -q --release --offline -p cnet-bench --test net_roundtrip \
+    committed_bench_artifact_parses_as_schema_v2
 echo "verify: ok"

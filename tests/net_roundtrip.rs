@@ -1,0 +1,154 @@
+//! End-to-end service tests: real sockets on an ephemeral loopback port,
+//! concurrent client threads, pipelined bursts — checking the counting
+//! guarantees (permutation of `0..n`, clean audits for linearizable
+//! backends, *counted* violations for counting networks) survive the
+//! transport.
+
+use cnet_bench::{Measurement, ThroughputReport};
+use cnet_core::trace::StreamingAuditor;
+use cnet_net::loadgen::{run_loadgen, LoadGenConfig};
+use cnet_net::server::{Backpressure, CounterServer, ServerConfig};
+use cnet_net::RemoteCounter;
+use cnet_runtime::{drain_remaining, FetchAddCounter, SharedNetworkCounter, TraceRecorder};
+use cnet_topology::construct::bitonic;
+use cnet_util::json;
+use std::sync::Arc;
+
+/// N client threads, each pushing pipelined bursts over its own
+/// connection: the values received across the whole run must be exactly
+/// the permutation `0..total` — the counting-service contract.
+#[test]
+fn concurrent_pipelined_clients_receive_a_permutation() {
+    let threads = 4;
+    let ops_per_thread = 2_500;
+    let mut server = CounterServer::start(
+        "127.0.0.1:0",
+        Arc::new(FetchAddCounter::new()),
+        ServerConfig { max_connections: threads, processes: threads, ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral loopback port");
+    let report = run_loadgen(
+        server.local_addr(),
+        &LoadGenConfig { threads, ops_per_thread, batch: 64, collect_values: true },
+    )
+    .expect("loadgen completes");
+    assert_eq!(report.total_ops, (threads * ops_per_thread) as u64);
+    assert_eq!(
+        report.is_permutation(),
+        Some(true),
+        "values over the wire must be exactly 0..{}",
+        report.total_ops
+    );
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.ops, report.total_ops);
+    assert_eq!(stats.total_connections, threads as u64);
+    assert_eq!(stats.rejected_connections, 0);
+}
+
+/// With the PR 3 recorder attached, a linearizable backend served over
+/// TCP audits clean: every increment recorded, zero violations.
+#[test]
+fn fetch_add_service_audits_clean_across_the_socket() {
+    let threads = 4;
+    let ops_per_thread = 500;
+    let total = threads * ops_per_thread;
+    let recorder = Arc::new(TraceRecorder::new(threads, 2 * total));
+    let mut server = CounterServer::with_recorder(
+        "127.0.0.1:0",
+        Arc::new(FetchAddCounter::new()),
+        Arc::clone(&recorder),
+        ServerConfig { max_connections: threads, processes: threads, ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral loopback port");
+    let report = run_loadgen(
+        server.local_addr(),
+        &LoadGenConfig { threads, ops_per_thread, batch: 16, collect_values: true },
+    )
+    .expect("loadgen completes");
+    assert_eq!(report.is_permutation(), Some(true));
+    server.shutdown(); // joins handlers, which flush their recorder shards
+    let mut auditor = StreamingAuditor::new();
+    drain_remaining(&recorder, &mut auditor);
+    assert_eq!(auditor.operations(), total);
+    assert!(auditor.is_clean(), "fetch_add must audit clean: {}", auditor.summary());
+}
+
+/// A counting network served over TCP keeps the permutation property, and
+/// any consistency violations the concurrency produces are *counted* by
+/// the online monitors — never a crash, never a refused response.
+#[test]
+fn counting_network_violations_are_counted_not_fatal() {
+    let fan = 4;
+    let threads = 4;
+    let ops_per_thread = 500;
+    let total = threads * ops_per_thread;
+    let recorder = Arc::new(TraceRecorder::new(threads, 2 * total));
+    let net = bitonic(fan).expect("power-of-two fan");
+    let mut server = CounterServer::with_recorder(
+        "127.0.0.1:0",
+        Arc::new(SharedNetworkCounter::new(&net)),
+        Arc::clone(&recorder),
+        ServerConfig { max_connections: threads, processes: fan, ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral loopback port");
+    let report = run_loadgen(
+        server.local_addr(),
+        &LoadGenConfig { threads, ops_per_thread, batch: 8, collect_values: true },
+    )
+    .expect("loadgen completes against a counting network");
+    assert_eq!(
+        report.is_permutation(),
+        Some(true),
+        "the step property must survive the transport"
+    );
+    server.shutdown();
+    let mut auditor = StreamingAuditor::new();
+    drain_remaining(&recorder, &mut auditor);
+    assert_eq!(auditor.operations(), total);
+    // The monitors report fractions, they do not veto: whatever the
+    // interleaving produced is a number in [0, 1], not a panic.
+    let f_nl = auditor.f_nl();
+    let f_nsc = auditor.f_nsc();
+    assert!((0.0..=1.0).contains(&f_nl), "F_nl out of range: {f_nl}");
+    assert!((0.0..=1.0).contains(&f_nsc), "F_nsc out of range: {f_nsc}");
+    assert_eq!(auditor.non_linearizable() == 0, auditor.is_linearizable());
+}
+
+/// At the connection limit with the reject policy, surplus clients get a
+/// clean `Busy` refusal surfaced as an error — not a hang, not a panic.
+#[test]
+fn busy_rejection_surfaces_as_a_client_error() {
+    let server = CounterServer::start(
+        "127.0.0.1:0",
+        Arc::new(FetchAddCounter::new()),
+        ServerConfig { max_connections: 1, backpressure: Backpressure::Reject, processes: 1 },
+    )
+    .expect("bind ephemeral loopback port");
+    let holder = RemoteCounter::connect(server.local_addr(), 1).expect("first connection");
+    assert_eq!(holder.try_next(0).expect("slot holder is served"), 0);
+    let surplus = RemoteCounter::connect(server.local_addr(), 1).expect("TCP accept still works");
+    let err = surplus.try_next(0).expect_err("server at capacity must refuse");
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused, "{err}");
+}
+
+/// The committed benchmark artifact must stay readable by the schema-v2
+/// reader — including rows that predate the `transport` field (absent
+/// means `"memory"`) and the new `"tcp"` rows.
+#[test]
+fn committed_bench_artifact_parses_as_schema_v2() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_throughput.json is committed");
+    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v2");
+    assert_eq!(report.version, 2);
+    assert!(!report.measurements.is_empty());
+    for m in &report.measurements {
+        assert!(
+            m.transport == Measurement::TRANSPORT_MEMORY
+                || m.transport == Measurement::TRANSPORT_TCP,
+            "unknown transport {:?}",
+            m.transport
+        );
+        assert!(m.mops > 0.0);
+    }
+}
