@@ -11,7 +11,7 @@
 //! socket tax is a ratio you can read off one artifact.
 
 use crate::throughput::Measurement;
-use cnet_net::loadgen::{run_loadgen, LoadGenConfig};
+use cnet_net::loadgen::{run_loadgen, LoadGenConfig, LoadGenMode};
 use cnet_net::server::{CounterServer, ServerConfig};
 use cnet_runtime::{FetchAddCounter, ProcessCounter, SharedNetworkCounter};
 use cnet_topology::construct::bitonic;
@@ -26,8 +26,13 @@ pub struct NetThroughputConfig {
     pub threads: Vec<usize>,
     /// Operations each client thread pushes per timed run.
     pub ops_per_thread: usize,
-    /// Pipelined burst size per connection.
+    /// Burst size per connection (see `mode`).
     pub batch: usize,
+    /// What a burst is on the wire: `Batch` sends one `NextBatch` frame
+    /// per burst (the server's batched-traversal fast path, rows carry
+    /// `"batch": batch`), `Pipeline` sends single `Next` frames
+    /// back-to-back (the per-token path, rows carry `"batch": 1`).
+    pub mode: LoadGenMode,
     /// Timed repetitions per cell; the best run is kept (matching the
     /// in-process sweep's noise filter).
     pub repeats: usize,
@@ -40,6 +45,7 @@ impl Default for NetThroughputConfig {
             threads: vec![1, 2, 4],
             ops_per_thread: 5_000,
             batch: 64,
+            mode: LoadGenMode::Pipeline,
             repeats: 3,
         }
     }
@@ -71,12 +77,14 @@ fn measure_net(
                 threads,
                 ops_per_thread: cfg.ops_per_thread,
                 batch: cfg.batch,
+                mode: cfg.mode,
                 collect_values: false,
             },
         )?;
         server.shutdown();
         best = best.min(report.seconds);
     }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     Ok(Measurement {
         counter: label.0.to_string(),
         network: label.1.to_string(),
@@ -86,6 +94,11 @@ fn measure_net(
         mops: total_ops as f64 / best / 1.0e6,
         audited: false,
         transport: Measurement::TRANSPORT_TCP.to_string(),
+        batch: match cfg.mode {
+            LoadGenMode::Batch => cfg.batch,
+            LoadGenMode::Pipeline => 1,
+        },
+        oversubscribed: threads > cores,
     })
 }
 
@@ -133,6 +146,7 @@ mod tests {
             threads: vec![1, 2],
             ops_per_thread: 200,
             batch: 16,
+            mode: LoadGenMode::Pipeline,
             repeats: 1,
         })
         .expect("loopback sweep runs");
@@ -142,8 +156,26 @@ mod tests {
             assert!(!row.audited);
             assert_eq!(row.total_ops, row.threads * 200);
             assert!(row.mops > 0.0, "{row:?}");
+            assert_eq!(row.batch, 1, "pipeline mode rows are per-token");
         }
         assert!(rows.iter().any(|r| r.counter == "fetch_add"));
         assert!(rows.iter().any(|r| r.counter == "compiled" && r.network == "bitonic"));
+    }
+
+    #[test]
+    fn batch_mode_rows_carry_the_batch_size() {
+        let rows = run_net_throughput(&NetThroughputConfig {
+            fan: 4,
+            threads: vec![1],
+            ops_per_thread: 200,
+            batch: 32,
+            mode: LoadGenMode::Batch,
+            repeats: 1,
+        })
+        .expect("loopback sweep runs");
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.batch, 32, "{row:?}");
+        }
     }
 }

@@ -17,8 +17,8 @@ use crate::report::Table;
 use cnet_core::trace::StreamingAuditor;
 use cnet_runtime::recorder::drain_remaining;
 use cnet_runtime::{
-    DiffractingTree, FetchAddCounter, GraphWalkCounter, LockCounter, ProcessCounter,
-    SharedNetworkCounter, TraceRecorder,
+    CombiningFunnel, DiffractingTree, FetchAddCounter, GraphWalkCounter, LockCounter,
+    ProcessCounter, SharedNetworkCounter, TraceRecorder,
 };
 use cnet_topology::construct::{bitonic, counting_tree, periodic};
 use cnet_util::json::{FromJson, JsonError, ToJson, Value};
@@ -42,6 +42,10 @@ pub struct ThroughputConfig {
     /// Timed repetitions per cell; the best (shortest) run is kept, which
     /// filters scheduler noise deterministically.
     pub repeats: usize,
+    /// Batch sizes to sweep through `next_batch_for` (schema v3). A `1`
+    /// in the list maps to the plain per-token rows already swept, so
+    /// only sizes above one produce extra rows (`"batch": k`).
+    pub batches: Vec<usize>,
 }
 
 impl Default for ThroughputConfig {
@@ -51,6 +55,7 @@ impl Default for ThroughputConfig {
             threads: vec![1, 2, 4, 8],
             ops_per_thread: 20_000,
             repeats: 3,
+            batches: Vec::new(),
         }
     }
 }
@@ -80,6 +85,15 @@ pub struct Measurement {
     /// shared-memory rows, `tcp` for rows measured through `cnet-net`'s
     /// loopback service.
     pub transport: String,
+    /// Increments claimed per counter call (schema v3): `1` is the
+    /// per-token path, `k > 1` rows went through `next_batch_for` — one
+    /// atomic per balancer per batch. Absent in older artifacts means `1`.
+    pub batch: usize,
+    /// Whether the row ran more threads than the measuring host has cores
+    /// (schema v3): oversubscribed rows measure time-slicing, not
+    /// parallel scaling, and must not be read as scaling results. Absent
+    /// in older artifacts means `false`.
+    pub oversubscribed: bool,
 }
 
 impl Measurement {
@@ -89,8 +103,10 @@ impl Measurement {
     pub const TRANSPORT_TCP: &'static str = "tcp";
 }
 
-// Hand-written (not `json_struct!`) so `transport` may be absent in older
-// schema-v2 artifacts: missing means `"memory"`, keeping every previously
+// Hand-written (not `json_struct!`) so fields added by later schema
+// versions may be absent in older artifacts: a missing `transport` means
+// `"memory"` (pre-v2 rows), a missing `batch` means `1` and a missing
+// `oversubscribed` means `false` (pre-v3 rows) — keeping every previously
 // committed BENCH_throughput.json parseable.
 impl ToJson for Measurement {
     fn to_json(&self) -> Value {
@@ -103,6 +119,8 @@ impl ToJson for Measurement {
             ("mops".to_string(), self.mops.to_json()),
             ("audited".to_string(), self.audited.to_json()),
             ("transport".to_string(), self.transport.to_json()),
+            ("batch".to_string(), self.batch.to_json()),
+            ("oversubscribed".to_string(), self.oversubscribed.to_json()),
         ])
     }
 }
@@ -120,6 +138,14 @@ impl FromJson for Measurement {
             transport: match v.get("transport") {
                 Some(t) => FromJson::from_json(t)?,
                 None => Measurement::TRANSPORT_MEMORY.to_string(),
+            },
+            batch: match v.get("batch") {
+                Some(b) => FromJson::from_json(b)?,
+                None => 1,
+            },
+            oversubscribed: match v.get("oversubscribed") {
+                Some(o) => FromJson::from_json(o)?,
+                None => false,
             },
         })
     }
@@ -192,6 +218,57 @@ fn measure<C: ProcessCounter>(
         mops: total_ops as f64 / seconds / 1.0e6,
         audited: false,
         transport: Measurement::TRANSPORT_MEMORY.to_string(),
+        batch: 1,
+        oversubscribed: false,
+    }
+}
+
+/// Times `threads` workers each performing `ops` increments in batched
+/// calls of `k`; returns the elapsed seconds.
+fn time_run_batched<C: ProcessCounter>(counter: &C, threads: usize, ops: usize, k: usize) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..threads {
+            s.spawn(move || {
+                let mut done = 0usize;
+                while done < ops {
+                    let n = k.min(ops - done);
+                    black_box(counter.next_batch_for(p, n));
+                    done += n;
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64()
+}
+
+/// Like [`measure`], but claims increments through `next_batch_for` in
+/// batches of `k` — the schema-v3 batched-traversal rows.
+fn measure_batched<C: ProcessCounter>(
+    label: (&str, &str),
+    build: impl Fn() -> C,
+    threads: usize,
+    k: usize,
+    cfg: &ThroughputConfig,
+) -> Measurement {
+    let total_ops = threads * cfg.ops_per_thread;
+    let seconds = (0..cfg.repeats.max(1))
+        .map(|_| {
+            let counter = build();
+            time_run_batched(&counter, threads, cfg.ops_per_thread, k)
+        })
+        .fold(f64::INFINITY, f64::min);
+    Measurement {
+        counter: label.0.to_string(),
+        network: label.1.to_string(),
+        threads,
+        total_ops,
+        seconds,
+        mops: total_ops as f64 / seconds / 1.0e6,
+        audited: false,
+        transport: Measurement::TRANSPORT_MEMORY.to_string(),
+        batch: k,
+        oversubscribed: false,
     }
 }
 
@@ -227,14 +304,21 @@ fn measure_audited<C: ProcessCounter>(
         mops: total_ops as f64 / seconds / 1.0e6,
         audited: true,
         transport: Measurement::TRANSPORT_MEMORY.to_string(),
+        batch: 1,
+        oversubscribed: false,
     }
 }
 
 /// Runs the full sweep: `threads × {fetch_add, lock, compiled, graph_walk,
-/// diffracting} × {B(w), P(w), tree}`, plus audited rows (`audited: true`)
-/// for the compiled engine on every family and for the diffracting tree,
-/// so the trace recorder's overhead is captured next to the
-/// un-instrumented baselines (compare with [`ThroughputReport::retention`]).
+/// diffracting, combining} × {B(w), P(w), tree}`, plus audited rows
+/// (`audited: true`) for the compiled engine on every family and for the
+/// diffracting tree, so the trace recorder's overhead is captured next to
+/// the un-instrumented baselines (compare with
+/// [`ThroughputReport::retention`]). When [`ThroughputConfig::batches`]
+/// lists sizes above one, batched rows (`"batch": k`, claimed through
+/// `next_batch_for`) are added for the `fetch_add` baseline and the
+/// compiled engine on every family — compare with
+/// [`ThroughputReport::batch_speedup`].
 ///
 /// # Panics
 ///
@@ -270,6 +354,34 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
             threads,
             cfg,
         ));
+        // The combining funnel over the compiled bitonic network: colliding
+        // single-token callers merged into batched traversals.
+        measurements.push(measure(
+            ("combining", "bitonic"),
+            || CombiningFunnel::new(SharedNetworkCounter::new(&nets[0].1), threads.max(1)),
+            threads,
+            cfg,
+        ));
+        // Batched rows: `1` maps to the plain rows above, so only sizes
+        // above one sweep here.
+        for &k in cfg.batches.iter().filter(|&&k| k > 1) {
+            measurements.push(measure_batched(
+                ("fetch_add", "-"),
+                FetchAddCounter::new,
+                threads,
+                k,
+                cfg,
+            ));
+            for (family, net) in &nets {
+                measurements.push(measure_batched(
+                    ("compiled", family),
+                    || SharedNetworkCounter::new(net),
+                    threads,
+                    k,
+                    cfg,
+                ));
+            }
+        }
         for (family, net) in &nets {
             measurements.push(measure_audited(
                 ("compiled", family),
@@ -288,27 +400,69 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
             cfg,
         ));
     }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for m in &mut measurements {
+        m.oversubscribed = m.threads > cores;
+    }
     ThroughputReport {
-        version: 2,
+        version: 3,
         fan: cfg.fan,
         ops_per_thread: cfg.ops_per_thread,
         repeats: cfg.repeats.max(1),
-        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        cores,
         measurements,
     }
 }
 
 impl ThroughputReport {
-    /// The un-instrumented in-process measurement for a `(counter,
-    /// network, threads)` cell, if swept.
+    /// The un-instrumented in-process per-token (`batch == 1`)
+    /// measurement for a `(counter, network, threads)` cell, if swept.
     pub fn cell(&self, counter: &str, network: &str, threads: usize) -> Option<&Measurement> {
         self.measurements.iter().find(|m| {
             !m.audited
                 && m.transport == Measurement::TRANSPORT_MEMORY
+                && m.batch == 1
                 && m.counter == counter
                 && m.network == network
                 && m.threads == threads
         })
+    }
+
+    /// The in-process batched measurement for a `(counter, network,
+    /// threads, batch)` cell, if swept (`batch == 1` resolves to the
+    /// plain per-token row).
+    pub fn batch_cell(
+        &self,
+        counter: &str,
+        network: &str,
+        threads: usize,
+        batch: usize,
+    ) -> Option<&Measurement> {
+        if batch == 1 {
+            return self.cell(counter, network, threads);
+        }
+        self.measurements.iter().find(|m| {
+            !m.audited
+                && m.transport == Measurement::TRANSPORT_MEMORY
+                && m.batch == batch
+                && m.counter == counter
+                && m.network == network
+                && m.threads == threads
+        })
+    }
+
+    /// Throughput ratio of the `batch == k` row over the per-token row on
+    /// the same cell — the amortization factor batched traversal buys.
+    pub fn batch_speedup(
+        &self,
+        counter: &str,
+        network: &str,
+        threads: usize,
+        batch: usize,
+    ) -> Option<f64> {
+        let batched = self.batch_cell(counter, network, threads, batch)?;
+        let single = self.cell(counter, network, threads)?;
+        Some(batched.mops / single.mops)
     }
 
     /// The audited (recorder-on) in-process measurement for a cell, if
@@ -361,15 +515,21 @@ impl ThroughputReport {
     /// Renders the human-readable summary: one row per thread count, one
     /// column per counter/network combination, in Mops/s.
     pub fn summary(&self) -> Table {
-        let mut columns: Vec<(String, String, bool, String)> = Vec::new();
+        let mut columns: Vec<(String, String, bool, String, usize)> = Vec::new();
         for m in &self.measurements {
-            let key = (m.counter.clone(), m.network.clone(), m.audited, m.transport.clone());
+            let key = (
+                m.counter.clone(),
+                m.network.clone(),
+                m.audited,
+                m.transport.clone(),
+                m.batch,
+            );
             if !columns.contains(&key) {
                 columns.push(key);
             }
         }
         let mut headers = vec!["threads".to_string()];
-        headers.extend(columns.iter().map(|(c, n, audited, transport)| {
+        headers.extend(columns.iter().map(|(c, n, audited, transport, batch)| {
             let mut label = if n == "-" { c.clone() } else { format!("{c}/{n}") };
             if *audited {
                 label.push_str("+audit");
@@ -377,6 +537,9 @@ impl ThroughputReport {
             if transport != Measurement::TRANSPORT_MEMORY {
                 label.push('@');
                 label.push_str(transport);
+            }
+            if *batch > 1 {
+                label.push_str(&format!(" x{batch}"));
             }
             label
         }));
@@ -389,14 +552,15 @@ impl ThroughputReport {
         }
         for &t in &threads_seen {
             let mut row = vec![t.to_string()];
-            for (c, n, audited, transport) in &columns {
-                let cell = if transport == Measurement::TRANSPORT_TCP {
-                    self.net_cell(c, n, t)
-                } else if *audited {
-                    self.audited_cell(c, n, t)
-                } else {
-                    self.cell(c, n, t)
-                };
+            for (c, n, audited, transport, batch) in &columns {
+                let cell = self.measurements.iter().find(|m| {
+                    m.counter == *c
+                        && m.network == *n
+                        && m.audited == *audited
+                        && m.transport == *transport
+                        && m.batch == *batch
+                        && m.threads == t
+                });
                 row.push(cell.map_or("-".to_string(), |m| format!("{:.2}", m.mops)));
             }
             table.row(row);
@@ -416,6 +580,7 @@ mod tests {
             threads: vec![1, 2],
             ops_per_thread: 200,
             repeats: 1,
+            batches: Vec::new(),
         }
     }
 
@@ -423,9 +588,9 @@ mod tests {
     fn sweep_covers_every_cell() {
         let report = run_throughput_sweep(&tiny());
         // Per thread count: fetch_add, lock, (compiled + graph_walk) × 3
-        // networks, diffracting, plus audited compiled × 3 networks and
-        // audited diffracting.
-        assert_eq!(report.measurements.len(), 2 * 13);
+        // networks, diffracting, combining, plus audited compiled × 3
+        // networks and audited diffracting.
+        assert_eq!(report.measurements.len(), 2 * 14);
         for m in &report.measurements {
             assert_eq!(m.total_ops, m.threads * 200);
             assert!(m.seconds > 0.0, "{m:?}");
@@ -434,6 +599,7 @@ mod tests {
         assert!(report.cell("compiled", "bitonic", 2).is_some());
         assert!(report.cell("graph_walk", "periodic", 1).is_some());
         assert!(report.cell("diffracting", "tree", 2).is_some());
+        assert!(report.cell("combining", "bitonic", 2).is_some());
         assert!(report.cell("compiled", "bitonic", 64).is_none());
         // The audited rows are distinct cells with the flag set.
         assert!(!report.cell("compiled", "bitonic", 2).unwrap().audited);
@@ -490,9 +656,57 @@ mod tests {
         let text = json::to_string_pretty(&report);
         let back: ThroughputReport = json::from_str(&text).expect("report parses");
         assert_eq!(back, report);
-        assert_eq!(back.version, 2);
+        assert_eq!(back.version, 3);
         assert_eq!(back.fan, 4);
         assert!(back.measurements.iter().any(|m| m.audited));
+    }
+
+    #[test]
+    fn batched_rows_are_separate_cells_with_speedups() {
+        let report = run_throughput_sweep(&ThroughputConfig {
+            batches: vec![1, 8],
+            ..tiny()
+        });
+        // batch=1 maps to the plain rows; batch=8 adds fetch_add +
+        // compiled × 3 families per thread count.
+        assert_eq!(report.measurements.len(), 2 * (14 + 4));
+        let plain = report.cell("compiled", "bitonic", 2).unwrap();
+        assert_eq!(plain.batch, 1);
+        let batched = report.batch_cell("compiled", "bitonic", 2, 8).unwrap();
+        assert_eq!(batched.batch, 8);
+        assert_eq!(batched.total_ops, plain.total_ops);
+        assert!(report.batch_cell("compiled", "bitonic", 2, 1).is_some());
+        assert!(report.batch_cell("lock", "-", 2, 8).is_none());
+        let s = report.batch_speedup("compiled", "bitonic", 2, 8).unwrap();
+        assert!(s.is_finite() && s > 0.0);
+        let rendered = report.summary().to_string();
+        assert!(rendered.contains("compiled/bitonic x8"), "{rendered}");
+        assert!(rendered.contains("fetch_add x8"), "{rendered}");
+    }
+
+    #[test]
+    fn oversubscription_is_flagged_against_host_cores() {
+        let report = run_throughput_sweep(&tiny());
+        let cores = report.cores;
+        for m in &report.measurements {
+            assert_eq!(m.oversubscribed, m.threads > cores, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn pre_v3_rows_default_batch_and_oversubscribed() {
+        // A schema-v2 row: no batch, no oversubscribed fields.
+        let text = concat!(
+            r#"{"counter":"compiled","network":"bitonic","threads":4,"#,
+            r#""total_ops":100,"seconds":0.5,"mops":0.0002,"audited":false,"#,
+            r#""transport":"memory"}"#
+        );
+        let m: Measurement = json::from_str(text).expect("legacy row parses");
+        assert_eq!(m.batch, 1);
+        assert!(!m.oversubscribed);
+        // Schema-v3 fields round-trip through cnet-util JSON.
+        let back: Measurement = json::from_str(&json::to_string_pretty(&m)).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]

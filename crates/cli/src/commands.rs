@@ -35,19 +35,21 @@ pub fn usage() -> String {
      \x20 replay    re-run a saved schedule; flags: --from <file>\n\
      \x20 run       threaded shared-memory run; flags: --threads --ops\n\
      \x20 bench     throughput sweep over every counter and family; flags:\n\
-     \x20           --threads 1,2,4,8 --ops --repeats --out <file.json>\n\
+     \x20           --threads 1,2,4,8 --batch 1,16,64 --ops --repeats\n\
+     \x20           --out <file.json>\n\
      \x20 audit     threaded run through the trace recorder with live online\n\
      \x20           consistency monitors; flags: --backend compiled|graph_walk|\n\
-     \x20           diffracting|fetch_add|lock|remote --family --threads --ops\n\
-     \x20           --addr HOST:PORT (backend remote audits a live serve)\n\
+     \x20           combining|diffracting|fetch_add|lock|remote --family\n\
+     \x20           --threads --ops --addr HOST:PORT (backend remote audits a\n\
+     \x20           live serve)\n\
      \x20 serve     counting service on a TCP socket; blocks until a client\n\
      \x20           sends Shutdown; flags: --backend compiled|fetch_add|lock|\n\
-     \x20           diffracting --family --addr 127.0.0.1:0 --max-conns\n\
+     \x20           diffracting|combining --family --addr 127.0.0.1:0 --max-conns\n\
      \x20           --processes --backpressure reject|block --audit 0/1\n\
      \x20           --port-file <file>\n\
      \x20 loadgen   hammer a running serve; flags: --addr HOST:PORT --threads\n\
-     \x20           --ops (total) --batch --check 0/1 --shutdown 0/1\n\
-     \x20           --out <file.json> --label C --network N\n\
+     \x20           --ops (total) --batch --mode batch|pipeline --check 0/1\n\
+     \x20           --shutdown 0/1 --out <file.json> --label C --network N\n\
      \n\
      families: bitonic (b), periodic (p), tree (t), block (l), merger (m)\n"
         .to_string()
@@ -270,18 +272,14 @@ fn cmd_run(net: &Network, opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
-fn cmd_bench(args: &[String]) -> Result<String, String> {
-    let [w, flags @ ..] = args else {
-        return Err(
-            "expected: cnet bench <w> [--threads 1,2,4,8] [--ops N] [--repeats N] [--out file]"
-                .to_string(),
-        );
-    };
-    let fan: usize = w.parse().map_err(|_| format!("'{w}' is not a valid width"))?;
-    let opts = Options::parse(flags)?;
-    opts.allow(&["threads", "ops", "repeats", "out", "net"])?;
-    let threads = match opts.get("threads") {
-        None => vec![1, 2, 4, 8],
+/// Parses a comma-separated list of positive integers from `--flag`.
+fn parse_positive_list(
+    opts: &Options,
+    flag: &str,
+    default: Vec<usize>,
+) -> Result<Vec<usize>, String> {
+    match opts.get(flag) {
+        None => Ok(default),
         Some(list) => list
             .split(',')
             .map(|t| {
@@ -289,15 +287,31 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
                     .parse::<usize>()
                     .ok()
                     .filter(|&t| t > 0)
-                    .ok_or_else(|| format!("--threads expects positive integers, got '{t}'"))
+                    .ok_or_else(|| format!("--{flag} expects positive integers, got '{t}'"))
             })
-            .collect::<Result<Vec<usize>, String>>()?,
+            .collect(),
+    }
+}
+
+fn cmd_bench(args: &[String]) -> Result<String, String> {
+    let [w, flags @ ..] = args else {
+        return Err(
+            "expected: cnet bench <w> [--threads 1,2,4,8] [--batch 1,16,64] [--ops N] \
+             [--repeats N] [--out file]"
+                .to_string(),
+        );
     };
+    let fan: usize = w.parse().map_err(|_| format!("'{w}' is not a valid width"))?;
+    let opts = Options::parse(flags)?;
+    opts.allow(&["threads", "batch", "ops", "repeats", "out", "net"])?;
+    let threads = parse_positive_list(&opts, "threads", vec![1, 2, 4, 8])?;
+    let batches = parse_positive_list(&opts, "batch", Vec::new())?;
     let cfg = cnet_bench::ThroughputConfig {
         fan,
         threads,
         ops_per_thread: opts.usize_or("ops", 20_000)?.max(1),
         repeats: opts.usize_or("repeats", 3)?.max(1),
+        batches: batches.clone(),
     };
     if !fan.is_power_of_two() || fan < 2 {
         return Err(format!("unsupported width {fan}: expected a power of two >= 2"));
@@ -311,6 +325,7 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
             threads: cfg.threads.clone(),
             ops_per_thread: cfg.ops_per_thread,
             batch: 64,
+            mode: cnet_net::LoadGenMode::Pipeline,
             repeats: cfg.repeats,
         })
         .map_err(|e| format!("networked sweep: {e}"))?;
@@ -324,6 +339,20 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
         report.cores,
         report.summary()
     );
+    let oversubscribed: Vec<usize> = cfg
+        .threads
+        .iter()
+        .copied()
+        .filter(|&t| t > report.cores)
+        .collect();
+    if !oversubscribed.is_empty() {
+        let _ = writeln!(
+            out,
+            "\nWARNING: thread counts {:?} exceed the host's {} core(s) — those rows are \
+             flagged \"oversubscribed\": true and measure time-slicing, not parallel scaling",
+            oversubscribed, report.cores
+        );
+    }
     let top = *cfg.threads.iter().max().expect("at least one thread count");
     if let Some(s) = report.speedup("compiled", "graph_walk", "bitonic", top) {
         let _ = writeln!(
@@ -339,6 +368,16 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
             report.fan,
             r * 100.0
         );
+    }
+    if let Some(&k) = batches.iter().filter(|&&k| k > 1).max() {
+        if let Some(s) = report.batch_speedup("compiled", "bitonic", top, k) {
+            let _ = writeln!(
+                out,
+                "batched traversal (k={k}) on bitonic B({}) at {top} threads: {s:.2}x the \
+                 per-token path",
+                report.fan
+            );
+        }
     }
     if let (Some(tcp), Some(mem)) =
         (report.net_cell("fetch_add", "-", top), report.cell("fetch_add", "-", top))
@@ -373,8 +412,16 @@ fn serve_backend(
         "fetch_add" => Ok(Arc::new(cnet_runtime::FetchAddCounter::new())),
         "lock" => Ok(Arc::new(cnet_runtime::LockCounter::new())),
         "diffracting" => Ok(Arc::new(cnet_runtime::DiffractingTree::new(fan, 4)?)),
+        "combining" => {
+            let net = parse_network(family, w)?;
+            Ok(Arc::new(cnet_runtime::CombiningFunnel::new(
+                cnet_runtime::SharedNetworkCounter::new(&net),
+                fan,
+            )))
+        }
         other => Err(format!(
-            "unknown backend '{other}' (expected compiled, fetch_add, lock, or diffracting)"
+            "unknown backend '{other}' (expected compiled, fetch_add, lock, diffracting, \
+             or combining)"
         )),
     }
 }
@@ -458,16 +505,23 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
 fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     let opts = Options::parse(args)?;
     opts.allow(&[
-        "addr", "threads", "ops", "batch", "check", "shutdown", "out", "label", "network",
+        "addr", "threads", "ops", "batch", "mode", "check", "shutdown", "out", "label", "network",
     ])?;
     let addr = opts.get("addr").ok_or("loadgen needs --addr HOST:PORT")?.to_string();
     let threads = opts.usize_or("threads", 4)?.max(1);
     let total_ops = opts.usize_or("ops", 100_000)?.max(1);
     let check = opts.usize_or("check", 1)? != 0;
+    let mode = match opts.get("mode").unwrap_or("batch") {
+        "batch" => cnet_net::LoadGenMode::Batch,
+        "pipeline" => cnet_net::LoadGenMode::Pipeline,
+        other => return Err(format!("--mode expects batch or pipeline, got '{other}'")),
+    };
+    let batch = opts.usize_or("batch", 64)?.max(1);
     let cfg = cnet_net::loadgen::LoadGenConfig {
         threads,
         ops_per_thread: total_ops.div_ceil(threads),
-        batch: opts.usize_or("batch", 64)?.max(1),
+        batch,
+        mode,
         collect_values: check,
     };
     let report = cnet_net::loadgen::run_loadgen(&addr as &str, &cfg)
@@ -499,6 +553,7 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
         let _ = writeln!(out, "server shutdown requested and acknowledged");
     }
     if let Some(path) = opts.get("out") {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         let row = cnet_bench::Measurement {
             counter: opts.get("label").unwrap_or("fetch_add").to_string(),
             network: opts.get("network").unwrap_or("-").to_string(),
@@ -508,6 +563,11 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
             mops: report.ops_per_sec() / 1.0e6,
             audited: false,
             transport: cnet_bench::Measurement::TRANSPORT_TCP.to_string(),
+            batch: match mode {
+                cnet_net::LoadGenMode::Batch => batch,
+                cnet_net::LoadGenMode::Pipeline => 1,
+            },
+            oversubscribed: threads > cores,
         };
         merge_net_row(std::path::Path::new(path), row)?;
         let _ = writeln!(out, "tcp throughput row merged into {path}");
@@ -515,18 +575,18 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// Appends (or replaces) a networked-throughput row in a schema-v2
-/// `BENCH_throughput.json`, creating a minimal report when the file does
-/// not exist yet.
+/// Appends (or replaces) a networked-throughput row in a
+/// `BENCH_throughput.json` report (schema v2 or v3), creating a minimal
+/// v3 report when the file does not exist yet.
 fn merge_net_row(
     path: &std::path::Path,
     row: cnet_bench::Measurement,
 ) -> Result<(), String> {
     let mut report: cnet_bench::ThroughputReport = match std::fs::read_to_string(path) {
         Ok(text) => cnet_util::json::from_str(&text)
-            .map_err(|e| format!("{}: not a schema-v2 report: {e}", path.display()))?,
+            .map_err(|e| format!("{}: not a throughput report: {e}", path.display()))?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => cnet_bench::ThroughputReport {
-            version: 2,
+            version: 3,
             fan: 0,
             ops_per_thread: 0,
             repeats: 1,
@@ -539,7 +599,8 @@ fn merge_net_row(
         !(m.transport == row.transport
             && m.counter == row.counter
             && m.network == row.network
-            && m.threads == row.threads)
+            && m.threads == row.threads
+            && m.batch == row.batch)
     });
     report.measurements.push(row);
     cnet_bench::write_json(path, &report).map_err(|e| format!("write {}: {e}", path.display()))
@@ -606,6 +667,17 @@ fn cmd_audit(args: &[String]) -> Result<String, String> {
                 Traced::new(cnet_runtime::GraphWalkCounter::new(&net), Arc::clone(&recorder));
             audit_workload(&counter, &recorder, workload, &mut live)
         }
+        "combining" => {
+            let net = parse_network(&family, w)?;
+            let counter = Traced::new(
+                cnet_runtime::CombiningFunnel::new(
+                    cnet_runtime::SharedNetworkCounter::new(&net),
+                    threads,
+                ),
+                Arc::clone(&recorder),
+            );
+            audit_workload(&counter, &recorder, workload, &mut live)
+        }
         "diffracting" => {
             let counter =
                 cnet_runtime::DiffractingTree::with_recorder(fan, 4, Arc::clone(&recorder))?;
@@ -632,15 +704,15 @@ fn cmd_audit(args: &[String]) -> Result<String, String> {
         }
         other => {
             return Err(format!(
-                "unknown backend '{other}' (expected compiled, graph_walk, diffracting, \
-                 fetch_add, lock, or remote)"
+                "unknown backend '{other}' (expected compiled, graph_walk, combining, \
+                 diffracting, fetch_add, lock, or remote)"
             ))
         }
     };
     let a = &run.auditor;
     let clean = a.is_linearizable() && a.is_sequentially_consistent();
     let shown_family = match backend.as_str() {
-        "compiled" | "graph_walk" => family.as_str(),
+        "compiled" | "graph_walk" | "combining" => family.as_str(),
         _ => "-",
     };
     let mut out = format!(
@@ -907,7 +979,29 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let report: cnet_bench::ThroughputReport = cnet_util::json::from_str(&text).unwrap();
         assert_eq!(report.fan, 4);
-        assert_eq!(report.measurements.len(), 2 * 13);
+        assert_eq!(report.version, 3);
+        assert_eq!(report.measurements.len(), 2 * 14);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bench_batch_sweep_adds_rows_and_reports_the_speedup() {
+        let path = std::env::temp_dir().join("cnet_cli_test_bench_batch.json");
+        let path_str = path.to_str().unwrap();
+        let out = call(&[
+            "bench", "4", "--threads", "2", "--batch", "1,8", "--ops", "400", "--repeats", "1",
+            "--out", path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("compiled/bitonic x8"), "{out}");
+        assert!(out.contains("batched traversal (k=8) on bitonic B(4) at 2 threads"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report: cnet_bench::ThroughputReport = cnet_util::json::from_str(&text).unwrap();
+        // 14 plain rows + fetch_add and compiled × 3 families at batch=8.
+        assert_eq!(report.measurements.len(), 14 + 4);
+        let row = report.batch_cell("compiled", "bitonic", 2, 8).unwrap();
+        assert_eq!(row.batch, 8);
+        assert!(report.batch_speedup("compiled", "bitonic", 2, 8).is_some());
         let _ = std::fs::remove_file(path);
     }
 
@@ -916,7 +1010,7 @@ mod tests {
         // One thread: operations are totally ordered in real time and the
         // values strictly increase, so every backend must audit clean —
         // this is the deterministic smoke `scripts/verify.sh` relies on.
-        for backend in ["compiled", "graph_walk", "diffracting", "fetch_add", "lock"] {
+        for backend in ["compiled", "graph_walk", "combining", "diffracting", "fetch_add", "lock"] {
             let out =
                 call(&["audit", "8", "--backend", backend, "--ops", "300"]).unwrap();
             assert!(out.contains("events recorded:         300"), "{backend}: {out}");

@@ -21,7 +21,9 @@
 //! guarantee the audits depend on. The connection is torn down so the
 //! *next* call redials.
 
-use crate::wire::{read_frame, write_request, ErrorCode, Request, Response, StatsSnapshot};
+use crate::wire::{
+    read_frame, write_request, ErrorCode, Request, Response, StatsSnapshot, MAX_BATCH,
+};
 use cnet_runtime::ProcessCounter;
 use cnet_util::sync::{CachePadded, Mutex};
 use std::io::{self, BufReader, BufWriter, Write};
@@ -219,18 +221,44 @@ impl RemoteCounter {
 
     /// Fallible batched increment: `n` values in one round trip.
     ///
+    /// Requests larger than the wire limit ([`MAX_BATCH`]) are chunked
+    /// transparently: every chunk's `NextBatch` frame is pipelined on the
+    /// slot's connection before any response is read, so even a huge batch
+    /// costs one flush. A failure mid-way tears the connection down
+    /// *without retrying* — already-sent chunks may have executed
+    /// server-side, and re-sending them would double-count, breaking the
+    /// permutation guarantee the audits depend on.
+    ///
     /// # Errors
     ///
     /// I/O failures, server refusals, and a batch echoing the wrong
     /// length.
-    pub fn next_batch(&self, process: usize, n: u32) -> io::Result<Vec<u64>> {
-        self.with_conn(process, |conn| match conn.call(&Request::NextBatch { n })? {
-            Response::Batch { values } if values.len() == n as usize => Ok(values),
-            Response::Batch { values } => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("asked for {n} values, got {}", values.len()),
-            )),
-            other => Err(response_error(&other)),
+    pub fn next_batch(&self, process: usize, n: usize) -> io::Result<Vec<u64>> {
+        self.with_conn(process, |conn| {
+            let mut seqs = Vec::new();
+            let mut left = n;
+            while left > 0 {
+                let chunk = left.min(MAX_BATCH as usize) as u32;
+                seqs.push((conn.send(&Request::NextBatch { n: chunk })?, chunk));
+                left -= chunk as usize;
+            }
+            conn.writer.flush()?;
+            let mut values = Vec::with_capacity(n);
+            for (seq, chunk) in seqs {
+                match conn.recv(seq)? {
+                    Response::Batch { values: got } if got.len() == chunk as usize => {
+                        values.extend(got);
+                    }
+                    Response::Batch { values: got } => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("asked for {chunk} values, got {}", got.len()),
+                        ));
+                    }
+                    other => return Err(response_error(&other)),
+                }
+            }
+            Ok(values)
         })
     }
 
@@ -304,6 +332,19 @@ impl ProcessCounter for RemoteCounter {
             Err(e) => panic!("remote increment against {} failed: {e}", self.addr),
         }
     }
+
+    /// One `NextBatch` round trip (chunked above the wire limit) instead
+    /// of `n` request frames. Panics on I/O or protocol errors — use
+    /// [`RemoteCounter::next_batch`] where failures must be handled.
+    fn next_batch_for(&self, process: usize, n: usize) -> Vec<u64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        match self.next_batch(process, n) {
+            Ok(values) => values,
+            Err(e) => panic!("remote batch against {} failed: {e}", self.addr),
+        }
+    }
 }
 
 /// Maps a refusal (or protocol surprise) to an [`io::Error`].
@@ -354,6 +395,18 @@ mod tests {
         let stats = client.server_stats().unwrap();
         assert_eq!(stats.ops, 12);
         assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn oversized_batches_are_chunked_not_refused() {
+        let server = server();
+        let client = RemoteCounter::connect(server.local_addr(), 1).unwrap();
+        let n = MAX_BATCH as usize + 17;
+        let mut values = client.next_batch(0, n).unwrap();
+        values.sort_unstable();
+        assert_eq!(values, (0..n as u64).collect::<Vec<_>>());
+        // Two NextBatch frames on the wire: one full chunk + the remainder.
+        assert_eq!(client.server_stats().unwrap().batches, 2);
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, RemoteCounter};
-pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
+pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenMode, LoadGenReport};
 pub use server::{Backpressure, CounterServer, ServerConfig};
 pub use wire::{Request, Response, StatsSnapshot};

@@ -1,18 +1,39 @@
 //! Multi-threaded load generator for a running counting service.
 //!
 //! Each worker thread owns one connection-pool slot (`pool == threads`)
-//! and pushes its share of the total operation count through
-//! [`RemoteCounter::next_pipelined`] bursts, so the socket sees batched
-//! writes and the server amortizes one flush per burst. The run returns
-//! wall-clock throughput plus (optionally) every value received, so
-//! callers can check the permutation property — `n` increments return
-//! exactly `0..n` — end to end across the wire.
+//! and pushes its share of the total operation count through the socket in
+//! bursts of [`LoadGenConfig::batch`]. Two [`LoadGenMode`]s decide what a
+//! burst is on the wire:
+//!
+//! * [`Batch`](LoadGenMode::Batch) (the default) — one `NextBatch` frame
+//!   per burst: the server claims the whole burst through the backend's
+//!   batched path (one atomic per balancer per batch) and records one
+//!   widened audit interval;
+//! * [`Pipeline`](LoadGenMode::Pipeline) — `batch` single `Next` frames
+//!   written back-to-back before any response is read: the per-token
+//!   traversal path, amortizing only the socket flush.
+//!
+//! The run returns wall-clock throughput plus (optionally) every value
+//! received, so callers can check the permutation property — `n`
+//! increments return exactly `0..n` — end to end across the wire.
 
 use crate::client::{ClientConfig, RemoteCounter};
 use std::io;
 use std::net::ToSocketAddrs;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// What a load-generator burst looks like on the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LoadGenMode {
+    /// One `NextBatch` frame per burst — exercises the server's batched
+    /// traversal fast path.
+    #[default]
+    Batch,
+    /// `batch` pipelined `Next` frames per burst — exercises the
+    /// per-token path with amortized flushes.
+    Pipeline,
+}
 
 /// Load-generator parameters.
 #[derive(Clone, Debug)]
@@ -21,15 +42,23 @@ pub struct LoadGenConfig {
     pub threads: usize,
     /// Operations per worker thread.
     pub ops_per_thread: usize,
-    /// Pipelined burst size (1 = one round trip per op).
+    /// Burst size (1 = one round trip per op).
     pub batch: usize,
+    /// What a burst is on the wire.
+    pub mode: LoadGenMode,
     /// Keep every received value for permutation checking.
     pub collect_values: bool,
 }
 
 impl Default for LoadGenConfig {
     fn default() -> Self {
-        LoadGenConfig { threads: 4, ops_per_thread: 1000, batch: 32, collect_values: false }
+        LoadGenConfig {
+            threads: 4,
+            ops_per_thread: 1000,
+            batch: 32,
+            mode: LoadGenMode::default(),
+            collect_values: false,
+        }
     }
 }
 
@@ -72,7 +101,8 @@ impl LoadGenReport {
 }
 
 /// Runs the load: `threads` workers, each completing `ops_per_thread`
-/// operations in pipelined bursts of `batch`.
+/// operations in bursts of `batch` (see [`LoadGenMode`] for what a burst
+/// is on the wire).
 ///
 /// # Errors
 ///
@@ -91,12 +121,16 @@ pub fn run_loadgen(addr: impl ToSocketAddrs, cfg: &LoadGenConfig) -> io::Result<
             let client = Arc::clone(&client);
             let ops = cfg.ops_per_thread;
             let collect = cfg.collect_values;
+            let mode = cfg.mode;
             std::thread::spawn(move || -> io::Result<Vec<u64>> {
                 let mut mine = Vec::with_capacity(if collect { ops } else { 0 });
                 let mut done = 0usize;
                 while done < ops {
                     let burst = batch.min(ops - done);
-                    let values = client.next_pipelined(slot, burst)?;
+                    let values = match mode {
+                        LoadGenMode::Batch => client.next_batch(slot, burst)?,
+                        LoadGenMode::Pipeline => client.next_pipelined(slot, burst)?,
+                    };
                     done += values.len();
                     if collect {
                         mine.extend(values);
@@ -155,6 +189,7 @@ mod tests {
                 threads: 4,
                 ops_per_thread: 250,
                 batch: 16,
+                mode: LoadGenMode::Batch,
                 collect_values: true,
             },
         )
@@ -163,7 +198,36 @@ mod tests {
         assert_eq!(report.is_permutation(), Some(true));
         assert!(report.ops_per_sec() > 0.0);
         server.shutdown();
-        assert_eq!(server.stats().ops, 1000);
+        let stats = server.stats();
+        assert_eq!(stats.ops, 1000);
+        // Batch mode really used NextBatch frames: 16 bursts per worker.
+        assert_eq!(stats.batches, 4 * 16);
+    }
+
+    #[test]
+    fn pipeline_mode_also_yields_a_permutation() {
+        let mut server = CounterServer::start(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            ServerConfig { max_connections: 8, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let report = run_loadgen(
+            server.local_addr(),
+            &LoadGenConfig {
+                threads: 2,
+                ops_per_thread: 100,
+                batch: 8,
+                mode: LoadGenMode::Pipeline,
+                collect_values: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.is_permutation(), Some(true));
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.ops, 200);
+        assert_eq!(stats.batches, 0, "pipeline mode sends single Next frames");
     }
 
     #[test]
@@ -180,6 +244,7 @@ mod tests {
                 threads: 2,
                 ops_per_thread: 100,
                 batch: 10,
+                mode: LoadGenMode::Batch,
                 collect_values: false,
             },
         )

@@ -42,6 +42,13 @@ impl ProcessCounter for FetchAddCounter {
     fn next_for(&self, _process: usize) -> u64 {
         self.next()
     }
+
+    /// One `fetch_add(n)` claims the whole batch: the values are the
+    /// contiguous range `base..base + n`.
+    fn next_batch_for(&self, _process: usize, n: usize) -> Vec<u64> {
+        let base = self.value.fetch_add(n as u64, Ordering::AcqRel);
+        (base..base + n as u64).collect()
+    }
 }
 
 /// A mutex-protected counter — the queue-lock style baseline (\[MS91\]
@@ -69,6 +76,14 @@ impl LockCounter {
 impl ProcessCounter for LockCounter {
     fn next_for(&self, _process: usize) -> u64 {
         self.next()
+    }
+
+    /// One lock acquisition claims the whole batch.
+    fn next_batch_for(&self, _process: usize, n: usize) -> Vec<u64> {
+        let mut guard = self.value.lock();
+        let base = *guard;
+        *guard += n as u64;
+        (base..base + n as u64).collect()
     }
 }
 
@@ -102,6 +117,36 @@ mod tests {
     fn lock_counter_is_gap_free_under_contention() {
         let c = LockCounter::new();
         assert_eq!(hammer(&c, 8, 500), (0..4000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_baselines_stay_gap_free() {
+        for c in [
+            Box::new(FetchAddCounter::new()) as Box<dyn ProcessCounter>,
+            Box::new(LockCounter::new()),
+        ] {
+            let mut values: Vec<u64> = thread::scope(|s| {
+                let handles: Vec<_> = (0..4usize)
+                    .map(|p| {
+                        let c = &c;
+                        s.spawn(move || {
+                            (0..50).flat_map(|_| c.next_batch_for(p, 20)).collect::<Vec<u64>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            });
+            values.sort_unstable();
+            assert_eq!(values, (0..4000).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn fetch_add_batch_is_a_contiguous_range() {
+        let c = FetchAddCounter::new();
+        assert_eq!(c.next_batch_for(0, 4), vec![0, 1, 2, 3]);
+        assert_eq!(c.next_for(0), 4);
+        assert!(c.next_batch_for(0, 0).is_empty());
     }
 
     #[test]

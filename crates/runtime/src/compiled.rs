@@ -118,6 +118,12 @@ pub struct CompiledNetwork {
     /// constructions). Then `route_offset[b] == 2 * b`, and [`Self::traverse`]
     /// runs a specialized loop with no fan or offset loads at all.
     uniform_binary: bool,
+    /// Balancer indices in topological order (every wire goes from an
+    /// earlier entry to a later one). [`Self::traverse_batch`] sweeps this
+    /// order so a balancer's whole sub-batch has accumulated before its
+    /// single atomic fires. Networks are validated acyclic at build time,
+    /// so the order always exists.
+    topo: Vec<usize>,
 }
 
 /// Resolves a wire's terminus to a hop.
@@ -126,6 +132,34 @@ fn hop_of(end: WireEnd) -> Hop {
         WireEnd::Balancer { balancer, .. } => Hop::balancer(balancer.index()),
         WireEnd::Sink(sink) => Hop::counter(sink.index()),
     }
+}
+
+/// Kahn's algorithm over the balancer→balancer hops: the returned order
+/// visits every balancer after all of its predecessors.
+fn topo_order(route_offset: &[usize], routing: &[Hop], size: usize) -> Vec<usize> {
+    let mut indegree = vec![0usize; size];
+    for hop in routing {
+        if !hop.is_counter() {
+            indegree[hop.index()] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..size).filter(|&b| indegree[b] == 0).collect();
+    let mut next = 0;
+    while next < order.len() {
+        let b = order[next];
+        next += 1;
+        for hop in &routing[route_offset[b]..route_offset[b + 1]] {
+            if !hop.is_counter() {
+                let succ = hop.index();
+                indegree[succ] -= 1;
+                if indegree[succ] == 0 {
+                    order.push(succ);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), size, "networks are validated acyclic");
+    order
 }
 
 impl CompiledNetwork {
@@ -147,6 +181,7 @@ impl CompiledNetwork {
             route_offset.push(routing.len());
         }
         let uniform_binary = fan.iter().all(|&f| f == 2);
+        let topo = topo_order(&route_offset, &routing, fan.len());
         CompiledNetwork {
             fan_in: net.fan_in(),
             fan_out: net.fan_out(),
@@ -156,6 +191,7 @@ impl CompiledNetwork {
             routing,
             fan,
             uniform_binary,
+            topo,
         }
     }
 
@@ -291,6 +327,117 @@ impl CompiledNetwork {
         })
     }
 
+    /// Routes `k` tokens from `input` through the shared balancer words in
+    /// one sweep, charging **at most one atomic per balancer for the whole
+    /// batch** instead of one per balancer per token. On return,
+    /// `sink_counts[j]` holds how many of the `k` tokens reached counter
+    /// `j` (`sink_counts` is resized to `fan_out()` and overwritten).
+    ///
+    /// # Why one atomic suffices
+    ///
+    /// A balancer is round-robin state plus fan-out `f`: `n` consecutive
+    /// tokens arriving at state `s` take ports `s, s+1, …, s+n−1 (mod f)`
+    /// and leave the state at `(s + n) mod f`. Both facts are pure
+    /// arithmetic in `(s, n, f)`, so the balancer's entire contribution to
+    /// the batch is captured by atomically advancing the state by `n` and
+    /// reading the prior `s`: port `p` receives `⌊n/f⌋ + [((p−s) mod f) <
+    /// n mod f]` tokens. The advance is specialized exactly like
+    /// [`Self::traverse`]: `fetch_xor(1)` when `f == 2` and `n` is odd, a
+    /// masked `fetch_add(n)` for other powers of two (congruence mod a
+    /// power of two survives wrapping), a backoff-paced CAS advancing by
+    /// `n mod f` otherwise — and when `n ≡ 0 (mod f)` the split is uniform
+    /// and the state unchanged, so the balancer is not touched at all.
+    ///
+    /// Balancers are visited in topological order, so every upstream
+    /// sub-batch has been split before a downstream balancer fires. From a
+    /// quiescent state the resulting per-counter counts equal `k`
+    /// sequential [`Self::traverse`] calls exactly (induction over the
+    /// topological order: same arrival counts and same starting state at
+    /// every balancer imply the same port split). Under concurrency each
+    /// atomic advance claims `n` consecutive round-robin slots, so the
+    /// gap-freedom argument of the single-token path carries over
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= fan_in()` or `balancers.len() != size()`.
+    pub fn traverse_batch(
+        &self,
+        input: usize,
+        k: usize,
+        balancers: &[CachePadded<AtomicUsize>],
+        sink_counts: &mut Vec<usize>,
+    ) {
+        assert_eq!(balancers.len(), self.fan.len(), "one state word per balancer");
+        assert!(input < self.fan_in, "input wire {input} out of range");
+        sink_counts.clear();
+        sink_counts.resize(self.fan_out, 0);
+        if k == 0 {
+            return;
+        }
+        // Tokens waiting at each balancer, accumulated wavefront-style.
+        let mut waiting = vec![0usize; self.fan.len()];
+        match self.entries[input] {
+            hop if hop.is_counter() => {
+                sink_counts[hop.index()] += k;
+                return;
+            }
+            hop => waiting[hop.index()] = k,
+        }
+        for &b in &self.topo {
+            let n = waiting[b];
+            if n == 0 {
+                continue;
+            }
+            let f = self.fan[b];
+            let rem = n % f;
+            let s = if rem == 0 {
+                // Uniform split, state unchanged: zero atomics.
+                0
+            } else if f == 2 {
+                // (s + n) mod 2 == s xor 1 for odd n: one wait-free atomic
+                // that also returns the prior state.
+                balancers[b].fetch_xor(1, Ordering::AcqRel) & 1
+            } else if f.is_power_of_two() {
+                // Wrapping add preserves congruence mod a power of two.
+                balancers[b].fetch_add(n, Ordering::AcqRel) & (f - 1)
+            } else {
+                let word = &*balancers[b];
+                let backoff = Backoff::new();
+                let mut cur = word.load(Ordering::Acquire);
+                loop {
+                    match word.compare_exchange_weak(
+                        cur,
+                        (cur + rem) % f,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(prev) => break prev,
+                        Err(actual) => {
+                            backoff.snooze();
+                            cur = actual;
+                        }
+                    }
+                }
+            };
+            let base = self.route_offset[b];
+            let share = n / f;
+            for p in 0..f {
+                // Ports s, s+1, …, s+rem−1 (mod f) carry the remainder.
+                let count = share + usize::from((p + f - s) % f < rem);
+                if count == 0 {
+                    continue;
+                }
+                let hop = self.routing[base + p];
+                if hop.is_counter() {
+                    sink_counts[hop.index()] += count;
+                } else {
+                    waiting[hop.index()] += count;
+                }
+            }
+        }
+    }
+
     /// A fresh bank of balancer state words, one per balancer, each on its
     /// own cache line, all in the initial state 0.
     pub fn new_balancer_states(&self) -> Box<[CachePadded<AtomicUsize>]> {
@@ -386,6 +533,113 @@ mod tests {
         let engine = CompiledNetwork::compile(&bitonic(2).unwrap());
         let states = engine.new_balancer_states();
         engine.traverse(5, &states);
+    }
+
+    /// `k` sequential single-token traversals, tallied per sink.
+    fn sequential_histogram(
+        engine: &CompiledNetwork,
+        input: usize,
+        k: usize,
+        states: &[CachePadded<AtomicUsize>],
+    ) -> Vec<usize> {
+        let mut counts = vec![0usize; engine.fan_out()];
+        for _ in 0..k {
+            counts[engine.traverse(input, states)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn batch_matches_sequential_traversals_from_quiescence() {
+        for net in [bitonic(8).unwrap(), periodic(8).unwrap(), counting_tree(8).unwrap()] {
+            let engine = CompiledNetwork::compile(&net);
+            for input in 0..engine.fan_in() {
+                for k in [0usize, 1, 2, 3, 7, 8, 64, 1001] {
+                    let batched = engine.new_balancer_states();
+                    let mut counts = Vec::new();
+                    engine.traverse_batch(input, k, &batched, &mut counts);
+                    let sequential = engine.new_balancer_states();
+                    let reference = sequential_histogram(&engine, input, k, &sequential);
+                    assert_eq!(counts, reference, "{net} input {input} k {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_interleaves_with_single_tokens() {
+        // Singles and batches share the same state words, so a batch must
+        // pick up the round-robin exactly where the singles left it (and
+        // vice versa) on every specialization: parity xor, masked add, CAS.
+        let mut lb = LayeredBuilder::new(3);
+        lb.balancer(&[0, 1, 2]);
+        let irregular = lb.finish().unwrap();
+        for net in [bitonic(8).unwrap(), counting_tree(8).unwrap(), irregular] {
+            let engine = CompiledNetwork::compile(&net);
+            let mixed = engine.new_balancer_states();
+            let sequential = engine.new_balancer_states();
+            let mut mixed_counts = vec![0usize; engine.fan_out()];
+            let mut reference = vec![0usize; engine.fan_out()];
+            let mut scratch = Vec::new();
+            for (round, k) in [1usize, 5, 2, 16, 3, 9].into_iter().enumerate() {
+                let input = round % engine.fan_in();
+                if round % 2 == 0 {
+                    for _ in 0..k {
+                        mixed_counts[engine.traverse(input, &mixed)] += 1;
+                    }
+                } else {
+                    engine.traverse_batch(input, k, &mixed, &mut scratch);
+                    for (sink, n) in scratch.iter().enumerate() {
+                        mixed_counts[sink] += n;
+                    }
+                }
+                for (sink, n) in
+                    sequential_histogram(&engine, input, k, &sequential).into_iter().enumerate()
+                {
+                    reference[sink] += n;
+                }
+                assert_eq!(mixed_counts, reference, "{net} after round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_round_robin_on_the_irregular_cas_path() {
+        // One (3,3)-balancer, batch of 7 from state 0: ports 0,1,2 repeat
+        // so the counts are [3,2,2] and the state ends at 7 mod 3 = 1.
+        let mut lb = LayeredBuilder::new(3);
+        lb.balancer(&[0, 1, 2]);
+        let net = lb.finish().unwrap();
+        let engine = CompiledNetwork::compile(&net);
+        let states = engine.new_balancer_states();
+        let mut counts = Vec::new();
+        engine.traverse_batch(0, 7, &states, &mut counts);
+        assert_eq!(counts, vec![3, 2, 2]);
+        assert_eq!(engine.traverse(0, &states), 1);
+    }
+
+    #[test]
+    fn uniform_batches_leave_balancer_state_untouched() {
+        // A multiple-of-fan batch splits uniformly without an atomic; the
+        // next single token must still come out on the original port.
+        let net = bitonic(8).unwrap();
+        let engine = CompiledNetwork::compile(&net);
+        let states = engine.new_balancer_states();
+        let first = engine.traverse(0, &states);
+        let mut counts = Vec::new();
+        let fresh = engine.new_balancer_states();
+        engine.traverse_batch(0, 1024, &fresh, &mut counts);
+        assert_eq!(counts.iter().sum::<usize>(), 1024);
+        assert!(counts.iter().all(|&c| c == 1024 / 8), "uniform split: {counts:?}");
+        assert_eq!(engine.traverse(0, &fresh), first, "state must be unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_batch_input_panics() {
+        let engine = CompiledNetwork::compile(&bitonic(2).unwrap());
+        let states = engine.new_balancer_states();
+        engine.traverse_batch(5, 1, &states, &mut Vec::new());
     }
 
     #[test]

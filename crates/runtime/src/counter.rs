@@ -113,6 +113,32 @@ impl SharedNetworkCounter {
         self.counters[sink].fetch_add(self.engine.fan_out() as u64, Ordering::AcqRel)
     }
 
+    /// Shepherds `n` tokens from input wire `input` in one batched sweep —
+    /// at most one atomic per balancer (see
+    /// [`CompiledNetwork::traverse_batch`]) plus one `fetch_add` per
+    /// reached counter — appending the `n` values obtained to `out`. A
+    /// counter reached by `c` of the tokens hands out `c` consecutive
+    /// round-robin values with a single `fetch_add(c * fan_out)`. The
+    /// values are gap-free against every concurrent caller, batched or
+    /// not, because each atomic claims its whole sub-batch at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input >= engine().fan_in()`.
+    pub fn increment_batch_from(&self, input: usize, n: usize, out: &mut Vec<u64>) {
+        let mut sink_counts = Vec::new();
+        self.engine.traverse_batch(input, n, &self.balancers, &mut sink_counts);
+        let w = self.engine.fan_out() as u64;
+        out.reserve(n);
+        for (sink, &count) in sink_counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let base = self.counters[sink].fetch_add(count as u64 * w, Ordering::AcqRel);
+            out.extend((0..count as u64).map(|i| base + i * w));
+        }
+    }
+
     /// The number of tokens that have fully traversed the network so far
     /// (exact only in quiescent moments).
     pub fn tokens_counted(&self) -> u64 {
@@ -146,6 +172,15 @@ impl ProcessCounter for SharedNetworkCounter {
                 value
             }
         }
+    }
+
+    fn next_batch_for(&self, process: usize, n: usize) -> Vec<u64> {
+        let mut values = Vec::with_capacity(n);
+        self.increment_batch_from(process % self.engine.fan_in(), n, &mut values);
+        if let Some(rec) = &self.recorder {
+            rec.record_batch(process, &values);
+        }
+        values
     }
 }
 
@@ -332,6 +367,67 @@ mod tests {
         });
         values.sort_unstable();
         assert_eq!(values, (0..800).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_increments_hand_out_the_same_value_set() {
+        for net in [bitonic(8).unwrap(), periodic(8).unwrap(), counting_tree(8).unwrap()] {
+            let batched = SharedNetworkCounter::new(&net);
+            let sequential = SharedNetworkCounter::new(&net);
+            let mut got = Vec::new();
+            let mut want = Vec::new();
+            for (round, n) in [3usize, 64, 1, 17, 8].into_iter().enumerate() {
+                let input = round % net.fan_in();
+                batched.increment_batch_from(input, n, &mut got);
+                for _ in 0..n {
+                    want.push(sequential.increment_from(input));
+                }
+            }
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "{net}");
+            assert_eq!(batched.output_counts(), sequential.output_counts());
+        }
+    }
+
+    #[test]
+    fn concurrent_batches_are_gap_free() {
+        let net = bitonic(8).unwrap();
+        let counter = SharedNetworkCounter::new(&net);
+        let per_thread = 40; // batches per thread, 25 tokens each
+        let mut values: Vec<u64> = thread::scope(|s| {
+            let handles: Vec<_> = (0..8usize)
+                .map(|p| {
+                    let c = &counter;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for _ in 0..per_thread {
+                            if p % 2 == 0 {
+                                c.increment_batch_from(p, 25, &mut out);
+                            } else {
+                                out.extend((0..25).map(|_| c.increment_from(p)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        values.sort_unstable();
+        let n = 8 * per_thread * 25;
+        assert_eq!(values, (0..n as u64).collect::<Vec<_>>());
+        assert_eq!(counter.tokens_counted(), n as u64);
+    }
+
+    #[test]
+    fn next_batch_for_is_batched_and_empty_batches_are_free() {
+        let net = bitonic(4).unwrap();
+        let counter = SharedNetworkCounter::new(&net);
+        assert!(counter.next_batch_for(0, 0).is_empty());
+        let mut values = counter.next_batch_for(1, 10);
+        values.sort_unstable();
+        assert_eq!(values, (0..10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -51,6 +51,7 @@
 
 pub mod baseline;
 pub mod barrier;
+pub mod combine;
 pub mod compiled;
 pub mod counter;
 pub mod diffracting;
@@ -63,6 +64,7 @@ pub mod stats;
 
 pub use baseline::{FetchAddCounter, LockCounter};
 pub use barrier::CounterBarrier;
+pub use combine::CombiningFunnel;
 pub use compiled::CompiledNetwork;
 pub use counter::{GraphWalkCounter, SharedNetworkCounter};
 pub use diffracting::DiffractingTree;
@@ -82,4 +84,19 @@ pub use stats::InstrumentedNetworkCounter;
 pub trait ProcessCounter: Sync {
     /// Performs one increment for `process` and returns the value.
     fn next_for(&self, process: usize) -> u64;
+
+    /// Performs `n` increments for `process` and returns the `n` values
+    /// obtained, in the order they were claimed.
+    ///
+    /// The default simply loops [`next_for`](Self::next_for); batching
+    /// implementations override it to claim the whole batch with one
+    /// atomic per touched word (see
+    /// [`SharedNetworkCounter`](counter::SharedNetworkCounter) and
+    /// [`FetchAddCounter`](baseline::FetchAddCounter)). Every override
+    /// must hand out exactly the values `n` sequential `next_for` calls
+    /// would have claimed — batching may reorder values *across*
+    /// concurrent callers, never invent or drop them.
+    fn next_batch_for(&self, process: usize, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.next_for(process)).collect()
+    }
 }

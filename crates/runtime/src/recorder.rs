@@ -166,6 +166,44 @@ impl TraceRecorder {
         true
     }
 
+    /// Records a whole batch of completed operations on `shard` with **one
+    /// boundary stamp pair for the entire batch**, publishing immediately.
+    /// Returns how many of the values were recorded (the rest, if the ring
+    /// fills, are counted as drops). The caller must be the shard's only
+    /// concurrent writer.
+    ///
+    /// Soundness is the same widening argument as the per-[`BATCH`]
+    /// stamping (see module docs): every operation in the batch entered
+    /// after the shard's previous boundary stamp and exited before the
+    /// `raw_ticks` reading taken here, so the recorded interval only
+    /// widens the true one and a recorded precedence is always a genuine
+    /// real-time precedence. Any singles still pending from
+    /// [`record`](Self::record) are published under the same stamp pair —
+    /// again a pure widening, since they too completed inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn record_batch(&self, shard: usize, values: &[u64]) -> usize {
+        let s = &self.shards[shard];
+        let head = s.head.load(Ordering::Relaxed);
+        let mut pending = s.pending.load(Ordering::Relaxed);
+        let used = head.wrapping_add(pending).wrapping_sub(s.tail.load(Ordering::Acquire));
+        let room = (self.mask + 1) - used;
+        let recorded = values.len().min(room);
+        if recorded < values.len() {
+            s.dropped.fetch_add((values.len() - recorded) as u64, Ordering::Relaxed);
+        }
+        for &value in &values[..recorded] {
+            s.slots[head.wrapping_add(pending) & self.mask].value.store(value, Ordering::Relaxed);
+            pending += 1;
+        }
+        if pending > 0 {
+            self.publish(s, head, pending);
+        }
+        recorded
+    }
+
     /// Stamps and publishes the shard's pending batch.
     fn publish(&self, s: &Shard, head: usize, pending: usize) {
         let now = raw_ticks();
@@ -263,6 +301,12 @@ impl<C: ProcessCounter> ProcessCounter for Traced<C> {
         let value = self.inner.next_for(process);
         self.recorder.record(process, value);
         value
+    }
+
+    fn next_batch_for(&self, process: usize, n: usize) -> Vec<u64> {
+        let values = self.inner.next_batch_for(process, n);
+        self.recorder.record_batch(process, &values);
+        values
     }
 }
 

@@ -85,11 +85,15 @@ if [ ! -s "$port_file" ]; then
     exit 1
 fi
 addr=$(cat "$port_file")
+# Batched smoke: each burst is one NextBatch frame served by the batched
+# traversal (one atomic per balancer per batch, one widened recorder
+# interval) — the values must still be an exact permutation.
 loadgen_out=$(cargo run -q --release --offline -p cnet-cli -- \
-    loadgen --addr "$addr" --threads 4 --ops 20000 --batch 64 --check 1 --shutdown 1)
+    loadgen --addr "$addr" --threads 4 --ops 20000 --batch 64 --mode batch \
+    --check 1 --shutdown 1)
 echo "$loadgen_out"
 if ! echo "$loadgen_out" | grep -q "permutation 0..20000: true"; then
-    echo "error: networked values were not a permutation of 0..n" >&2
+    echo "error: batched networked values were not a permutation of 0..n" >&2
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
@@ -111,8 +115,20 @@ fi
 wait "$serve_pid"
 rm -f "$port_file"
 
-# The committed benchmark artifact must parse under the schema-v2 reader
-# (including transport-tagged networked rows).
+# Batch-sweep smoke: a small in-process sweep over batch sizes 1/16/64
+# must run, emit the x16/x64 rows, and report the batched speedup line.
+batch_out=$(cargo run -q --release --offline -p cnet-cli -- \
+    bench 4 --threads 1,2 --ops 2000 --repeats 1 --batch 1,16,64)
+echo "$batch_out" | tail -n 4
+if ! echo "$batch_out" | grep -q "batched traversal (k=64)"; then
+    echo "error: cnet bench --batch did not report the batched speedup" >&2
+    exit 1
+fi
+
+# The committed benchmark artifact must parse under the schema-v3 reader
+# (transport-tagged networked rows, width-k batch rows, oversubscription
+# flags) and carry the acceptance row: batch=64 >= 3x batch=1 on the
+# compiled bitonic at 8 threads.
 cargo test -q --release --offline -p cnet-bench --test net_roundtrip \
-    committed_bench_artifact_parses_as_schema_v2
+    committed_bench_artifact_parses_as_schema_v3
 echo "verify: ok"

@@ -72,6 +72,72 @@ proptest! {
         prop_assert_eq!(compiled.tokens_counted(), tokens as u64);
     }
 
+    /// Batched traversal is observationally a multiset of sequential
+    /// traversals: on a random network under a random mixed schedule of
+    /// `(input, k)` batches, every `next_batch_for`-claimed batch hands
+    /// out exactly the values `k` sequential reference traversals from
+    /// the same state would — the batch may reorder values internally,
+    /// never invent or drop one. The first step runs from quiescence.
+    #[test]
+    fn batched_traversal_equals_sequential_multisets(
+        net in random_network(),
+        schedule_seed in 0u64..1_000_000,
+        steps in 1usize..20,
+    ) {
+        let batched = SharedNetworkCounter::new(&net);
+        let mut reference = NetworkState::new(&net);
+        let mut x = schedule_seed.wrapping_mul(2).wrapping_add(1);
+        let mut values = Vec::new();
+        let mut total = 0u64;
+        for step in 0..steps {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let input = (x >> 33) as usize % net.fan_in();
+            let k = 1 + (x >> 17) as usize % 9;
+            let mut expect: Vec<u64> =
+                (0..k).map(|_| reference.traverse(&net, input).value).collect();
+            values.clear();
+            batched.increment_batch_from(input, k, &mut values);
+            values.sort_unstable();
+            expect.sort_unstable();
+            prop_assert_eq!(
+                &values, &expect,
+                "batch of {} diverges at step {} on input {} of {}", k, step, input, net
+            );
+            total += k as u64;
+        }
+        prop_assert_eq!(batched.tokens_counted(), total);
+    }
+
+    /// The trait-level batched path agrees too: `next_batch_for` on one
+    /// counter claims the same multiset as `n` `next_for` calls on an
+    /// identically scheduled twin.
+    #[test]
+    fn next_batch_for_matches_sequential_next_for(
+        net in random_network(),
+        schedule_seed in 0u64..1_000_000,
+        steps in 1usize..12,
+    ) {
+        use cnet_runtime::ProcessCounter;
+        let batched = SharedNetworkCounter::new(&net);
+        let sequential = SharedNetworkCounter::new(&net);
+        let mut x = schedule_seed.wrapping_mul(2).wrapping_add(1);
+        for step in 0..steps {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let process = (x >> 33) as usize % net.fan_in();
+            let k = 1 + (x >> 17) as usize % 7;
+            let mut via_batch = batched.next_batch_for(process, k);
+            let mut via_singles: Vec<u64> =
+                (0..k).map(|_| sequential.next_for(process)).collect();
+            via_batch.sort_unstable();
+            via_singles.sort_unstable();
+            prop_assert_eq!(
+                &via_batch, &via_singles,
+                "trait batch of {} diverges at step {} as process {} on {}",
+                k, step, process, net
+            );
+        }
+    }
+
     /// The compiled tables themselves agree with the graph: routing a
     /// token with forced port choices lands on the same counter the wire
     /// graph reaches, for every input and any fixed port bias.

@@ -6,7 +6,7 @@
 
 use cnet_bench::{Measurement, ThroughputReport};
 use cnet_core::trace::StreamingAuditor;
-use cnet_net::loadgen::{run_loadgen, LoadGenConfig};
+use cnet_net::loadgen::{run_loadgen, LoadGenConfig, LoadGenMode};
 use cnet_net::server::{Backpressure, CounterServer, ServerConfig};
 use cnet_net::RemoteCounter;
 use cnet_runtime::{drain_remaining, FetchAddCounter, SharedNetworkCounter, TraceRecorder};
@@ -29,7 +29,13 @@ fn concurrent_pipelined_clients_receive_a_permutation() {
     .expect("bind ephemeral loopback port");
     let report = run_loadgen(
         server.local_addr(),
-        &LoadGenConfig { threads, ops_per_thread, batch: 64, collect_values: true },
+        &LoadGenConfig {
+            threads,
+            ops_per_thread,
+            batch: 64,
+            mode: LoadGenMode::Pipeline,
+            collect_values: true,
+        },
     )
     .expect("loadgen completes");
     assert_eq!(report.total_ops, (threads * ops_per_thread) as u64);
@@ -63,7 +69,13 @@ fn fetch_add_service_audits_clean_across_the_socket() {
     .expect("bind ephemeral loopback port");
     let report = run_loadgen(
         server.local_addr(),
-        &LoadGenConfig { threads, ops_per_thread, batch: 16, collect_values: true },
+        &LoadGenConfig {
+            threads,
+            ops_per_thread,
+            batch: 16,
+            mode: LoadGenMode::Pipeline,
+            collect_values: true,
+        },
     )
     .expect("loadgen completes");
     assert_eq!(report.is_permutation(), Some(true));
@@ -94,7 +106,13 @@ fn counting_network_violations_are_counted_not_fatal() {
     .expect("bind ephemeral loopback port");
     let report = run_loadgen(
         server.local_addr(),
-        &LoadGenConfig { threads, ops_per_thread, batch: 8, collect_values: true },
+        &LoadGenConfig {
+            threads,
+            ops_per_thread,
+            batch: 8,
+            mode: LoadGenMode::Pipeline,
+            collect_values: true,
+        },
     )
     .expect("loadgen completes against a counting network");
     assert_eq!(
@@ -115,6 +133,52 @@ fn counting_network_violations_are_counted_not_fatal() {
     assert_eq!(auditor.non_linearizable() == 0, auditor.is_linearizable());
 }
 
+/// Batch mode end-to-end: each burst is one `NextBatch` frame, the server
+/// claims it through the backend's batched traversal (one atomic per
+/// balancer per batch) and records one widened recorder interval per
+/// batch — and the run still yields an exact permutation of `0..n` with a
+/// clean audit.
+#[test]
+fn batched_loadgen_yields_a_permutation_with_a_clean_audit() {
+    let threads = 4;
+    let ops_per_thread = 1_000;
+    let total = threads * ops_per_thread;
+    let recorder = Arc::new(TraceRecorder::new(threads, 2 * total));
+    let mut server = CounterServer::with_recorder(
+        "127.0.0.1:0",
+        Arc::new(FetchAddCounter::new()),
+        Arc::clone(&recorder),
+        ServerConfig { max_connections: threads, processes: threads, ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral loopback port");
+    let report = run_loadgen(
+        server.local_addr(),
+        &LoadGenConfig {
+            threads,
+            ops_per_thread,
+            batch: 64,
+            mode: LoadGenMode::Batch,
+            collect_values: true,
+        },
+    )
+    .expect("batched loadgen completes");
+    assert_eq!(
+        report.is_permutation(),
+        Some(true),
+        "batched values over the wire must be exactly 0..{}",
+        report.total_ops
+    );
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.ops, total as u64);
+    // Every burst was a single NextBatch frame: 1000/64 → 16 per worker.
+    assert_eq!(stats.batches, (threads * ops_per_thread.div_ceil(64)) as u64);
+    let mut auditor = StreamingAuditor::new();
+    drain_remaining(&recorder, &mut auditor);
+    assert_eq!(auditor.operations(), total, "one widened interval records the whole batch");
+    assert!(auditor.is_clean(), "batched fetch_add must audit clean: {}", auditor.summary());
+}
+
 /// At the connection limit with the reject policy, surplus clients get a
 /// clean `Busy` refusal surfaced as an error — not a hang, not a panic.
 #[test]
@@ -132,15 +196,16 @@ fn busy_rejection_surfaces_as_a_client_error() {
     assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused, "{err}");
 }
 
-/// The committed benchmark artifact must stay readable by the schema-v2
-/// reader — including rows that predate the `transport` field (absent
-/// means `"memory"`) and the new `"tcp"` rows.
+/// The committed benchmark artifact must parse as schema v3 — including
+/// rows that predate the `transport` field (absent means `"memory"`) or
+/// the `batch`/`oversubscribed` fields (absent means `1`/`false`) — and
+/// the v3 fields must round-trip through cnet-util JSON.
 #[test]
-fn committed_bench_artifact_parses_as_schema_v2() {
+fn committed_bench_artifact_parses_as_schema_v3() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let text = std::fs::read_to_string(path).expect("BENCH_throughput.json is committed");
-    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v2");
-    assert_eq!(report.version, 2);
+    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v3");
+    assert_eq!(report.version, 3);
     assert!(!report.measurements.is_empty());
     for m in &report.measurements {
         assert!(
@@ -149,6 +214,26 @@ fn committed_bench_artifact_parses_as_schema_v2() {
             "unknown transport {:?}",
             m.transport
         );
+        assert!(m.batch >= 1, "batch must be at least 1: {m:?}");
+        assert_eq!(
+            m.oversubscribed,
+            m.threads > report.cores,
+            "oversubscription flag inconsistent with cores: {m:?}"
+        );
         assert!(m.mops > 0.0);
     }
+    // The acceptance row: batched traversal on the compiled bitonic B(8)
+    // at 8 threads beats the per-token path at least 3x.
+    let batched = report
+        .batch_cell("compiled", "bitonic", 8, 64)
+        .expect("artifact carries the batch=64 compiled/bitonic row at 8 threads");
+    assert_eq!(batched.batch, 64);
+    let speedup = report
+        .batch_speedup("compiled", "bitonic", 8, 64)
+        .expect("batch speedup computable");
+    assert!(speedup >= 3.0, "batch=64 must be at least 3x batch=1, got {speedup:.2}x");
+    // The v3 fields survive a serialize/deserialize round trip.
+    let back: ThroughputReport =
+        json::from_str(&json::to_string_pretty(&report)).expect("round-trips");
+    assert_eq!(back, report);
 }
