@@ -7,7 +7,7 @@
 
 use crate::ProcessCounter;
 use cnet_util::sync::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use cnet_util::sync::atomic::{AtomicU64, Ordering};
 
 /// A single-word fetch-and-increment counter — linearizable by
 /// construction, but every operation contends on one cache line.
@@ -44,8 +44,12 @@ impl ProcessCounter for FetchAddCounter {
     }
 
     /// One `fetch_add(n)` claims the whole batch: the values are the
-    /// contiguous range `base..base + n`.
+    /// contiguous range `base..base + n`. An empty batch touches nothing
+    /// (the `n == 0` contract — a `fetch_add(0)` is still a shared RMW).
     fn next_batch_for(&self, _process: usize, n: usize) -> Vec<u64> {
+        if n == 0 {
+            return Vec::new();
+        }
         let base = self.value.fetch_add(n as u64, Ordering::AcqRel);
         (base..base + n as u64).collect()
     }
@@ -78,8 +82,12 @@ impl ProcessCounter for LockCounter {
         self.next()
     }
 
-    /// One lock acquisition claims the whole batch.
+    /// One lock acquisition claims the whole batch; an empty batch takes
+    /// no lock at all (the `n == 0` contract).
     fn next_batch_for(&self, _process: usize, n: usize) -> Vec<u64> {
+        if n == 0 {
+            return Vec::new();
+        }
         let mut guard = self.value.lock();
         let base = *guard;
         *guard += n as u64;

@@ -24,7 +24,7 @@
 
 use crate::ProcessCounter;
 use cnet_util::sync::{Backoff, CachePadded};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use cnet_util::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 /// Slot states of the publication array.
 const FREE: usize = 0;
@@ -73,6 +73,29 @@ pub struct CombiningFunnel<C> {
     combined_ops: CachePadded<AtomicU64>,
     /// The widest sweep seen so far — `> 1` means real combining happened.
     widest_batch: CachePadded<AtomicU64>,
+    /// Times a caller won the combiner lock only to find a previous
+    /// combiner had already served its slot (the own-slot-DONE recheck
+    /// fired). Rare in the wild; the model checker proves it reachable.
+    served_then_won_lock: CachePadded<AtomicU64>,
+}
+
+/// Deliberately seedable bugs for the model checker's own validation
+/// (`model-check` builds only — see `tests/model_check.rs`). Skipping
+/// the own-slot-DONE recheck reintroduces a race where a caller that
+/// was served while contending for the combiner lock sweeps anyway,
+/// double-claiming values; the checker must catch it and print a
+/// replay string.
+#[cfg(feature = "model-check")]
+pub mod model_bugs {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// When `true`, [`super::CombiningFunnel::next_for`] skips the
+    /// own-slot-DONE recheck after winning the combiner lock.
+    pub static SKIP_SERVED_RECHECK: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn skip_served_recheck() -> bool {
+        SKIP_SERVED_RECHECK.load(Ordering::Relaxed)
+    }
 }
 
 impl<C: ProcessCounter> CombiningFunnel<C> {
@@ -86,6 +109,7 @@ impl<C: ProcessCounter> CombiningFunnel<C> {
             combined_batches: CachePadded::new(AtomicU64::new(0)),
             combined_ops: CachePadded::new(AtomicU64::new(0)),
             widest_batch: CachePadded::new(AtomicU64::new(0)),
+            served_then_won_lock: CachePadded::new(AtomicU64::new(0)),
         }
     }
 
@@ -113,6 +137,13 @@ impl<C: ProcessCounter> CombiningFunnel<C> {
     /// was converted into batch width.
     pub fn widest_batch(&self) -> u64 {
         self.widest_batch.load(Ordering::Relaxed)
+    }
+
+    /// Times the own-slot-DONE recheck fired: a caller won the combiner
+    /// lock after a previous combiner had already served it. The model
+    /// checker asserts this race is reachable (and handled).
+    pub fn served_then_won_lock(&self) -> u64 {
+        self.served_then_won_lock.load(Ordering::Relaxed)
     }
 
     /// Sweeps the publication array as the combiner (the lock is held):
@@ -161,7 +192,12 @@ impl<C: ProcessCounter> ProcessCounter for CombiningFunnel<C> {
             if !self.lock.swap(true, Ordering::Acquire) {
                 // We hold the combiner lock — but a previous combiner may
                 // have served us between our last DONE check and the swap.
-                if slot.state.load(Ordering::Acquire) == DONE {
+                #[cfg(feature = "model-check")]
+                let recheck = !model_bugs::skip_served_recheck();
+                #[cfg(not(feature = "model-check"))]
+                let recheck = true;
+                if recheck && slot.state.load(Ordering::Acquire) == DONE {
+                    self.served_then_won_lock.fetch_add(1, Ordering::Relaxed);
                     self.lock.store(false, Ordering::Release);
                     let v = slot.value.load(Ordering::Acquire);
                     slot.state.store(FREE, Ordering::Release);

@@ -36,7 +36,7 @@ use cnet_topology::ids::SourceId;
 use cnet_topology::network::WireEnd;
 use cnet_topology::Network;
 use cnet_util::sync::{Backoff, CachePadded};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use cnet_util::sync::atomic::{AtomicUsize, Ordering};
 
 /// Where a token goes after leaving a balancer output port (or entering on
 /// a source wire): the next balancer, or a final counter.
@@ -358,6 +358,10 @@ impl CompiledNetwork {
     /// gap-freedom argument of the single-token path carries over
     /// unchanged.
     ///
+    /// `k == 0` resets `sink_counts` to zeros and touches no balancer
+    /// word — an empty batch is free, matching the
+    /// `ProcessCounter::next_batch_for` contract.
+    ///
     /// # Panics
     ///
     /// Panics if `input >= fan_in()` or `balancers.len() != size()`.
@@ -436,6 +440,11 @@ impl CompiledNetwork {
                 }
             }
         }
+        debug_assert_eq!(
+            sink_counts.iter().sum::<usize>(),
+            k,
+            "feed-forward conservation: every token reaches exactly one sink"
+        );
     }
 
     /// A fresh bank of balancer state words, one per balancer, each on its

@@ -20,7 +20,7 @@ use cnet_topology::ids::SourceId;
 use cnet_topology::network::WireEnd;
 use cnet_topology::Network;
 use cnet_util::sync::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use cnet_util::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A counting network laid out in shared memory: one atomic round-robin

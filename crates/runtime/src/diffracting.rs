@@ -22,7 +22,7 @@
 use crate::recorder::TraceRecorder;
 use crate::ProcessCounter;
 use cnet_util::sync::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use cnet_util::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 const EMPTY: usize = 0;

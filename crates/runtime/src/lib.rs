@@ -96,7 +96,19 @@ pub trait ProcessCounter: Sync {
     /// must hand out exactly the values `n` sequential `next_for` calls
     /// would have claimed — batching may reorder values *across*
     /// concurrent callers, never invent or drop them.
+    ///
+    /// `n == 0` is a no-op by contract: it returns an empty vector
+    /// without touching shared state — no atomic operation, no lock
+    /// acquisition, no network round trip. Callers (the bench harness,
+    /// the combining funnel's pass-through) rely on empty batches being
+    /// free, and the model checker counts every shim atomic as a
+    /// scheduling point, so a stray `fetch_add(0)` is observable there.
     fn next_batch_for(&self, process: usize, n: usize) -> Vec<u64> {
-        (0..n).map(|_| self.next_for(process)).collect()
+        if n == 0 {
+            return Vec::new();
+        }
+        let values: Vec<u64> = (0..n).map(|_| self.next_for(process)).collect();
+        debug_assert_eq!(values.len(), n, "next_batch_for must return exactly n values");
+        values
     }
 }

@@ -47,7 +47,7 @@ use crate::{ProcessCounter, Workload};
 use cnet_core::trace::{EventMerger, OpSink, RawOp, StreamingAuditor};
 use cnet_util::sync::CachePadded;
 use cnet_util::time::{raw_ticks, Clock};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use cnet_util::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

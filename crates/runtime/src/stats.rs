@@ -15,7 +15,7 @@ use crate::compiled::CompiledNetwork;
 use crate::ProcessCounter;
 use cnet_topology::Network;
 use cnet_util::sync::CachePadded;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use cnet_util::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// A [`crate::SharedNetworkCounter`] variant that additionally records
 /// per-balancer traffic and CAS-retry counts.

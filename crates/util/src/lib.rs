@@ -31,8 +31,18 @@
 //! of pseudo-randomness in the workspace flows through [`rng`] from an
 //! explicit, logged seed.
 
+//!
+//! With the `model-check` feature, the [`model`] module adds a
+//! bounded-interleaving model checker: the [`sync::atomic`] shim types
+//! route every operation through a cooperative scheduler that
+//! exhaustively enumerates thread interleavings up to a preemption
+//! bound, with deterministic replay strings for counterexamples. In
+//! normal builds [`sync::atomic`] is a zero-cost `std` re-export.
+
 pub mod bench;
 pub mod json;
+#[cfg(feature = "model-check")]
+pub mod model;
 pub mod proptest;
 pub mod rng;
 pub mod sync;

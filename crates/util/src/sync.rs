@@ -18,6 +18,28 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{Arc, Condvar};
 
+/// The atomic types used by every lock-free algorithm in the workspace.
+///
+/// In normal builds this is a zero-cost re-export of
+/// `std::sync::atomic`. Under the `model-check` feature the same names
+/// resolve to the shims in [`crate::model::atomic`], which route every
+/// load/store/RMW through the bounded-interleaving model checker's
+/// cooperative scheduler (and fall back to plain `std` behavior on
+/// threads that are not part of a model scenario). Code that wants to
+/// be model-checkable imports from here instead of `std::sync::atomic`
+/// — a pure rename.
+pub mod atomic {
+    #[cfg(not(feature = "model-check"))]
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+
+    #[cfg(feature = "model-check")]
+    pub use crate::model::atomic::{
+        AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+}
+
 /// Pads and aligns a value to the size of a cache line (64 bytes — the
 /// coherence granule on x86-64 and most AArch64 parts).
 ///
@@ -109,7 +131,27 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Blocks until the lock is held, never failing on poison.
+    ///
+    /// Under the `model-check` feature, acquisition by a model-scenario
+    /// thread becomes a scheduling point (a try-lock/yield loop), so
+    /// the checker explores lock-acquisition orders; release is not a
+    /// separate point (it is bundled with the holder's next operation).
     pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        #[cfg(feature = "model-check")]
+        if crate::model::thread_is_modeled() {
+            loop {
+                crate::model::op_point();
+                match self.inner.try_lock() {
+                    Ok(guard) => return guard,
+                    Err(std::sync::TryLockError::Poisoned(p)) => {
+                        return p.into_inner()
+                    }
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        crate::model::yield_point()
+                    }
+                }
+            }
+        }
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
@@ -158,7 +200,17 @@ impl Backoff {
     }
 
     /// Waits briefly, escalating from busy-spin to `yield_now`.
+    ///
+    /// Under the `model-check` feature, a model-scenario thread parks
+    /// at a yield point instead of spinning: it becomes runnable again
+    /// only after another thread has progressed, which keeps retry
+    /// loops finite under exhaustive schedule exploration.
     pub fn snooze(&self) {
+        #[cfg(feature = "model-check")]
+        if crate::model::thread_is_modeled() {
+            crate::model::yield_point();
+            return;
+        }
         let step = self.step.get();
         if step <= SPIN_LIMIT {
             for _ in 0..1u32 << step {

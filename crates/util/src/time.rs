@@ -45,9 +45,22 @@ fn ticks_per_ns() -> f64 {
 
 /// Reads the raw cycle counter (x86_64) or a nanosecond `Instant` delta
 /// (elsewhere). Only meaningful relative to other readings in-process.
-#[cfg(target_arch = "x86_64")]
+///
+/// Under the `model-check` feature, threads inside a model-checker
+/// session read a strictly increasing *logical* counter instead, so
+/// timestamp-dependent code is deterministic per explored schedule.
 #[inline]
 pub fn raw_ticks() -> u64 {
+    #[cfg(feature = "model-check")]
+    if let Some(tick) = crate::model::logical_raw_ticks() {
+        return tick;
+    }
+    raw_ticks_arch()
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn raw_ticks_arch() -> u64 {
     // SAFETY: `_rdtsc` has no memory effects and no preconditions; it is
     // available on every x86_64 CPU. This is the one place the workspace
     // needs an intrinsic the safe standard library cannot express at an
@@ -58,11 +71,9 @@ pub fn raw_ticks() -> u64 {
     }
 }
 
-/// Reads the raw cycle counter (x86_64) or a nanosecond `Instant` delta
-/// (elsewhere). Only meaningful relative to other readings in-process.
 #[cfg(not(target_arch = "x86_64"))]
 #[inline]
-pub fn raw_ticks() -> u64 {
+fn raw_ticks_arch() -> u64 {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }

@@ -48,6 +48,20 @@ cargo test -q --offline --workspace
 # verifies the measurement code paths without paying for a full run.
 cargo test -q --offline -p cnet-bench
 
+# Model-check gate: exhaustively enumerate every bounded interleaving of
+# the lock-free core under the shim-atomic scheduler (crates/util/src/
+# model.rs; see DESIGN.md, "Model checking the lock-free core"). The
+# scenario suite asserts >= 10,000 distinct schedules total and that a
+# seeded bug is caught with a replay string. `timeout` bounds the wall
+# clock — the suite runs in seconds, so hitting the budget means a
+# state-space regression (an unbounded spin loop, a fairness bug), which
+# should fail fast rather than hang the gate.
+RUSTFLAGS="-D warnings" timeout 300 \
+    cargo test -q --release --offline -p cnet-util --features model-check
+RUSTFLAGS="-D warnings" timeout 600 \
+    cargo test -q --release --offline -p cnet-bench --features model-check \
+    --test model_check
+
 # Audit smoke: a single-threaded run against the compiled backend, streamed
 # through the online monitors, must come back with zero violations (one
 # sequential process drains the network between ops, so the step property

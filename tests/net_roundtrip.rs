@@ -237,3 +237,127 @@ fn committed_bench_artifact_parses_as_schema_v3() {
         json::from_str(&json::to_string_pretty(&report)).expect("round-trips");
     assert_eq!(back, report);
 }
+
+/// `next_batch_for` edge cases across the socket: `k = 0` is free (no
+/// frame on the wire — the server never even sees a request), `k = 1`
+/// is exactly `next_for`, and `k = 65537` (one past the `MAX_BATCH`
+/// chunk boundary) splits into two pipelined `NextBatch` frames while
+/// still handing out a contiguous range.
+#[test]
+fn remote_batch_edges_zero_one_and_just_past_the_chunk_boundary() {
+    use cnet_net::wire::MAX_BATCH;
+    use cnet_runtime::ProcessCounter;
+
+    let mut server = CounterServer::start(
+        "127.0.0.1:0",
+        Arc::new(FetchAddCounter::new()),
+        ServerConfig { max_connections: 1, processes: 1, ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral loopback port");
+    let client = RemoteCounter::connect(server.local_addr(), 1).expect("connect");
+
+    // k = 0: empty result, no request frame, no values consumed.
+    assert!(client.next_batch_for(0, 0).is_empty());
+    let stats = client.server_stats().expect("stats");
+    assert_eq!(stats.ops, 0, "an empty batch must not consume values");
+    assert_eq!(stats.batches, 0, "an empty batch must not reach the wire");
+
+    // k = 1: indistinguishable from next_for — the next value in line.
+    assert_eq!(client.next_batch_for(0, 1), vec![0]);
+    assert_eq!(client.next_for(0), 1);
+
+    // k = MAX_BATCH + 1: two chunks, one contiguous gap-free range.
+    let k = MAX_BATCH as usize + 1;
+    let values = client.next_batch_for(0, k);
+    assert_eq!(values.len(), k);
+    assert_eq!(values, (2..2 + k as u64).collect::<Vec<_>>());
+    let stats = client.server_stats().expect("stats");
+    assert_eq!(stats.ops, k as u64 + 2);
+    assert_eq!(stats.batches, 3, "65537 values = full chunk + remainder (+ the k=1 batch)");
+
+    drop(client);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Wire-format fuzzing: decode is total on arbitrary bytes.
+// ---------------------------------------------------------------------
+
+mod wire_fuzz {
+    use cnet_net::wire::{Request, Response, MAX_BATCH};
+    use cnet_util::proptest::prelude::*;
+
+    /// Arbitrary frame payloads (length prefix already stripped), from
+    /// empty through a few header-and-bodies' worth of junk.
+    fn arbitrary_payload() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(0u32..256, 0usize..72)
+            .prop_map(|ws| ws.into_iter().map(|w| w as u8).collect())
+    }
+
+    /// Every well-formed frame this side of the protocol can produce,
+    /// parameterized enough to cover all opcodes and length fields.
+    fn any_frame(seq: u32, pick: u32, n: u32, values: &[u64]) -> Vec<u8> {
+        let mut out = Vec::new();
+        match pick % 8 {
+            0 => Request::Next.encode(seq, &mut out),
+            1 => Request::NextBatch { n }.encode(seq, &mut out),
+            2 => Request::Stats.encode(seq, &mut out),
+            3 => Request::Shutdown.encode(seq, &mut out),
+            4 => Response::Value { value: u64::from(n) }.encode(seq, &mut out),
+            5 => Response::Batch { values: values.to_vec() }.encode(seq, &mut out),
+            6 => Response::Pong.encode(seq, &mut out),
+            _ => Response::Bye.encode(seq, &mut out),
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// `decode` is total: random bytes yield `Ok` or a `WireError`,
+        /// never a panic, for requests and responses alike.
+        #[test]
+        fn decode_never_panics_on_arbitrary_payloads(
+            payload in arbitrary_payload(),
+        ) {
+            let _ = Request::decode(&payload);
+            let _ = Response::decode(&payload);
+        }
+
+        /// Neither does corrupting a single byte of a valid frame, or
+        /// truncating it anywhere — the two failure shapes a TCP stream
+        /// actually produces.
+        #[test]
+        fn decode_never_panics_on_corrupted_valid_frames(
+            seq in 0u32..u32::MAX,
+            pick in 0u32..8,
+            n in 0u32..(MAX_BATCH + 2),
+            values in prop::collection::vec(0u64..u64::MAX, 0usize..4),
+            idx in 0usize..256,
+            byte in 0u32..256,
+            cut in 0usize..256,
+        ) {
+            let frame = any_frame(seq, pick, n, &values);
+            // The payload is the frame minus its 4-byte length prefix.
+            let mut payload = frame[4..].to_vec();
+            let _ = Request::decode(&payload);
+            let _ = Response::decode(&payload);
+            let i = idx % payload.len();
+            payload[i] = byte as u8;
+            let _ = Request::decode(&payload);
+            let _ = Response::decode(&payload);
+            let truncated = &payload[..cut % payload.len()];
+            let _ = Request::decode(truncated);
+            let _ = Response::decode(truncated);
+        }
+
+        /// And a clean frame round-trips exactly.
+        #[test]
+        fn request_frames_round_trip(seq in 0u32..u32::MAX, n in 1u32..MAX_BATCH) {
+            let mut out = Vec::new();
+            Request::NextBatch { n }.encode(seq, &mut out);
+            let decoded = Request::decode(&out[4..]);
+            prop_assert_eq!(decoded, Ok((seq, Request::NextBatch { n })));
+        }
+    }
+}
