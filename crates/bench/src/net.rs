@@ -2,13 +2,16 @@
 //! the same [`Measurement`] schema as the in-process sweep.
 //!
 //! For each thread count, a [`CounterServer`] is started on an ephemeral
-//! loopback port and hammered by [`run_loadgen`] workers (one connection
-//! per worker, pipelined bursts). Two backends bracket the space: the
-//! `fetch_add` baseline isolates pure transport cost, and the compiled
-//! bitonic network shows what a real counting network delivers across a
-//! socket. Rows land in `BENCH_throughput.json` with
-//! `"transport": "tcp"`, next to their shared-memory counterparts, so the
-//! socket tax is a ratio you can read off one artifact.
+//! loopback port and hammered by [`run_loadgen`] workers over
+//! [`NetThroughputConfig::connections`] pooled connections (default: one
+//! per worker). Two backends bracket the space: the `fetch_add` baseline
+//! isolates pure transport cost, and the compiled bitonic network shows
+//! what a real counting network delivers across a socket. Rows land in
+//! `BENCH_throughput.json` with `"transport": "tcp"`, their connection
+//! count, and end-to-end burst latency percentiles (`p50_ns` / `p99_ns` /
+//! `p999_ns`, schema v4), next to their shared-memory counterparts, so
+//! both the socket tax and the reactor's connection-scaling behaviour are
+//! ratios you can read off one artifact.
 
 use crate::throughput::Measurement;
 use cnet_net::loadgen::{run_loadgen, LoadGenConfig, LoadGenMode};
@@ -22,8 +25,12 @@ use std::sync::Arc;
 pub struct NetThroughputConfig {
     /// Network fan `w` for the counting-network backend.
     pub fan: usize,
-    /// Client thread counts to sweep (one connection per thread).
+    /// Client thread counts to sweep.
     pub threads: Vec<usize>,
+    /// Pooled client connections shared out across the worker threads
+    /// (`0` = one per worker). Counts above the thread count measure the
+    /// reactor's many-mostly-idle-connections regime.
+    pub connections: usize,
     /// Operations each client thread pushes per timed run.
     pub ops_per_thread: usize,
     /// Burst size per connection (see `mode`).
@@ -43,6 +50,7 @@ impl Default for NetThroughputConfig {
         NetThroughputConfig {
             fan: 8,
             threads: vec![1, 2, 4],
+            connections: 0,
             ops_per_thread: 5_000,
             batch: 64,
             mode: LoadGenMode::Pipeline,
@@ -60,13 +68,15 @@ fn measure_net(
     cfg: &NetThroughputConfig,
 ) -> std::io::Result<Measurement> {
     let total_ops = threads * cfg.ops_per_thread;
+    let connections = if cfg.connections == 0 { threads.max(1) } else { cfg.connections };
     let mut best = f64::INFINITY;
+    let mut percentiles = (0, 0, 0);
     for _ in 0..cfg.repeats.max(1) {
         let mut server = CounterServer::start(
             "127.0.0.1:0",
             build(),
             ServerConfig {
-                max_connections: threads.max(1),
+                max_connections: connections,
                 processes: cfg.fan,
                 ..ServerConfig::default()
             },
@@ -75,6 +85,7 @@ fn measure_net(
             server.local_addr(),
             &LoadGenConfig {
                 threads,
+                connections,
                 ops_per_thread: cfg.ops_per_thread,
                 batch: cfg.batch,
                 mode: cfg.mode,
@@ -82,7 +93,12 @@ fn measure_net(
             },
         )?;
         server.shutdown();
-        best = best.min(report.seconds);
+        // Keep the latency distribution of the best (kept) run, so the
+        // percentile columns describe the same run as the throughput.
+        if report.seconds < best {
+            best = report.seconds;
+            percentiles = report.latency.percentiles();
+        }
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     Ok(Measurement {
@@ -99,6 +115,10 @@ fn measure_net(
             LoadGenMode::Pipeline => 1,
         },
         oversubscribed: threads > cores,
+        connections,
+        p50_ns: Some(percentiles.0),
+        p99_ns: Some(percentiles.1),
+        p999_ns: Some(percentiles.2),
     })
 }
 
@@ -144,6 +164,7 @@ mod tests {
         let rows = run_net_throughput(&NetThroughputConfig {
             fan: 4,
             threads: vec![1, 2],
+            connections: 0,
             ops_per_thread: 200,
             batch: 16,
             mode: LoadGenMode::Pipeline,
@@ -157,6 +178,9 @@ mod tests {
             assert_eq!(row.total_ops, row.threads * 200);
             assert!(row.mops > 0.0, "{row:?}");
             assert_eq!(row.batch, 1, "pipeline mode rows are per-token");
+            assert_eq!(row.connections, row.threads, "default pools one per worker");
+            let (p50, p99, p999) = (row.p50_ns.unwrap(), row.p99_ns.unwrap(), row.p999_ns.unwrap());
+            assert!(p50 > 0 && p50 <= p99 && p99 <= p999, "{row:?}");
         }
         assert!(rows.iter().any(|r| r.counter == "fetch_add"));
         assert!(rows.iter().any(|r| r.counter == "compiled" && r.network == "bitonic"));
@@ -167,6 +191,7 @@ mod tests {
         let rows = run_net_throughput(&NetThroughputConfig {
             fan: 4,
             threads: vec![1],
+            connections: 0,
             ops_per_thread: 200,
             batch: 32,
             mode: LoadGenMode::Batch,
@@ -176,6 +201,26 @@ mod tests {
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert_eq!(row.batch, 32, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn connection_scaling_rows_record_the_pool_size() {
+        let rows = run_net_throughput(&NetThroughputConfig {
+            fan: 4,
+            threads: vec![2],
+            connections: 16,
+            ops_per_thread: 200,
+            batch: 16,
+            mode: LoadGenMode::Batch,
+            repeats: 1,
+        })
+        .expect("loopback sweep runs");
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.connections, 16, "{row:?}");
+            assert_eq!(row.threads, 2, "{row:?}");
+            assert!(row.p99_ns.unwrap() > 0, "{row:?}");
         }
     }
 }

@@ -94,6 +94,20 @@ pub struct Measurement {
     /// parallel scaling, and must not be read as scaling results. Absent
     /// in older artifacts means `false`.
     pub oversubscribed: bool,
+    /// Pooled client connections the row was driven through (schema v4):
+    /// `0` for in-process rows and for pre-v4 tcp rows, where the
+    /// connection count equalled `threads`. Distinct connection counts
+    /// are distinct cells — the reactor's connection-scaling sweep keeps
+    /// one row per count.
+    pub connections: usize,
+    /// Median end-to-end burst round-trip time in nanoseconds (schema
+    /// v4); `None` (JSON `null` / absent) for rows measured without the
+    /// latency histogram — all in-process rows and pre-v4 tcp rows.
+    pub p50_ns: Option<u64>,
+    /// 99th-percentile burst round-trip time in nanoseconds (schema v4).
+    pub p99_ns: Option<u64>,
+    /// 99.9th-percentile burst round-trip time in nanoseconds (schema v4).
+    pub p999_ns: Option<u64>,
 }
 
 impl Measurement {
@@ -105,9 +119,10 @@ impl Measurement {
 
 // Hand-written (not `json_struct!`) so fields added by later schema
 // versions may be absent in older artifacts: a missing `transport` means
-// `"memory"` (pre-v2 rows), a missing `batch` means `1` and a missing
-// `oversubscribed` means `false` (pre-v3 rows) — keeping every previously
-// committed BENCH_throughput.json parseable.
+// `"memory"` (pre-v2 rows), a missing `batch` means `1`, a missing
+// `oversubscribed` means `false` (pre-v3 rows), and missing `connections`
+// / latency percentiles mean `0` / `None` (pre-v4 rows) — keeping every
+// previously committed BENCH_throughput.json parseable.
 impl ToJson for Measurement {
     fn to_json(&self) -> Value {
         Value::Object(vec![
@@ -121,6 +136,10 @@ impl ToJson for Measurement {
             ("transport".to_string(), self.transport.to_json()),
             ("batch".to_string(), self.batch.to_json()),
             ("oversubscribed".to_string(), self.oversubscribed.to_json()),
+            ("connections".to_string(), self.connections.to_json()),
+            ("p50_ns".to_string(), self.p50_ns.to_json()),
+            ("p99_ns".to_string(), self.p99_ns.to_json()),
+            ("p999_ns".to_string(), self.p999_ns.to_json()),
         ])
     }
 }
@@ -147,6 +166,14 @@ impl FromJson for Measurement {
                 Some(o) => FromJson::from_json(o)?,
                 None => false,
             },
+            connections: match v.get("connections") {
+                Some(c) => FromJson::from_json(c)?,
+                None => 0,
+            },
+            // `field` maps absent to `Null`, which `Option` reads as `None`.
+            p50_ns: cnet_util::json::field(v, "p50_ns")?,
+            p99_ns: cnet_util::json::field(v, "p99_ns")?,
+            p999_ns: cnet_util::json::field(v, "p999_ns")?,
         })
     }
 }
@@ -220,6 +247,10 @@ fn measure<C: ProcessCounter>(
         transport: Measurement::TRANSPORT_MEMORY.to_string(),
         batch: 1,
         oversubscribed: false,
+        connections: 0,
+        p50_ns: None,
+        p99_ns: None,
+        p999_ns: None,
     }
 }
 
@@ -269,6 +300,10 @@ fn measure_batched<C: ProcessCounter>(
         transport: Measurement::TRANSPORT_MEMORY.to_string(),
         batch: k,
         oversubscribed: false,
+        connections: 0,
+        p50_ns: None,
+        p99_ns: None,
+        p999_ns: None,
     }
 }
 
@@ -306,6 +341,10 @@ fn measure_audited<C: ProcessCounter>(
         transport: Measurement::TRANSPORT_MEMORY.to_string(),
         batch: 1,
         oversubscribed: false,
+        connections: 0,
+        p50_ns: None,
+        p99_ns: None,
+        p999_ns: None,
     }
 }
 
@@ -405,7 +444,7 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
         m.oversubscribed = m.threads > cores;
     }
     ThroughputReport {
-        version: 3,
+        version: 4,
         fan: cfg.fan,
         ops_per_thread: cfg.ops_per_thread,
         repeats: cfg.repeats.max(1),
@@ -483,13 +522,33 @@ impl ThroughputReport {
     }
 
     /// The networked (loopback-TCP) measurement for a cell, if measured —
-    /// rows appended by `cnet bench --net` or `cnet loadgen --out`.
+    /// rows appended by `cnet bench --net` or `cnet loadgen --out`. When
+    /// several connection counts were swept this returns the first; use
+    /// [`net_cell_at`](Self::net_cell_at) to pick one.
     pub fn net_cell(&self, counter: &str, network: &str, threads: usize) -> Option<&Measurement> {
         self.measurements.iter().find(|m| {
             m.transport == Measurement::TRANSPORT_TCP
                 && m.counter == counter
                 && m.network == network
                 && m.threads == threads
+        })
+    }
+
+    /// The networked measurement for a specific pooled-connection count
+    /// (schema v4) — the cells of the reactor's connection-scaling sweep.
+    pub fn net_cell_at(
+        &self,
+        counter: &str,
+        network: &str,
+        threads: usize,
+        connections: usize,
+    ) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| {
+            m.transport == Measurement::TRANSPORT_TCP
+                && m.counter == counter
+                && m.network == network
+                && m.threads == threads
+                && m.connections == connections
         })
     }
 
@@ -515,7 +574,7 @@ impl ThroughputReport {
     /// Renders the human-readable summary: one row per thread count, one
     /// column per counter/network combination, in Mops/s.
     pub fn summary(&self) -> Table {
-        let mut columns: Vec<(String, String, bool, String, usize)> = Vec::new();
+        let mut columns: Vec<(String, String, bool, String, usize, usize)> = Vec::new();
         for m in &self.measurements {
             let key = (
                 m.counter.clone(),
@@ -523,13 +582,14 @@ impl ThroughputReport {
                 m.audited,
                 m.transport.clone(),
                 m.batch,
+                m.connections,
             );
             if !columns.contains(&key) {
                 columns.push(key);
             }
         }
         let mut headers = vec!["threads".to_string()];
-        headers.extend(columns.iter().map(|(c, n, audited, transport, batch)| {
+        headers.extend(columns.iter().map(|(c, n, audited, transport, batch, connections)| {
             let mut label = if n == "-" { c.clone() } else { format!("{c}/{n}") };
             if *audited {
                 label.push_str("+audit");
@@ -540,6 +600,9 @@ impl ThroughputReport {
             }
             if *batch > 1 {
                 label.push_str(&format!(" x{batch}"));
+            }
+            if *connections > 0 {
+                label.push_str(&format!(" c{connections}"));
             }
             label
         }));
@@ -552,13 +615,14 @@ impl ThroughputReport {
         }
         for &t in &threads_seen {
             let mut row = vec![t.to_string()];
-            for (c, n, audited, transport, batch) in &columns {
+            for (c, n, audited, transport, batch, connections) in &columns {
                 let cell = self.measurements.iter().find(|m| {
                     m.counter == *c
                         && m.network == *n
                         && m.audited == *audited
                         && m.transport == *transport
                         && m.batch == *batch
+                        && m.connections == *connections
                         && m.threads == t
                 });
                 row.push(cell.map_or("-".to_string(), |m| format!("{:.2}", m.mops)));
@@ -656,7 +720,7 @@ mod tests {
         let text = json::to_string_pretty(&report);
         let back: ThroughputReport = json::from_str(&text).expect("report parses");
         assert_eq!(back, report);
-        assert_eq!(back.version, 3);
+        assert_eq!(back.version, 4);
         assert_eq!(back.fan, 4);
         assert!(back.measurements.iter().any(|m| m.audited));
     }
@@ -707,6 +771,52 @@ mod tests {
         // Schema-v3 fields round-trip through cnet-util JSON.
         let back: Measurement = json::from_str(&json::to_string_pretty(&m)).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn pre_v4_rows_default_connections_and_percentiles() {
+        // A schema-v3 tcp row: no connections, no latency percentiles.
+        let text = concat!(
+            r#"{"counter":"fetch_add","network":"-","threads":2,"#,
+            r#""total_ops":100,"seconds":0.5,"mops":0.0002,"audited":false,"#,
+            r#""transport":"tcp","batch":16,"oversubscribed":false}"#
+        );
+        let m: Measurement = json::from_str(text).expect("v3 row parses");
+        assert_eq!(m.connections, 0);
+        assert_eq!(m.p50_ns, None);
+        assert_eq!(m.p99_ns, None);
+        assert_eq!(m.p999_ns, None);
+        // Missing percentiles serialize as explicit nulls and round-trip.
+        let serialized = json::to_string_pretty(&m);
+        assert!(serialized.contains("\"p99_ns\": null"), "{serialized}");
+        let back: Measurement = json::from_str(&serialized).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn connection_counts_are_distinct_tcp_cells() {
+        let mut report = run_throughput_sweep(&tiny());
+        let template = report.cell("fetch_add", "-", 2).unwrap().clone();
+        for (connections, p99) in [(64usize, 40_000u64), (1024, 55_000)] {
+            let mut row = template.clone();
+            row.transport = Measurement::TRANSPORT_TCP.to_string();
+            row.connections = connections;
+            row.p50_ns = Some(p99 / 2);
+            row.p99_ns = Some(p99);
+            row.p999_ns = Some(p99 * 2);
+            report.measurements.push(row);
+        }
+        let small = report.net_cell_at("fetch_add", "-", 2, 64).unwrap();
+        let large = report.net_cell_at("fetch_add", "-", 2, 1024).unwrap();
+        assert_eq!(small.p99_ns, Some(40_000));
+        assert_eq!(large.p99_ns, Some(55_000));
+        assert!(report.net_cell_at("fetch_add", "-", 2, 10_000).is_none());
+        // net_cell still finds *a* tcp row, and the summary keeps one
+        // column per connection count.
+        assert!(report.net_cell("fetch_add", "-", 2).is_some());
+        let rendered = report.summary().to_string();
+        assert!(rendered.contains("fetch_add@tcp c64"), "{rendered}");
+        assert!(rendered.contains("fetch_add@tcp c1024"), "{rendered}");
     }
 
     #[test]

@@ -45,11 +45,12 @@ pub fn usage() -> String {
      \x20 serve     counting service on a TCP socket; blocks until a client\n\
      \x20           sends Shutdown; flags: --backend compiled|fetch_add|lock|\n\
      \x20           diffracting|combining --family --addr 127.0.0.1:0 --max-conns\n\
-     \x20           --processes --backpressure reject|block --audit 0/1\n\
-     \x20           --port-file <file>\n\
+     \x20           --processes --reactors N (0 = one per core) --backpressure\n\
+     \x20           reject|block --audit 0/1 --port-file <file>\n\
      \x20 loadgen   hammer a running serve; flags: --addr HOST:PORT --threads\n\
-     \x20           --ops (total) --batch --mode batch|pipeline --check 0/1\n\
-     \x20           --shutdown 0/1 --out <file.json> --label C --network N\n\
+     \x20           --connections M (pooled, 0 = one per thread) --ops (total)\n\
+     \x20           --batch --mode batch|pipeline --check 0/1 --shutdown 0/1\n\
+     \x20           --out <file.json> --label C --network N\n\
      \n\
      families: bitonic (b), periodic (p), tree (t), block (l), merger (m)\n"
         .to_string()
@@ -323,6 +324,7 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
         let net_rows = cnet_bench::run_net_throughput(&cnet_bench::NetThroughputConfig {
             fan,
             threads: cfg.threads.clone(),
+            connections: 0,
             ops_per_thread: cfg.ops_per_thread,
             batch: 64,
             mode: cnet_net::LoadGenMode::Pipeline,
@@ -430,8 +432,8 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     let [w, flags @ ..] = args else {
         return Err(
             "expected: cnet serve <w> [--backend B] [--family F] [--addr HOST:PORT] \
-             [--max-conns N] [--processes N] [--backpressure reject|block] [--audit 0/1] \
-             [--port-file file]"
+             [--max-conns N] [--processes N] [--reactors N] [--backpressure reject|block] \
+             [--audit 0/1] [--port-file file]"
                 .to_string(),
         );
     };
@@ -443,6 +445,7 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         "addr",
         "max-conns",
         "processes",
+        "reactors",
         "backpressure",
         "audit",
         "port-file",
@@ -454,6 +457,8 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     let cfg = cnet_net::server::ServerConfig {
         max_connections,
         processes: opts.usize_or("processes", fan)?.max(1),
+        // 0 means one reactor per core (the server's own default).
+        reactors: opts.usize_or("reactors", 0)?,
         backpressure: match opts.get("backpressure").unwrap_or("reject") {
             "reject" => cnet_net::server::Backpressure::Reject,
             "block" => cnet_net::server::Backpressure::Block,
@@ -485,14 +490,18 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     let stats = server.stats();
     let mut out = format!(
         "cnet serve: drained after a remote shutdown request\n\
-         connections: {} served, {} rejected\n\
+         connections: {} served, {} rejected, {} deferred accepts\n\
          requests:    {}\n\
-         increments:  {} ({} batched frames)\n",
+         increments:  {} ({} batched frames)\n\
+         reactor:     {} wakeups, {} events\n",
         stats.total_connections,
         stats.rejected_connections,
+        stats.deferred_accepts,
         stats.requests,
         stats.ops,
         stats.batches,
+        stats.reactor_wakeups,
+        stats.reactor_events,
     );
     if let Some(rec) = &recorder {
         let mut auditor = cnet_core::trace::StreamingAuditor::new();
@@ -505,10 +514,12 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
 fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     let opts = Options::parse(args)?;
     opts.allow(&[
-        "addr", "threads", "ops", "batch", "mode", "check", "shutdown", "out", "label", "network",
+        "addr", "threads", "connections", "ops", "batch", "mode", "check", "shutdown", "out",
+        "label", "network",
     ])?;
     let addr = opts.get("addr").ok_or("loadgen needs --addr HOST:PORT")?.to_string();
     let threads = opts.usize_or("threads", 4)?.max(1);
+    let connections = opts.usize_or("connections", 0)?;
     let total_ops = opts.usize_or("ops", 100_000)?.max(1);
     let check = opts.usize_or("check", 1)? != 0;
     let mode = match opts.get("mode").unwrap_or("batch") {
@@ -519,6 +530,7 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     let batch = opts.usize_or("batch", 64)?.max(1);
     let cfg = cnet_net::loadgen::LoadGenConfig {
         threads,
+        connections,
         ops_per_thread: total_ops.div_ceil(threads),
         batch,
         mode,
@@ -527,12 +539,24 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     let report = cnet_net::loadgen::run_loadgen(&addr as &str, &cfg)
         .map_err(|e| format!("loadgen against {addr}: {e}"))?;
     let mut out = format!(
-        "cnet loadgen: {} threads x {} ops = {} increments in {:.3}s ({:.0} ops/s)\n",
+        "cnet loadgen: {} threads over {} connections x {} ops = {} increments \
+         in {:.3}s ({:.0} ops/s)\n",
         report.threads,
+        report.connections,
         cfg.ops_per_thread,
         report.total_ops,
         report.seconds,
         report.ops_per_sec(),
+    );
+    let (p50, p99, p999) = report.latency.percentiles();
+    let us = |ns: u64| ns as f64 / 1.0e3;
+    let _ = writeln!(
+        out,
+        "burst latency: p50 {:.1}us  p99 {:.1}us  p999 {:.1}us  ({} bursts sampled)",
+        us(p50),
+        us(p99),
+        us(p999),
+        report.latency.count(),
     );
     match report.is_permutation() {
         Some(true) => {
@@ -549,6 +573,22 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     if opts.usize_or("shutdown", 0)? != 0 {
         let client = cnet_net::RemoteCounter::connect(&addr as &str, 1)
             .map_err(|e| format!("shutdown connect {addr}: {e}"))?;
+        // Snapshot the reactor's counters before asking it to drain.
+        let stats = client.server_stats().map_err(|e| format!("stats {addr}: {e}"))?;
+        let per_wakeup = if stats.reactor_wakeups > 0 {
+            stats.reactor_events as f64 / stats.reactor_wakeups as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "server reactor: {} open connections, {} epoll wakeups, {} events \
+             ({per_wakeup:.2} events/wakeup), {} deferred accepts",
+            stats.active_connections,
+            stats.reactor_wakeups,
+            stats.reactor_events,
+            stats.deferred_accepts,
+        );
         client.shutdown_server().map_err(|e| format!("shutdown {addr}: {e}"))?;
         let _ = writeln!(out, "server shutdown requested and acknowledged");
     }
@@ -568,6 +608,10 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
                 cnet_net::LoadGenMode::Pipeline => 1,
             },
             oversubscribed: threads > cores,
+            connections: report.connections,
+            p50_ns: Some(p50),
+            p99_ns: Some(p99),
+            p999_ns: Some(p999),
         };
         merge_net_row(std::path::Path::new(path), row)?;
         let _ = writeln!(out, "tcp throughput row merged into {path}");
@@ -576,8 +620,10 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
 }
 
 /// Appends (or replaces) a networked-throughput row in a
-/// `BENCH_throughput.json` report (schema v2 or v3), creating a minimal
-/// v3 report when the file does not exist yet.
+/// `BENCH_throughput.json` report (schema v2 through v4), creating a
+/// minimal v4 report when the file does not exist yet. Row identity
+/// includes the connection count, so a connection-scaling sweep keeps one
+/// row per count instead of overwriting.
 fn merge_net_row(
     path: &std::path::Path,
     row: cnet_bench::Measurement,
@@ -586,7 +632,7 @@ fn merge_net_row(
         Ok(text) => cnet_util::json::from_str(&text)
             .map_err(|e| format!("{}: not a throughput report: {e}", path.display()))?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => cnet_bench::ThroughputReport {
-            version: 3,
+            version: 4,
             fan: 0,
             ops_per_thread: 0,
             repeats: 1,
@@ -600,7 +646,8 @@ fn merge_net_row(
             && m.counter == row.counter
             && m.network == row.network
             && m.threads == row.threads
-            && m.batch == row.batch)
+            && m.batch == row.batch
+            && m.connections == row.connections)
     });
     report.measurements.push(row);
     cnet_bench::write_json(path, &report).map_err(|e| format!("write {}: {e}", path.display()))
@@ -883,10 +930,14 @@ mod tests {
         .unwrap();
         assert!(out.contains("= 2000 increments"), "{out}");
         assert!(out.contains("permutation 0..2000: true"), "{out}");
+        assert!(out.contains("burst latency: p50"), "{out}");
+        assert!(out.contains("server reactor:"), "{out}");
+        assert!(out.contains("epoll wakeups"), "{out}");
         assert!(out.contains("server shutdown requested and acknowledged"), "{out}");
         let served = server.join().unwrap().unwrap();
         assert!(served.contains("drained after a remote shutdown request"), "{served}");
         assert!(served.contains("increments:  2000"), "{served}");
+        assert!(served.contains("reactor:"), "{served}");
         assert!(served.contains("audit: 2000 ops audited"), "{served}");
         assert!(served.contains("clean"), "{served}");
         let _ = std::fs::remove_file(&port_file);
@@ -925,6 +976,13 @@ mod tests {
             .unwrap();
             assert!(out.contains("tcp throughput row merged"), "{out}");
         }
+        // A different pooled-connection count is a new cell, not a replace.
+        let out = call(&[
+            "loadgen", "--addr", &addr, "--threads", "2", "--connections", "6", "--ops", "500",
+            "--check", "0", "--out", out_str, "--label", "compiled", "--network", "bitonic",
+        ])
+        .unwrap();
+        assert!(out.contains("2 threads over 6 connections"), "{out}");
         call(&["loadgen", "--addr", &addr, "--ops", "1", "--check", "0", "--shutdown", "1"])
             .unwrap();
         server.join().unwrap().unwrap();
@@ -935,11 +993,17 @@ mod tests {
             .iter()
             .filter(|m| m.transport == cnet_bench::Measurement::TRANSPORT_TCP)
             .collect();
-        assert_eq!(rows.len(), 1, "{rows:?}");
-        assert_eq!(rows[0].counter, "compiled");
-        assert_eq!(rows[0].network, "bitonic");
-        assert_eq!(rows[0].threads, 2);
-        assert!(report.net_cell("compiled", "bitonic", 2).is_some());
+        // The two 2-connection runs collapsed into one row; the
+        // 6-connection run is its own cell (identity includes the pool).
+        assert_eq!(rows.len(), 2, "{rows:?}");
+        for row in &rows {
+            assert_eq!(row.counter, "compiled");
+            assert_eq!(row.network, "bitonic");
+            assert_eq!(row.threads, 2);
+            assert!(row.p99_ns.unwrap() > 0, "{row:?}");
+        }
+        assert!(report.net_cell_at("compiled", "bitonic", 2, 2).is_some());
+        assert!(report.net_cell_at("compiled", "bitonic", 2, 6).is_some());
         let _ = std::fs::remove_file(&port_file);
         let _ = std::fs::remove_file(&out_file);
     }
@@ -979,7 +1043,7 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let report: cnet_bench::ThroughputReport = cnet_util::json::from_str(&text).unwrap();
         assert_eq!(report.fan, 4);
-        assert_eq!(report.version, 3);
+        assert_eq!(report.version, 4);
         assert_eq!(report.measurements.len(), 2 * 14);
         let _ = std::fs::remove_file(path);
     }

@@ -22,11 +22,11 @@
 //! *next* call redials.
 
 use crate::wire::{
-    read_frame, write_request, ErrorCode, Request, Response, StatsSnapshot, MAX_BATCH,
+    write_request, ErrorCode, FrameDecoder, Request, Response, StatsSnapshot, MAX_BATCH,
 };
 use cnet_runtime::ProcessCounter;
 use cnet_util::sync::{CachePadded, Mutex};
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -51,13 +51,17 @@ impl Default for ClientConfig {
     }
 }
 
-/// One pooled connection: buffered halves plus the per-connection
-/// sequence counter the protocol stamps on every frame.
+/// One pooled connection: a single stream (one file descriptor — a
+/// `BufReader` over a `try_clone` would double the fd cost and halve how
+/// many connections fit under `ulimit -n`), an outgoing byte buffer
+/// flushed once per pipelined burst, an incremental [`FrameDecoder`] for
+/// the inbound side, and the per-connection sequence counter the protocol
+/// stamps on every frame.
 struct Conn {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    stream: TcpStream,
+    outbox: Vec<u8>,
+    decoder: FrameDecoder,
     seq: u32,
-    buf: Vec<u8>,
 }
 
 impl Conn {
@@ -65,30 +69,45 @@ impl Conn {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Conn {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
+            stream,
+            outbox: Vec::new(),
+            decoder: FrameDecoder::new(),
             seq: 0,
-            buf: Vec::new(),
         })
     }
 
-    /// Sends `req`, returning the sequence number it was stamped with.
+    /// Buffers `req` into the outbox, returning the sequence number it was
+    /// stamped with. Nothing hits the wire until [`flush`](Self::flush).
     fn send(&mut self, req: &Request) -> io::Result<u32> {
         let seq = self.seq;
         self.seq = self.seq.wrapping_add(1);
-        write_request(&mut self.writer, seq, req)?;
+        write_request(&mut self.outbox, seq, req)?;
         Ok(seq)
+    }
+
+    /// Writes the buffered request frames in one syscall.
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.write_all(&self.outbox)?;
+        self.outbox.clear();
+        Ok(())
     }
 
     /// Reads one response and checks it echoes `expect_seq`.
     fn recv(&mut self, expect_seq: u32) -> io::Result<Response> {
-        let Some(payload) = read_frame(&mut self.reader, &mut self.buf)? else {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ));
+        let mut chunk = [0u8; 4096];
+        let (seq, resp) = loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                break Response::decode(frame)?;
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.decoder.extend(&chunk[..n]);
         };
-        let (seq, resp) = Response::decode(payload)?;
         if seq != expect_seq {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -101,7 +120,7 @@ impl Conn {
     /// One round trip: send, flush, receive.
     fn call(&mut self, req: &Request) -> io::Result<Response> {
         let seq = self.send(req)?;
-        self.writer.flush()?;
+        self.flush()?;
         self.recv(seq)
     }
 }
@@ -242,7 +261,7 @@ impl RemoteCounter {
                 seqs.push((conn.send(&Request::NextBatch { n: chunk })?, chunk));
                 left -= chunk as usize;
             }
-            conn.writer.flush()?;
+            conn.flush()?;
             let mut values = Vec::with_capacity(n);
             for (seq, chunk) in seqs {
                 match conn.recv(seq)? {
@@ -275,7 +294,7 @@ impl RemoteCounter {
             let seqs: Vec<u32> = (0..k)
                 .map(|_| conn.send(&Request::Next))
                 .collect::<io::Result<_>>()?;
-            conn.writer.flush()?;
+            conn.flush()?;
             seqs.into_iter()
                 .map(|seq| match conn.recv(seq)? {
                     Response::Value { value } => Ok(value),

@@ -15,10 +15,10 @@
 //!
 //! | module | what it is |
 //! |---|---|
-//! | [`wire`] | length-prefixed binary frames: `Next`, `NextBatch`, `Ping`, `Stats`, `Shutdown` |
-//! | [`server`] | sharded thread-per-connection [`CounterServer`] with backpressure and graceful drain |
+//! | [`wire`] | length-prefixed binary frames: `Next`, `NextBatch`, `Ping`, `Stats`, `Shutdown`; incremental [`wire::FrameDecoder`] |
+//! | [`server`] | sharded epoll-reactor [`CounterServer`] (one reactor per core) with backpressure and graceful drain |
 //! | [`client`] | pooling, pipelining [`RemoteCounter`] — itself a `ProcessCounter` |
-//! | [`loadgen`] | multi-threaded load generator with end-to-end permutation checking |
+//! | [`loadgen`] | multi-threaded load generator: M pooled connections driven by N workers, permutation checking, latency percentiles |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,9 +1,18 @@
 //! Multi-threaded load generator for a running counting service.
 //!
-//! Each worker thread owns one connection-pool slot (`pool == threads`)
-//! and pushes its share of the total operation count through the socket in
-//! bursts of [`LoadGenConfig::batch`]. Two [`LoadGenMode`]s decide what a
-//! burst is on the wire:
+//! The generator drives [`LoadGenConfig::connections`] pooled client
+//! connections from [`LoadGenConfig::threads`] worker threads —
+//! decoupled, because the interesting regime for the reactor server is
+//! *many mostly-idle connections*: 10,000 sockets cannot each have a
+//! thread on either side of the wire. Worker `w` owns the connection
+//! slots `{c : c % threads == w}` (disjoint across workers, so the
+//! client's per-slot sequence numbering and never-retry guarantee are
+//! untouched) and round-robins one burst per connection, which makes
+//! every connection periodically active and the rest idle — exactly the
+//! load shape an epoll server must not degrade under.
+//!
+//! Bursts are [`LoadGenConfig::batch`] operations; two [`LoadGenMode`]s
+//! decide what a burst is on the wire:
 //!
 //! * [`Batch`](LoadGenMode::Batch) (the default) — one `NextBatch` frame
 //!   per burst: the server claims the whole burst through the backend's
@@ -13,11 +22,18 @@
 //!   written back-to-back before any response is read: the per-token
 //!   traversal path, amortizing only the socket flush.
 //!
-//! The run returns wall-clock throughput plus (optionally) every value
-//! received, so callers can check the permutation property — `n`
-//! increments return exactly `0..n` — end to end across the wire.
+//! Every burst's round-trip time lands in a per-worker
+//! [`LatencyHistogram`] (merged into [`LoadGenReport::latency`]), so a
+//! run reports end-to-end p50/p99/p999 alongside throughput. All
+//! connections are dialed and warmed before the timed region starts, so
+//! the percentiles are steady-state round trips — TCP handshakes never
+//! pollute the tail. The run also
+//! returns (optionally) every value received, so callers can check the
+//! permutation property — `n` increments return exactly `0..n` — end to
+//! end across the wire.
 
 use crate::client::{ClientConfig, RemoteCounter};
+use cnet_util::hist::LatencyHistogram;
 use std::io;
 use std::net::ToSocketAddrs;
 use std::sync::Arc;
@@ -38,8 +54,11 @@ pub enum LoadGenMode {
 /// Load-generator parameters.
 #[derive(Clone, Debug)]
 pub struct LoadGenConfig {
-    /// Worker threads (and client connections).
+    /// Worker threads.
     pub threads: usize,
+    /// Pooled client connections, shared out across the workers
+    /// (`0` = one per worker, the pre-reactor behaviour).
+    pub connections: usize,
     /// Operations per worker thread.
     pub ops_per_thread: usize,
     /// Burst size (1 = one round trip per op).
@@ -54,6 +73,7 @@ impl Default for LoadGenConfig {
     fn default() -> Self {
         LoadGenConfig {
             threads: 4,
+            connections: 0,
             ops_per_thread: 1000,
             batch: 32,
             mode: LoadGenMode::default(),
@@ -67,10 +87,15 @@ impl Default for LoadGenConfig {
 pub struct LoadGenReport {
     /// Worker threads that ran.
     pub threads: usize,
+    /// Pooled connections the workers drove.
+    pub connections: usize,
     /// Total operations completed across all workers.
     pub total_ops: u64,
     /// Wall-clock duration of the measured region, in seconds.
     pub seconds: f64,
+    /// Burst round-trip times (one sample per burst), merged across
+    /// workers.
+    pub latency: LatencyHistogram,
     /// Every value received, in no particular order (only when
     /// [`LoadGenConfig::collect_values`] is set).
     pub values: Option<Vec<u64>>,
@@ -100,9 +125,16 @@ impl LoadGenReport {
     }
 }
 
-/// Runs the load: `threads` workers, each completing `ops_per_thread`
-/// operations in bursts of `batch` (see [`LoadGenMode`] for what a burst
-/// is on the wire).
+/// Runs the load: `threads` workers over `connections` pooled client
+/// connections, each worker completing `ops_per_thread` operations in
+/// bursts of `batch` (see [`LoadGenMode`] for what a burst is on the
+/// wire), round-robining bursts over its share of the connections.
+///
+/// Before the timed region every worker dials and pings each of its
+/// connections, then all workers release together: the latency histogram
+/// and throughput measure steady-state traffic over open sockets, not
+/// connection setup (with 1k+ mostly-idle connections the handshake
+/// bursts would otherwise *be* the p99).
 ///
 /// # Errors
 ///
@@ -110,44 +142,74 @@ impl LoadGenReport {
 /// workers still drain before the error is returned).
 pub fn run_loadgen(addr: impl ToSocketAddrs, cfg: &LoadGenConfig) -> io::Result<LoadGenReport> {
     let threads = cfg.threads.max(1);
+    let connections = if cfg.connections == 0 { threads } else { cfg.connections };
     let batch = cfg.batch.max(1);
     let client = Arc::new(RemoteCounter::with_config(
         addr,
-        ClientConfig { pool: threads, ..ClientConfig::default() },
+        ClientConfig { pool: connections, ..ClientConfig::default() },
     )?);
-    let start = Instant::now();
+    // Workers warm up, meet at the barrier, then the measured region
+    // starts; the main thread joins the same barrier to stamp `start`.
+    let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
     let workers: Vec<_> = (0..threads)
-        .map(|slot| {
+        .map(|w| {
             let client = Arc::clone(&client);
+            let barrier = Arc::clone(&barrier);
             let ops = cfg.ops_per_thread;
             let collect = cfg.collect_values;
             let mode = cfg.mode;
-            std::thread::spawn(move || -> io::Result<Vec<u64>> {
-                let mut mine = Vec::with_capacity(if collect { ops } else { 0 });
+            // Worker w's disjoint connection share. With fewer connections
+            // than workers, worker w borrows slot w % connections — slots
+            // are mutex-guarded in the client, so sharing is safe, merely
+            // contended.
+            let mine: Vec<usize> = if connections >= threads {
+                (w..connections).step_by(threads).collect()
+            } else {
+                vec![w % connections]
+            };
+            std::thread::spawn(move || -> io::Result<(Vec<u64>, LatencyHistogram)> {
+                // Dial and warm every owned connection, then wait for the
+                // other workers — unconditionally, so a warmup failure
+                // cannot strand the main thread at the barrier.
+                let warmup: io::Result<()> =
+                    mine.iter().try_for_each(|&slot| client.ping(slot));
+                barrier.wait();
+                warmup?;
+                let mut values_out = Vec::with_capacity(if collect { ops } else { 0 });
+                let mut latency = LatencyHistogram::new();
                 let mut done = 0usize;
+                let mut turn = 0usize;
                 while done < ops {
                     let burst = batch.min(ops - done);
+                    let slot = mine[turn % mine.len()];
+                    turn += 1;
+                    let t0 = Instant::now();
                     let values = match mode {
                         LoadGenMode::Batch => client.next_batch(slot, burst)?,
                         LoadGenMode::Pipeline => client.next_pipelined(slot, burst)?,
                     };
+                    latency.record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
                     done += values.len();
                     if collect {
-                        mine.extend(values);
+                        values_out.extend(values);
                     }
                 }
-                Ok(mine)
+                Ok((values_out, latency))
             })
         })
         .collect();
+    barrier.wait();
+    let start = Instant::now();
     let mut values = cfg.collect_values.then(Vec::new);
+    let mut latency = LatencyHistogram::new();
     let mut first_err = None;
     for worker in workers {
         match worker.join() {
-            Ok(Ok(mine)) => {
+            Ok(Ok((mine, hist))) => {
                 if let Some(all) = &mut values {
                     all.extend(mine);
                 }
+                latency.merge(&hist);
             }
             Ok(Err(e)) => first_err = first_err.or(Some(e)),
             Err(_) => {
@@ -163,8 +225,10 @@ pub fn run_loadgen(addr: impl ToSocketAddrs, cfg: &LoadGenConfig) -> io::Result<
     }
     Ok(LoadGenReport {
         threads,
+        connections,
         total_ops: (threads * cfg.ops_per_thread) as u64,
         seconds,
+        latency,
         values,
     })
 }
@@ -191,12 +255,17 @@ mod tests {
                 batch: 16,
                 mode: LoadGenMode::Batch,
                 collect_values: true,
+                ..LoadGenConfig::default()
             },
         )
         .unwrap();
         assert_eq!(report.total_ops, 1000);
+        assert_eq!(report.connections, 4, "connections default to threads");
         assert_eq!(report.is_permutation(), Some(true));
         assert!(report.ops_per_sec() > 0.0);
+        // One latency sample per burst: 16 bursts per worker.
+        assert_eq!(report.latency.count(), 4 * 16);
+        assert!(report.latency.quantile(0.99) >= report.latency.quantile(0.50));
         server.shutdown();
         let stats = server.stats();
         assert_eq!(stats.ops, 1000);
@@ -220,6 +289,7 @@ mod tests {
                 batch: 8,
                 mode: LoadGenMode::Pipeline,
                 collect_values: true,
+                ..LoadGenConfig::default()
             },
         )
         .unwrap();
@@ -246,11 +316,71 @@ mod tests {
                 batch: 10,
                 mode: LoadGenMode::Batch,
                 collect_values: false,
+                ..LoadGenConfig::default()
             },
         )
         .unwrap();
         assert_eq!(report.total_ops, 200);
         assert!(report.values.is_none());
         assert_eq!(report.is_permutation(), None);
+    }
+
+    #[test]
+    fn more_connections_than_threads_still_yields_a_permutation() {
+        // 24 mostly-idle connections driven by 3 workers: each worker
+        // round-robins its disjoint 8-connection share.
+        let mut server = CounterServer::start(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            ServerConfig { max_connections: 32, processes: 8, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let report = run_loadgen(
+            server.local_addr(),
+            &LoadGenConfig {
+                threads: 3,
+                connections: 24,
+                ops_per_thread: 240,
+                batch: 10,
+                mode: LoadGenMode::Batch,
+                collect_values: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.connections, 24);
+        assert_eq!(report.total_ops, 720);
+        assert_eq!(report.is_permutation(), Some(true));
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.ops, 720);
+        // All 24 connections were actually dialed and served: each worker
+        // runs 24 bursts over its 8 connections.
+        assert_eq!(stats.total_connections, 24);
+    }
+
+    #[test]
+    fn fewer_connections_than_threads_shares_slots_safely() {
+        let mut server = CounterServer::start(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            ServerConfig { max_connections: 4, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let report = run_loadgen(
+            server.local_addr(),
+            &LoadGenConfig {
+                threads: 4,
+                connections: 2,
+                ops_per_thread: 100,
+                batch: 5,
+                mode: LoadGenMode::Batch,
+                collect_values: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.connections, 2);
+        assert_eq!(report.is_permutation(), Some(true));
+        server.shutdown();
+        assert_eq!(server.stats().total_connections, 2);
     }
 }

@@ -1,14 +1,44 @@
-//! The sharded thread-per-connection counting server.
+//! The sharded epoll-reactor counting server.
 //!
 //! # Threading model
 //!
 //! One **acceptor** thread owns the listening socket (non-blocking, polled
-//! so shutdown is never stuck in `accept`). Each accepted connection is
-//! assigned a **slot** — an index below
-//! [`ServerConfig::max_connections`] — and served by its own thread: a
-//! read-decode-serve-write loop over buffered halves of the stream.
-//! Requests already buffered are served before the writer flushes, so a
-//! pipelining client pays one flush per burst, not per request.
+//! so shutdown is never stuck in `accept`). Accepted connections are
+//! assigned a **slot** — an index below [`ServerConfig::max_connections`]
+//! — switched to nonblocking mode, and handed to one of
+//! [`ServerConfig::reactors`] **reactor** threads (default: one per CPU
+//! core). Reactor `r` owns exactly the connections whose `slot % reactors
+//! == r`: it registers them in its private level-triggered poller
+//! (`cnet_util::poll`, epoll on Linux), sleeps in one `epoll_wait` for
+//! all of them, and serves readiness events single-threadedly. A
+//! thousand idle connections therefore cost a thousand fds and one
+//! sleeping thread — not a thousand sleeping threads, which is what
+//! capped the previous thread-per-connection design at a few hundred
+//! clients.
+//!
+//! # Per-connection state machine
+//!
+//! Each connection advances through [`Phase`]s driven by readiness:
+//!
+//! ```text
+//! ReadingHeader ──bytes──▶ ReadingBody ──frame──▶ Executing ──▶ Writing
+//!       ▲                                                          │
+//!       └────────────────── response flushed ──────────────────────┘
+//!                      (any error / EOF / Bye ──▶ Closing)
+//! ```
+//!
+//! `ReadingHeader`/`ReadingBody` live inside an incremental
+//! [`FrameDecoder`](crate::wire::FrameDecoder) — a nonblocking read may
+//! deliver half a length prefix or ten pipelined frames; the decoder
+//! resumes at any byte boundary and yields each frame exactly once.
+//! `Executing` runs the backend call on the reactor thread itself
+//! (counter operations are sub-microsecond — a lock-free traversal, not
+//! blocking I/O — so shipping them to a worker pool would cost more than
+//! it saves). `Writing` buffers responses and flushes until `WouldBlock`,
+//! raising write interest only while output is pending — every frame
+//! buffered in one readiness event is answered with one `write` burst,
+//! preserving the old server's pipelining amortization. `Closing` flushes
+//! what remains and frees the slot.
 //!
 //! A connection's slot doubles as its identity everywhere else:
 //!
@@ -16,37 +46,44 @@
 //!   counting-network backend routes each connection to a stable input
 //!   wire, exactly like a thread in the shared-memory runtime;
 //! * **stats shard** — each slot owns a cache-padded statistics record
-//!   ([`CounterServer::stats`] aggregates them on demand), so serving
-//!   threads never contend on bookkeeping;
+//!   ([`CounterServer::stats`] aggregates them on demand);
 //! * **recorder shard** — with a [`TraceRecorder`] attached, the slot is
-//!   the recorder shard, preserving the recorder's single-writer contract
-//!   (a slot is freed only after its handler quiesces and flushes).
+//!   the recorder shard. The reactor keeps the recorder's single-writer
+//!   contract structurally: shard `s` is only ever touched by reactor
+//!   `s % reactors`, on that one thread, and a slot is flushed
+//!   (`TraceRecorder::flush`) before it is released for reuse — so live
+//!   audits keep working unchanged across the rewrite.
 //!
 //! # Backpressure
 //!
 //! At the connection limit the acceptor either **rejects** (answers
 //! [`ErrorCode::Busy`] and closes — the client sees a clean refusal, not a
-//! hang) or **blocks** (holds the fresh connection unserved until a slot
-//! frees), per [`Backpressure`].
+//! hang) or **defers the accept** (holds the fresh connection unserved
+//! until a slot frees; counted in
+//! [`StatsSnapshot::deferred_accepts`]), per [`Backpressure`].
 //!
 //! # Shutdown
 //!
 //! [`CounterServer::shutdown`] (also run on drop) drains gracefully: stop
-//! accepting, shut down the read half of every live connection (handlers
-//! answer what they have already read, then see end-of-stream and exit),
-//! join every thread via the shared [`Drain`] idiom. A client can trigger
-//! the same thing remotely with a [`Request::Shutdown`] frame — the server
-//! acknowledges with [`Response::Bye`] and wakes whoever is parked in
+//! accepting, wake every reactor, give each connection one final read
+//! pass so frames already in flight are answered (increments get
+//! [`ErrorCode::ShuttingDown`] once the stop flag is up; `Ping`/`Stats`
+//! still answer), flush with a bounded deadline, then join every thread
+//! via the shared [`Drain`] idiom. A client can trigger the same thing
+//! remotely with a [`Request::Shutdown`] frame — the server acknowledges
+//! with [`Response::Bye`] and wakes whoever is parked in
 //! [`CounterServer::wait_for_shutdown_request`].
 
 use crate::wire::{
-    read_frame, write_response, ErrorCode, Request, Response, StatsSnapshot, MAX_BATCH,
+    write_response, ErrorCode, FrameDecoder, Request, Response, StatsSnapshot, MAX_BATCH,
 };
 use cnet_runtime::drain::Drain;
 use cnet_runtime::{ProcessCounter, TraceRecorder};
+use cnet_util::poll::{Interest, Poller, Waker};
 use cnet_util::sync::{CachePadded, Mutex};
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
 use std::time::Duration;
@@ -57,7 +94,8 @@ pub enum Backpressure {
     /// Answer [`ErrorCode::Busy`] and close the new connection.
     #[default]
     Reject,
-    /// Park the new connection until a slot frees (or the server stops).
+    /// Defer the accept: hold the new connection unserved until a slot
+    /// frees (or the server stops).
     Block,
 }
 
@@ -73,15 +111,24 @@ pub struct ServerConfig {
     /// process `s % processes` (match the backend's fan-in for
     /// counting-network backends).
     pub processes: usize,
+    /// Reactor threads sharing the connections (slot `s` is owned by
+    /// reactor `s % reactors`). `0` means one per available CPU core;
+    /// always clamped to `1..=max_connections`.
+    pub reactors: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { max_connections: 64, backpressure: Backpressure::Reject, processes: 8 }
+        ServerConfig {
+            max_connections: 64,
+            backpressure: Backpressure::Reject,
+            processes: 8,
+            reactors: 0,
+        }
     }
 }
 
-/// Per-slot statistics, one cache line each so serving threads never share.
+/// Per-slot statistics, one cache line each so reactors never share.
 #[derive(Debug, Default)]
 struct SlotStats {
     requests: AtomicU64,
@@ -96,23 +143,35 @@ struct Gate {
     active: usize,
 }
 
+/// The acceptor-facing side of one reactor thread.
+struct ReactorShared {
+    /// Interrupts the reactor's `epoll_wait` (new connection, shutdown).
+    waker: Waker,
+    /// Freshly accepted connections awaiting registration, drained by the
+    /// owning reactor at the top of every loop.
+    inbox: Mutex<Vec<(usize, TcpStream)>>,
+    /// Returns from the readiness wait.
+    wakeups: CachePadded<AtomicU64>,
+    /// Events delivered across all wakeups.
+    events: CachePadded<AtomicU64>,
+}
+
 struct Shared {
     backend: Arc<dyn ProcessCounter + Send + Sync>,
     recorder: Option<Arc<TraceRecorder>>,
     cfg: ServerConfig,
-    /// Stop serving: acceptor exits, handlers refuse increments.
+    /// Stop serving: acceptor and reactors exit, handlers refuse
+    /// increments.
     stop: AtomicBool,
     /// A `Shutdown` frame arrived (remote shutdown request).
     shutdown_requested: AtomicBool,
     gate: Mutex<Gate>,
     gate_cv: Condvar,
-    /// Live stream handles per slot, for read-half shutdown at drain time.
-    conns: Mutex<Vec<Option<TcpStream>>>,
-    /// Per-connection threads, joined at shutdown.
-    workers: Mutex<Drain>,
+    reactors: Box<[ReactorShared]>,
     slot_stats: Box<[CachePadded<SlotStats>]>,
     total_connections: CachePadded<AtomicU64>,
     rejected_connections: CachePadded<AtomicU64>,
+    deferred_accepts: CachePadded<AtomicU64>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -147,6 +206,7 @@ pub struct CounterServer {
     addr: SocketAddr,
     shared: Arc<Shared>,
     acceptor: Drain,
+    reactor_threads: Drain,
     down: bool,
 }
 
@@ -156,7 +216,8 @@ impl CounterServer {
     ///
     /// # Errors
     ///
-    /// Propagates bind/configuration failures.
+    /// Propagates bind/configuration failures (including a failure to
+    /// create the per-reactor pollers).
     pub fn start(
         addr: impl ToSocketAddrs,
         backend: Arc<dyn ProcessCounter + Send + Sync>,
@@ -198,14 +259,36 @@ impl CounterServer {
         recorder: Option<Arc<TraceRecorder>>,
         cfg: ServerConfig,
     ) -> io::Result<CounterServer> {
+        let max_connections = cfg.max_connections.max(1);
+        let reactors = match cfg.reactors {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            n => n,
+        }
+        .clamp(1, max_connections);
         let cfg = ServerConfig {
-            max_connections: cfg.max_connections.max(1),
+            max_connections,
             processes: cfg.processes.max(1),
+            reactors,
             ..cfg
         };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // Build the pollers up front so fd exhaustion or an unsupported
+        // platform surfaces here, as a start error, not in a thread.
+        let mut pollers = Vec::with_capacity(reactors);
+        let mut handles = Vec::with_capacity(reactors);
+        for _ in 0..reactors {
+            let poller = Poller::new()?;
+            let waker = Waker::new(&poller, WAKE_TOKEN)?;
+            pollers.push(poller);
+            handles.push(ReactorShared {
+                waker,
+                inbox: Mutex::new(Vec::new()),
+                wakeups: CachePadded::new(AtomicU64::new(0)),
+                events: CachePadded::new(AtomicU64::new(0)),
+            });
+        }
         let shared = Arc::new(Shared {
             backend,
             recorder,
@@ -217,16 +300,21 @@ impl CounterServer {
                 active: 0,
             }),
             gate_cv: Condvar::new(),
-            conns: Mutex::new((0..cfg.max_connections).map(|_| None).collect()),
-            workers: Mutex::new(Drain::new()),
+            reactors: handles.into_boxed_slice(),
             slot_stats: (0..cfg.max_connections).map(|_| CachePadded::default()).collect(),
             total_connections: CachePadded::new(AtomicU64::new(0)),
             rejected_connections: CachePadded::new(AtomicU64::new(0)),
+            deferred_accepts: CachePadded::new(AtomicU64::new(0)),
         });
+        let mut reactor_threads = Drain::with_capacity(reactors);
+        for (r, poller) in pollers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            reactor_threads.push(std::thread::spawn(move || reactor_loop(&shared, r, poller)));
+        }
         let mut acceptor = Drain::with_capacity(1);
         let shared2 = Arc::clone(&shared);
         acceptor.push(std::thread::spawn(move || accept_loop(&shared2, &listener)));
-        Ok(CounterServer { addr, shared, acceptor, down: false })
+        Ok(CounterServer { addr, shared, acceptor, reactor_threads, down: false })
     }
 
     /// The bound address (with the real port when bound to port 0).
@@ -265,9 +353,10 @@ impl CounterServer {
         }
     }
 
-    /// Drains and stops the server: no new connections, every handler
-    /// answers the requests it has already read and exits, every thread is
-    /// joined. Idempotent; also runs on drop.
+    /// Drains and stops the server: no new connections, every reactor
+    /// answers the frames already in flight (increments get
+    /// `ShuttingDown`), flushes with a bounded deadline, and every thread
+    /// is joined. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
         if self.down {
             return;
@@ -276,12 +365,10 @@ impl CounterServer {
         self.shared.stop.store(true, Ordering::Release);
         self.shared.gate_cv.notify_all();
         self.acceptor.join_all();
-        // End-of-stream every live connection's read half: blocked readers
-        // wake with EOF, pending responses still flush out the write half.
-        for conn in self.shared.conns.lock().iter().flatten() {
-            let _ = conn.shutdown(SockShutdown::Read);
+        for r in self.shared.reactors.iter() {
+            let _ = r.waker.wake();
         }
-        self.shared.workers.lock().join_all();
+        self.reactor_threads.join_all();
     }
 }
 
@@ -296,6 +383,7 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         active_connections: shared.gate.lock().active as u64,
         total_connections: shared.total_connections.load(Ordering::Relaxed),
         rejected_connections: shared.rejected_connections.load(Ordering::Relaxed),
+        deferred_accepts: shared.deferred_accepts.load(Ordering::Relaxed),
         ..StatsSnapshot::default()
     };
     for slot in shared.slot_stats.iter() {
@@ -303,24 +391,35 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         s.ops += slot.ops.load(Ordering::Relaxed);
         s.batches += slot.batches.load(Ordering::Relaxed);
     }
+    for r in shared.reactors.iter() {
+        s.reactor_wakeups += r.wakeups.load(Ordering::Relaxed);
+        s.reactor_events += r.events.load(Ordering::Relaxed);
+    }
     s
 }
 
 /// Acquires a connection slot per the backpressure policy; `None` means
-/// the connection should be refused (or the server is stopping).
+/// the connection should be refused (or the server is stopping). Under
+/// [`Backpressure::Block`] this parks the acceptor — a deferred accept —
+/// and counts the deferral.
 fn acquire_slot(shared: &Shared) -> Option<usize> {
     let mut gate = shared.gate.lock();
+    let mut deferred = false;
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return None;
         }
         if let Some(slot) = gate.free.pop() {
             gate.active += 1;
+            if deferred {
+                shared.deferred_accepts.fetch_add(1, Ordering::Relaxed);
+            }
             return Some(slot);
         }
         match shared.cfg.backpressure {
             Backpressure::Reject => return None,
             Backpressure::Block => {
+                deferred = true;
                 gate = shared
                     .gate_cv
                     .wait_timeout(gate, Duration::from_millis(50))
@@ -332,7 +431,6 @@ fn acquire_slot(shared: &Shared) -> Option<usize> {
 }
 
 fn release_slot(shared: &Shared, slot: usize) {
-    shared.conns.lock()[slot] = None;
     let mut gate = shared.gate.lock();
     gate.free.push(slot);
     gate.active -= 1;
@@ -348,24 +446,23 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
                 match acquire_slot(shared) {
                     Some(slot) => {
                         shared.total_connections.fetch_add(1, Ordering::Relaxed);
-                        if let Ok(clone) = stream.try_clone() {
-                            shared.conns.lock()[slot] = Some(clone);
+                        if stream.set_nonblocking(true).is_err() {
+                            release_slot(shared, slot);
+                            continue;
                         }
-                        let worker_shared = Arc::clone(shared);
-                        let handle = std::thread::spawn(move || {
-                            let _ = serve_connection(&worker_shared, slot, stream);
-                            if let Some(rec) = &worker_shared.recorder {
-                                rec.flush(slot);
-                            }
-                            release_slot(&worker_shared, slot);
-                        });
-                        shared.workers.lock().push(handle);
+                        // Hand the connection to its owning reactor. The
+                        // wake is advisory: every reactor also drains its
+                        // inbox on the 50ms timeout safety net.
+                        let r = slot % shared.cfg.reactors;
+                        shared.reactors[r].inbox.lock().push((slot, stream));
+                        let _ = shared.reactors[r].waker.wake();
                     }
                     None if shared.stop.load(Ordering::Acquire) => break,
                     None => {
                         shared.rejected_connections.fetch_add(1, Ordering::Relaxed);
                         // Best-effort refusal so the client sees Busy, not
-                        // a silent close.
+                        // a silent close (the stream is still blocking
+                        // here, so the small write completes).
                         let mut w = BufWriter::new(stream);
                         let _ = write_response(&mut w, 0, &Response::Error(ErrorCode::Busy));
                         let _ = w.flush();
@@ -380,93 +477,362 @@ fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
-/// Serves one connection until end-of-stream, a malformed frame, or
-/// shutdown. Buffered requests are served before the writer flushes, so
-/// pipelined bursts cost one flush.
-fn serve_connection(shared: &Shared, slot: usize, stream: TcpStream) -> io::Result<()> {
-    let process = slot % shared.cfg.processes;
-    let stats = &shared.slot_stats[slot];
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut buf = Vec::new();
-    loop {
-        // Flush only when no request is already buffered (a non-blocking
-        // check — `fill_buf` would park before the responses went out):
-        // the pipelining amortization point.
-        if reader.buffer().is_empty() {
-            writer.flush()?;
+/// Token the per-reactor waker is registered under; distinct from every
+/// slot token (slots are bounded by `max_connections`).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Reactor read chunk and per-event read budget. Level-triggered polling
+/// re-reports a socket that still has bytes after the budget, so a large
+/// burst shares the reactor fairly instead of monopolizing it.
+const READ_CHUNK: usize = 16 * 1024;
+const READS_PER_EVENT: usize = 4;
+
+/// How the state machine phases map to code is described in the module
+/// docs; `Closing` additionally flags "answer nothing more, flush and
+/// free the slot".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for (the rest of) a length prefix + header.
+    ReadingHeader,
+    /// A frame's length is known; waiting for the rest of its payload.
+    ReadingBody,
+    /// A decoded request is running against the backend.
+    Executing,
+    /// A response is buffered and not yet fully flushed.
+    Writing,
+    /// Terminal: flush pending output, then free the slot.
+    Closing,
+}
+
+/// One live connection, owned by exactly one reactor.
+struct Conn {
+    stream: TcpStream,
+    slot: usize,
+    process: usize,
+    decoder: FrameDecoder,
+    /// Encoded responses awaiting the socket; `out_pos..` is unsent.
+    out: Vec<u8>,
+    out_pos: usize,
+    phase: Phase,
+    /// Whether the poller currently watches write readiness.
+    write_interest: bool,
+}
+
+impl Conn {
+    fn new(slot: usize, process: usize, stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            slot,
+            process,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            phase: Phase::ReadingHeader,
+            write_interest: false,
         }
-        let Some(payload) = read_frame(&mut reader, &mut buf)? else {
-            break; // clean close
+    }
+
+    fn pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Re-derives the resting phase after a readiness pass.
+    fn settle_phase(&mut self) {
+        if self.phase == Phase::Closing {
+            return;
+        }
+        self.phase = if self.pending_out() {
+            Phase::Writing
+        } else if self.decoder.buffered() > 0 {
+            Phase::ReadingBody
+        } else {
+            Phase::ReadingHeader
         };
-        let (seq, req) = match Request::decode(payload) {
-            Ok(decoded) => decoded,
+    }
+}
+
+fn reactor_loop(shared: &Arc<Shared>, r: usize, mut poller: Poller) {
+    let me = &shared.reactors[r];
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut events = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    while !shared.stop.load(Ordering::Acquire) {
+        // The timeout is a safety net (missed wake, slow inbox); the
+        // steady state is event-driven.
+        match poller.wait(&mut events, Some(Duration::from_millis(50))) {
+            Ok(_) => {}
+            Err(_) => {
+                // A failing poller cannot make progress; parking briefly
+                // keeps a transient error (EMFILE pressure) from spinning.
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+        }
+        me.wakeups.fetch_add(1, Ordering::Relaxed);
+        me.events.fetch_add(events.len() as u64, Ordering::Relaxed);
+        adopt_inbox(shared, r, &poller, &mut conns);
+        for i in 0..events.len() {
+            let ev = events[i];
+            if ev.token == WAKE_TOKEN {
+                me.waker.drain();
+                continue;
+            }
+            let Some(conn) = conns.get_mut(&ev.token) else {
+                continue; // already closed earlier in this batch
+            };
+            if !handle_ready(shared, conn, &mut scratch) {
+                let conn = conns.remove(&ev.token).expect("present");
+                close_conn(shared, &poller, conn);
+                continue;
+            }
+            update_interest(&poller, conn);
+        }
+    }
+    drain_reactor(shared, &poller, conns, &mut scratch);
+    drain_inbox_slots(shared, r);
+}
+
+/// Registers freshly accepted connections pushed by the acceptor.
+fn adopt_inbox(
+    shared: &Arc<Shared>,
+    r: usize,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+) {
+    let fresh: Vec<(usize, TcpStream)> =
+        std::mem::take(&mut *shared.reactors[r].inbox.lock());
+    for (slot, stream) in fresh {
+        debug_assert_eq!(slot % shared.cfg.reactors, r, "slot routed to wrong reactor");
+        match poller.register(&stream, slot as u64, Interest::READABLE) {
+            Ok(()) => {
+                let process = slot % shared.cfg.processes;
+                conns.insert(slot as u64, Conn::new(slot, process, stream));
+            }
+            Err(_) => release_slot(shared, slot),
+        }
+    }
+}
+
+/// Serves one readiness event. Returns `false` when the connection is
+/// finished (flushed + closing, or a hard error) and must be closed.
+fn handle_ready(shared: &Shared, conn: &mut Conn, scratch: &mut [u8]) -> bool {
+    // Flush first: frees buffer space and detects dead peers early.
+    if !flush_out(conn) {
+        return false;
+    }
+    if conn.phase != Phase::Closing {
+        for _ in 0..READS_PER_EVENT {
+            match conn.stream.read(scratch) {
+                Ok(0) => {
+                    // EOF. Frames already received still get answers
+                    // (the peer may have half-closed after a burst).
+                    conn.phase = Phase::Closing;
+                    break;
+                }
+                Ok(n) => {
+                    conn.decoder.extend(&scratch[..n]);
+                    if n < scratch.len() {
+                        break; // drained the kernel buffer
+                    }
+                }
+                Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => return false,
+            }
+        }
+        process_frames(shared, conn);
+    }
+    if !flush_out(conn) {
+        return false;
+    }
+    conn.settle_phase();
+    // Closing and fully flushed: nothing left to do for this peer.
+    !(conn.phase == Phase::Closing && !conn.pending_out())
+}
+
+/// Decodes and executes every complete frame buffered on `conn`.
+fn process_frames(shared: &Shared, conn: &mut Conn) {
+    loop {
+        if conn.phase == Phase::Closing {
+            return;
+        }
+        // Decode to owned values before touching `conn` again (the
+        // payload borrows the decoder's buffer).
+        let decoded: Result<(u32, Request), _> = match conn.decoder.next_frame() {
+            Ok(Some(payload)) => Request::decode(payload),
+            Ok(None) => return,
+            Err(e) => Err(e),
+        };
+        match decoded {
+            Ok((seq, req)) => execute(shared, conn, seq, req),
             Err(_) => {
                 // Cannot trust anything in the frame, including its seq.
-                write_response(&mut writer, 0, &Response::Error(ErrorCode::Malformed))?;
-                writer.flush()?;
-                break;
-            }
-        };
-        stats.requests.fetch_add(1, Ordering::Relaxed);
-        match req {
-            Request::Next => {
-                if shared.stop.load(Ordering::Acquire) {
-                    write_response(&mut writer, seq, &Response::Error(ErrorCode::ShuttingDown))?;
-                    writer.flush()?;
-                    break;
-                }
-                let value = shared.backend.next_for(process);
-                if let Some(rec) = &shared.recorder {
-                    rec.record(slot, value);
-                }
-                stats.ops.fetch_add(1, Ordering::Relaxed);
-                write_response(&mut writer, seq, &Response::Value { value })?;
-            }
-            Request::NextBatch { n } => {
-                if shared.stop.load(Ordering::Acquire) {
-                    write_response(&mut writer, seq, &Response::Error(ErrorCode::ShuttingDown))?;
-                    writer.flush()?;
-                    break;
-                }
-                if n == 0 || n > MAX_BATCH {
-                    write_response(&mut writer, seq, &Response::Error(ErrorCode::BadBatch))?;
-                    continue;
-                }
-                // One batched backend call — a counting-network backend
-                // pays one atomic per balancer for the whole batch — and
-                // one widened recorder interval covering every value in it
-                // (PR 3's interval stamping keeps that audit-sound).
-                let values = shared.backend.next_batch_for(process, n as usize);
-                if let Some(rec) = &shared.recorder {
-                    rec.record_batch(slot, &values);
-                }
-                stats.ops.fetch_add(u64::from(n), Ordering::Relaxed);
-                stats.batches.fetch_add(1, Ordering::Relaxed);
-                write_response(&mut writer, seq, &Response::Batch { values })?;
-            }
-            Request::Ping => write_response(&mut writer, seq, &Response::Pong)?,
-            Request::Stats => {
-                write_response(&mut writer, seq, &Response::Stats(snapshot(shared)))?
-            }
-            Request::Shutdown => {
-                write_response(&mut writer, seq, &Response::Bye)?;
-                writer.flush()?;
-                shared.shutdown_requested.store(true, Ordering::Release);
-                shared.gate_cv.notify_all();
-                break;
+                Response::Error(ErrorCode::Malformed).encode(0, &mut conn.out);
+                conn.phase = Phase::Closing;
+                return;
             }
         }
     }
-    writer.flush()
+}
+
+/// Runs one decoded request against the backend and buffers the response.
+fn execute(shared: &Shared, conn: &mut Conn, seq: u32, req: Request) {
+    let stats = &shared.slot_stats[conn.slot];
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    match req {
+        Request::Next => {
+            if shared.stop.load(Ordering::Acquire) {
+                Response::Error(ErrorCode::ShuttingDown).encode(seq, &mut conn.out);
+                conn.phase = Phase::Closing;
+                return;
+            }
+            conn.phase = Phase::Executing;
+            let value = shared.backend.next_for(conn.process);
+            if let Some(rec) = &shared.recorder {
+                rec.record(conn.slot, value);
+            }
+            stats.ops.fetch_add(1, Ordering::Relaxed);
+            Response::Value { value }.encode(seq, &mut conn.out);
+        }
+        Request::NextBatch { n } => {
+            if shared.stop.load(Ordering::Acquire) {
+                Response::Error(ErrorCode::ShuttingDown).encode(seq, &mut conn.out);
+                conn.phase = Phase::Closing;
+                return;
+            }
+            if n == 0 || n > MAX_BATCH {
+                Response::Error(ErrorCode::BadBatch).encode(seq, &mut conn.out);
+                return;
+            }
+            // One batched backend call — a counting-network backend pays
+            // one atomic per balancer for the whole batch — and one
+            // widened recorder interval covering every value in it (PR 3's
+            // interval stamping keeps that audit-sound).
+            conn.phase = Phase::Executing;
+            let values = shared.backend.next_batch_for(conn.process, n as usize);
+            if let Some(rec) = &shared.recorder {
+                rec.record_batch(conn.slot, &values);
+            }
+            stats.ops.fetch_add(u64::from(n), Ordering::Relaxed);
+            stats.batches.fetch_add(1, Ordering::Relaxed);
+            Response::Batch { values }.encode(seq, &mut conn.out);
+        }
+        Request::Ping => Response::Pong.encode(seq, &mut conn.out),
+        Request::Stats => Response::Stats(snapshot(shared)).encode(seq, &mut conn.out),
+        Request::Shutdown => {
+            Response::Bye.encode(seq, &mut conn.out);
+            shared.shutdown_requested.store(true, Ordering::Release);
+            shared.gate_cv.notify_all();
+            conn.phase = Phase::Closing;
+        }
+    }
+}
+
+/// Writes pending output until done or `WouldBlock`. Returns `false` on a
+/// hard write error (dead peer — responses are lost, like a broken pipe
+/// under the old design).
+fn flush_out(conn: &mut Conn) -> bool {
+    while conn.pending_out() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.out_pos += n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(_) => return false,
+        }
+    }
+    if conn.out_pos > 0 {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    true
+}
+
+/// Raises or lowers write interest to match pending output. Level
+/// triggering makes spurious write events expensive at scale, so the
+/// interest is only widened while a response is actually stuck.
+fn update_interest(poller: &Poller, conn: &mut Conn) {
+    let want_write = conn.pending_out();
+    if want_write != conn.write_interest {
+        let interest =
+            if want_write { Interest::READABLE_WRITABLE } else { Interest::READABLE };
+        if poller.modify(&conn.stream, conn.slot as u64, interest).is_ok() {
+            conn.write_interest = want_write;
+        }
+    }
+}
+
+/// Deregisters, flushes the recorder shard, and frees the slot. Runs on
+/// the owning reactor thread — the single-writer handoff point: the shard
+/// is quiesced before the slot can be reused.
+fn close_conn(shared: &Shared, poller: &Poller, conn: Conn) {
+    let _ = poller.deregister(&conn.stream);
+    if let Some(rec) = &shared.recorder {
+        rec.flush(conn.slot);
+    }
+    release_slot(shared, conn.slot);
+}
+
+/// Final drain at reactor exit: one more read pass per connection so
+/// frames already in flight are answered (increments see the stop flag
+/// and get `ShuttingDown`), then a bounded-deadline flush and close.
+fn drain_reactor(
+    shared: &Arc<Shared>,
+    poller: &Poller,
+    mut conns: HashMap<u64, Conn>,
+    scratch: &mut [u8],
+) {
+    for conn in conns.values_mut() {
+        if conn.phase != Phase::Closing {
+            loop {
+                match conn.stream.read(scratch) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        conn.decoder.extend(&scratch[..n]);
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            process_frames(shared, conn);
+        }
+        // Bounded flush: responses are small, so this is one write in
+        // practice; a stuck peer cannot hold shutdown hostage.
+        let mut budget = 200;
+        while conn.pending_out() && budget > 0 {
+            if !flush_out(conn) {
+                break;
+            }
+            if conn.pending_out() {
+                std::thread::sleep(Duration::from_millis(1));
+                budget -= 1;
+            }
+        }
+    }
+    for (_, conn) in conns.drain() {
+        close_conn(shared, poller, conn);
+    }
+}
+
+/// Frees slots of connections the acceptor handed over after the reactor
+/// had already stopped (they were never registered, so closing the stream
+/// by drop is all the teardown they need).
+fn drain_inbox_slots(shared: &Shared, r: usize) {
+    let leftovers: Vec<(usize, TcpStream)> =
+        std::mem::take(&mut *shared.reactors[r].inbox.lock());
+    for (slot, _stream) in leftovers {
+        release_slot(shared, slot);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::write_request;
+    use crate::wire::{read_frame, write_request};
     use cnet_runtime::FetchAddCounter;
-    use std::io::Read;
 
     fn fetch_add_server(cfg: ServerConfig) -> CounterServer {
         CounterServer::start("127.0.0.1:0", Arc::new(FetchAddCounter::new()), cfg).unwrap()
@@ -515,6 +881,7 @@ mod tests {
         assert_eq!(stats.batches, 1);
         assert_eq!(stats.requests, 4); // the Stats request itself counted
         assert_eq!(stats.active_connections, 1);
+        assert!(stats.reactor_wakeups > 0, "reactor must have woken to serve");
         server.shutdown();
         let final_stats = server.stats();
         assert_eq!(final_stats.total_connections, 1);
@@ -544,6 +911,7 @@ mod tests {
             max_connections: 1,
             backpressure: Backpressure::Reject,
             processes: 1,
+            reactors: 1,
         });
         let mut first = Raw::connect(server.local_addr());
         let s = first.send(&Request::Next);
@@ -570,11 +938,12 @@ mod tests {
     }
 
     #[test]
-    fn block_backpressure_serves_once_a_slot_frees() {
+    fn block_backpressure_defers_the_accept_until_a_slot_frees() {
         let server = fetch_add_server(ServerConfig {
             max_connections: 1,
             backpressure: Backpressure::Block,
             processes: 1,
+            reactors: 1,
         });
         let addr = server.local_addr();
         let mut first = Raw::connect(addr);
@@ -590,17 +959,21 @@ mod tests {
         drop(first.stream);
         let (_, resp) = waiter.join().unwrap();
         assert_eq!(resp, Response::Value { value: 1 });
+        assert!(
+            server.stats().deferred_accepts >= 1,
+            "the parked accept must be counted as deferred"
+        );
     }
 
     #[test]
     fn malformed_frames_get_an_error_and_a_close() {
+        use std::io::Read as _;
         let server = fetch_add_server(ServerConfig::default());
         let mut c = Raw::connect(server.local_addr());
         // A syntactically valid frame with a bogus opcode.
         let mut frame = Vec::new();
         Request::Ping.encode(3, &mut frame);
         frame[5] = 0x6f; // corrupt the opcode byte (len(4) + version(1))
-        use std::io::Write as _;
         c.stream.write_all(&frame).unwrap();
         let (_, resp) = c.recv();
         assert_eq!(resp, Response::Error(ErrorCode::Malformed));
@@ -611,7 +984,24 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_framing_closes_the_connection() {
+        use std::io::Read as _;
+        let server = fetch_add_server(ServerConfig::default());
+        let mut c = Raw::connect(server.local_addr());
+        // A length word over MAX_FRAME: unrecoverable framing corruption.
+        c.stream
+            .write_all(&(((crate::wire::MAX_FRAME + 1) as u32).to_le_bytes()))
+            .unwrap();
+        let (_, resp) = c.recv();
+        assert_eq!(resp, Response::Error(ErrorCode::Malformed));
+        let mut rest = Vec::new();
+        c.stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+    }
+
+    #[test]
     fn shutdown_frame_drains_the_server() {
+        use std::io::Read as _;
         let mut server = fetch_add_server(ServerConfig::default());
         assert!(!server.shutdown_requested());
         let mut c = Raw::connect(server.local_addr());
@@ -679,5 +1069,54 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn many_reactors_shard_connections_disjointly() {
+        // More reactors than connections is clamped; more connections
+        // than reactors shards them. Either way every client is served.
+        let server = fetch_add_server(ServerConfig {
+            max_connections: 8,
+            backpressure: Backpressure::Reject,
+            processes: 8,
+            reactors: 3,
+        });
+        let mut clients: Vec<Raw> =
+            (0..8).map(|_| Raw::connect(server.local_addr())).collect();
+        let seqs: Vec<u32> = clients.iter_mut().map(|c| c.send(&Request::Next)).collect();
+        let mut values = Vec::new();
+        for (c, s) in clients.iter_mut().zip(seqs) {
+            let (seq, resp) = c.recv();
+            assert_eq!(seq, s);
+            let Response::Value { value } = resp else { panic!("{resp:?}") };
+            values.push(value);
+        }
+        values.sort_unstable();
+        assert_eq!(values, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn slow_reader_gets_every_pipelined_response() {
+        // Force the Writing phase: pipeline enough batch responses to
+        // overrun the socket buffer while the client is not reading, then
+        // read everything back. Exercises partial flush + write interest.
+        let server = fetch_add_server(ServerConfig::default());
+        let mut c = Raw::connect(server.local_addr());
+        let burst = 64u32;
+        let per = 4096u32;
+        let seqs: Vec<u32> =
+            (0..burst).map(|_| c.send(&Request::NextBatch { n: per })).collect();
+        std::thread::sleep(Duration::from_millis(100)); // let responses pile up
+        let mut all = Vec::new();
+        for s in seqs {
+            let (seq, resp) = c.recv();
+            assert_eq!(seq, s);
+            let Response::Batch { values } = resp else { panic!("{resp:?}") };
+            assert_eq!(values.len(), per as usize);
+            all.extend(values);
+        }
+        all.sort_unstable();
+        let want: Vec<u64> = (0..u64::from(burst * per)).collect();
+        assert_eq!(all, want);
     }
 }

@@ -29,7 +29,7 @@
 //! | `0x81` | ← server  | [`Response::Value`] | `value: u64 LE` |
 //! | `0x82` | ← server  | [`Response::Batch`] | `n: u32 LE`, `n × u64 LE` |
 //! | `0x83` | ← server  | [`Response::Pong`] | — |
-//! | `0x84` | ← server  | [`Response::Stats`] | 6 × `u64 LE` ([`StatsSnapshot`]) |
+//! | `0x84` | ← server  | [`Response::Stats`] | 9 × `u64 LE` ([`StatsSnapshot`]) |
 //! | `0x85` | ← server  | [`Response::Bye`] | — |
 //! | `0x86` | ← server  | [`Response::Error`] | `code: u8` ([`ErrorCode`]) |
 //!
@@ -152,6 +152,16 @@ pub struct StatsSnapshot {
     pub ops: u64,
     /// `NextBatch` frames served.
     pub batches: u64,
+    /// Accepted connections that waited for a slot under the `block`
+    /// backpressure policy (deferred accepts).
+    pub deferred_accepts: u64,
+    /// Times a reactor woke from its readiness wait (`epoll_wait`
+    /// returns), across all reactor shards.
+    pub reactor_wakeups: u64,
+    /// Readiness events delivered across all wakeups; divided by
+    /// [`StatsSnapshot::reactor_wakeups`] this is the mean batch size per
+    /// `epoll_wait`, a direct read on how well wakeups amortize.
+    pub reactor_events: u64,
 }
 
 /// A malformed frame.
@@ -302,7 +312,7 @@ impl Response {
             }
             Response::Pong => put_header(out, 0x83, seq, 0),
             Response::Stats(s) => {
-                put_header(out, 0x84, seq, 48);
+                put_header(out, 0x84, seq, 72);
                 for word in [
                     s.active_connections,
                     s.total_connections,
@@ -310,6 +320,9 @@ impl Response {
                     s.requests,
                     s.ops,
                     s.batches,
+                    s.deferred_accepts,
+                    s.reactor_wakeups,
+                    s.reactor_events,
                 ] {
                     out.extend_from_slice(&word.to_le_bytes());
                 }
@@ -352,7 +365,7 @@ impl Response {
                 Response::Pong
             }
             0x84 => {
-                body_exactly(opcode, body, 48)?;
+                body_exactly(opcode, body, 72)?;
                 let word = |i: usize| {
                     u64::from_le_bytes(body[8 * i..8 * (i + 1)].try_into().expect("8 bytes"))
                 };
@@ -363,6 +376,9 @@ impl Response {
                     requests: word(3),
                     ops: word(4),
                     batches: word(5),
+                    deferred_accepts: word(6),
+                    reactor_wakeups: word(7),
+                    reactor_events: word(8),
                 })
             }
             0x85 => {
@@ -404,6 +420,93 @@ pub fn read_frame<'a>(
     buf.resize(len, 0);
     r.read_exact(buf)?;
     Ok(Some(buf.as_slice()))
+}
+
+/// An incremental, resumable frame decoder for nonblocking streams.
+///
+/// The blocking [`read_frame`] can simply block until a whole frame has
+/// arrived; a reactor cannot. A `FrameDecoder` accepts whatever bytes a
+/// nonblocking read produced ([`FrameDecoder::extend`]) and yields
+/// complete frame payloads as they materialize
+/// ([`FrameDecoder::next_frame`]), preserving partial frames across calls
+/// — byte streams may be split at **any** boundary, including inside the
+/// length prefix. Each payload is yielded exactly once: the cursor
+/// advances before the payload is returned, so re-polling never
+/// duplicates a frame.
+///
+/// Length words outside `HEADER_LEN..=MAX_FRAME` are corruption
+/// ([`WireError::BadLength`]); after an error the stream has no
+/// trustworthy framing left, so callers should drop the connection
+/// (repeated polls keep returning the same error rather than resyncing).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    /// Buffered bytes; `start..` is the unconsumed region.
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Consumed-prefix size beyond which `next_frame` compacts the buffer on
+/// a partial frame, bounding memory at ~one frame plus this slack.
+const COMPACT_THRESHOLD: usize = 4096;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes received from the stream.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a yielded frame. Zero means
+    /// the stream is at a frame boundary — the state in which a peer EOF
+    /// is a clean close rather than a cut frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Yields the next complete frame payload, or `None` if more bytes
+    /// are needed.
+    ///
+    /// # Errors
+    ///
+    /// An out-of-range length word is [`WireError::BadLength`].
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        let avail = self.buf.len() - self.start;
+        if avail < 4 {
+            self.compact();
+            return Ok(None);
+        }
+        let len_bytes: [u8; 4] = self.buf[self.start..self.start + 4]
+            .try_into()
+            .expect("4 bytes");
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if !(HEADER_LEN..=MAX_FRAME).contains(&len) {
+            return Err(WireError::BadLength(len));
+        }
+        if avail < 4 + len {
+            self.compact();
+            return Ok(None);
+        }
+        let payload_start = self.start + 4;
+        self.start += 4 + len;
+        Ok(Some(&self.buf[payload_start..payload_start + len]))
+    }
+
+    /// Reclaims the consumed prefix. Free when everything was consumed
+    /// (a truncate); otherwise a copy, paid only past a slack threshold
+    /// so steady-state polling stays amortized O(bytes).
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_THRESHOLD {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
 }
 
 /// Encodes and writes one request frame (no flush).
@@ -457,6 +560,9 @@ mod tests {
                 requests: 4,
                 ops: 5,
                 batches: 6,
+                deferred_accepts: 7,
+                reactor_wakeups: 8,
+                reactor_events: 9,
             }),
             Response::Bye,
             Response::Error(ErrorCode::Busy),
@@ -607,6 +713,88 @@ mod tests {
             read_frame(&mut cursor, &mut buf).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    #[test]
+    fn frame_decoder_yields_each_frame_exactly_once_across_any_split() {
+        // A stream of four frames of different shapes.
+        let mut stream = Vec::new();
+        Request::Next.encode(1, &mut stream);
+        Request::NextBatch { n: 9 }.encode(2, &mut stream);
+        Request::Stats.encode(3, &mut stream);
+        Request::Shutdown.encode(4, &mut stream);
+        let expect = [
+            (1, Request::Next),
+            (2, Request::NextBatch { n: 9 }),
+            (3, Request::Stats),
+            (4, Request::Shutdown),
+        ];
+        // Feed in every possible 2-way split, plus byte-by-byte.
+        let mut splits: Vec<Vec<&[u8]>> =
+            (0..=stream.len()).map(|cut| vec![&stream[..cut], &stream[cut..]]).collect();
+        splits.push(stream.chunks(1).collect());
+        for chunks in splits {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for chunk in chunks {
+                dec.extend(chunk);
+                while let Some(p) = dec.next_frame().unwrap() {
+                    got.push(Request::decode(p).unwrap());
+                }
+            }
+            assert_eq!(got, expect, "split delivery changed the frame stream");
+            assert_eq!(dec.buffered(), 0, "stream must end at a frame boundary");
+        }
+    }
+
+    #[test]
+    fn frame_decoder_rejects_bad_length_words_and_stays_put() {
+        for bad in [0u32, 1, (HEADER_LEN - 1) as u32, (MAX_FRAME + 1) as u32] {
+            let mut dec = FrameDecoder::new();
+            dec.extend(&bad.to_le_bytes());
+            dec.extend(&[0; 8]);
+            assert_eq!(dec.next_frame(), Err(WireError::BadLength(bad as usize)));
+            // The error is sticky: no resync is attempted.
+            assert_eq!(dec.next_frame(), Err(WireError::BadLength(bad as usize)));
+        }
+    }
+
+    #[test]
+    fn frame_decoder_reports_mid_frame_state() {
+        let mut stream = Vec::new();
+        Request::Ping.encode(8, &mut stream);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream[..stream.len() - 1]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(dec.buffered() > 0, "mid-frame EOF must be detectable");
+        dec.extend(&stream[stream.len() - 1..]);
+        let p = dec.next_frame().unwrap().unwrap();
+        assert_eq!(Request::decode(p).unwrap(), (8, Request::Ping));
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn frame_decoder_compacts_without_losing_data() {
+        // Push enough consumed frames to cross the compaction threshold,
+        // interleaved with partial-frame polls, and check nothing skews.
+        let mut one = Vec::new();
+        Request::NextBatch { n: 5 }.encode(0, &mut one);
+        let mut dec = FrameDecoder::new();
+        let rounds = 4096 / one.len() + 8;
+        for i in 0..rounds {
+            // Half the frame, poll (forces the partial-frame path), rest.
+            let cut = one.len() / 2;
+            dec.extend(&one[..cut]);
+            assert!(dec.next_frame().unwrap().is_none());
+            dec.extend(&one[cut..]);
+            let p = dec.next_frame().unwrap().expect("complete frame");
+            assert_eq!(
+                Request::decode(p).unwrap(),
+                (0, Request::NextBatch { n: 5 }),
+                "round {i}"
+            );
+        }
+        assert_eq!(dec.buffered(), 0);
     }
 
     #[test]

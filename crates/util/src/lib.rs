@@ -24,7 +24,15 @@
 //! * [`time`] — a calibrated monotonic nanosecond clock ([`time::Clock`])
 //!   cheap enough to timestamp individual lock-free operations (`rdtsc` on
 //!   x86_64, `Instant` elsewhere), for the trace recorder in
-//!   `cnet-runtime`.
+//!   `cnet-runtime`;
+//! * [`poll`] — a minimal level-triggered readiness poller (epoll on
+//!   Linux via direct `extern "C"` declarations — no `libc` crate) plus a
+//!   loopback-pair [`poll::Waker`], for the sharded reactor in `cnet-net`
+//!   (replaces `mio`);
+//! * [`hist`] — a fixed-size log-bucketed [`hist::LatencyHistogram`]
+//!   (32 sub-buckets per octave, ≤3.1% quantile error) for the
+//!   end-to-end p50/p99/p999 latency columns in the bench artifact
+//!   (replaces `hdrhistogram`).
 //!
 //! Determinism is the point, not a side effect: the paper's consistency
 //! checkers only mean something when runs are replayable, so every source
@@ -40,9 +48,11 @@
 //! normal builds [`sync::atomic`] is a zero-cost `std` re-export.
 
 pub mod bench;
+pub mod hist;
 pub mod json;
 #[cfg(feature = "model-check")]
 pub mod model;
+pub mod poll;
 pub mod proptest;
 pub mod rng;
 pub mod sync;

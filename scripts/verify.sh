@@ -129,6 +129,70 @@ fi
 wait "$serve_pid"
 rm -f "$port_file"
 
+# Reactor smoke: the sharded epoll reactor must hold 256 mostly-idle
+# pooled connections from 4 loadgen workers and still hand out an exact
+# permutation, then report its reactor counters and drain on Shutdown.
+# Needs file descriptors for 256 sockets on each side of the loopback;
+# skip (with a warning) when the fd limit cannot carry it.
+nofile=$(ulimit -n)
+if [ "$nofile" != "unlimited" ] && [ "$nofile" -lt 4096 ]; then
+    echo "warning: ulimit -n is $nofile (< 4096) — skipping the 256-connection reactor smoke" >&2
+else
+    port_file=$(mktemp)
+    rm -f "$port_file"
+    cargo run -q --release --offline -p cnet-cli -- \
+        serve 8 --backend fetch_add --max-conns 300 --port-file "$port_file" &
+    serve_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$port_file" ] && break
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            echo "error: cnet serve (reactor smoke) exited before binding" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ ! -s "$port_file" ]; then
+        echo "error: cnet serve (reactor smoke) never wrote its port file" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    addr=$(cat "$port_file")
+    reactor_out=$(cargo run -q --release --offline -p cnet-cli -- \
+        loadgen --addr "$addr" --threads 4 --connections 256 --ops 20000 \
+        --batch 64 --mode batch --check 1 --shutdown 1)
+    echo "$reactor_out"
+    if ! echo "$reactor_out" | grep -q "4 threads over 256 connections"; then
+        echo "error: loadgen did not drive 256 pooled connections" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    if ! echo "$reactor_out" | grep -q "permutation 0..20000: true"; then
+        echo "error: 256-connection values were not a permutation of 0..n" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    if ! echo "$reactor_out" | grep -q "server reactor: .* epoll wakeups"; then
+        echo "error: loadgen --shutdown did not report the reactor counters" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    drained=0
+    for _ in $(seq 1 100); do
+        if ! kill -0 "$serve_pid" 2>/dev/null; then
+            drained=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$drained" -ne 1 ]; then
+        echo "error: cnet serve (reactor smoke) failed to drain after shutdown" >&2
+        kill -9 "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    wait "$serve_pid"
+    rm -f "$port_file"
+fi
+
 # Batch-sweep smoke: a small in-process sweep over batch sizes 1/16/64
 # must run, emit the x16/x64 rows, and report the batched speedup line.
 batch_out=$(cargo run -q --release --offline -p cnet-cli -- \
@@ -139,10 +203,11 @@ if ! echo "$batch_out" | grep -q "batched traversal (k=64)"; then
     exit 1
 fi
 
-# The committed benchmark artifact must parse under the schema-v3 reader
+# The committed benchmark artifact must parse under the schema-v4 reader
 # (transport-tagged networked rows, width-k batch rows, oversubscription
-# flags) and carry the acceptance row: batch=64 >= 3x batch=1 on the
-# compiled bitonic at 8 threads.
+# flags, connection counts, latency percentiles) and carry the acceptance
+# rows: batch=64 >= 3x batch=1 on the compiled bitonic at 8 threads, and
+# the 64/1024/10000-connection tcp rows with p99(1024) <= 2*p99(64).
 cargo test -q --release --offline -p cnet-bench --test net_roundtrip \
-    committed_bench_artifact_parses_as_schema_v3
+    committed_bench_artifact_parses_as_schema_v4
 echo "verify: ok"

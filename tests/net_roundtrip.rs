@@ -31,6 +31,7 @@ fn concurrent_pipelined_clients_receive_a_permutation() {
         server.local_addr(),
         &LoadGenConfig {
             threads,
+            connections: 0,
             ops_per_thread,
             batch: 64,
             mode: LoadGenMode::Pipeline,
@@ -71,6 +72,7 @@ fn fetch_add_service_audits_clean_across_the_socket() {
         server.local_addr(),
         &LoadGenConfig {
             threads,
+            connections: 0,
             ops_per_thread,
             batch: 16,
             mode: LoadGenMode::Pipeline,
@@ -108,6 +110,7 @@ fn counting_network_violations_are_counted_not_fatal() {
         server.local_addr(),
         &LoadGenConfig {
             threads,
+            connections: 0,
             ops_per_thread,
             batch: 8,
             mode: LoadGenMode::Pipeline,
@@ -155,6 +158,7 @@ fn batched_loadgen_yields_a_permutation_with_a_clean_audit() {
         server.local_addr(),
         &LoadGenConfig {
             threads,
+            connections: 0,
             ops_per_thread,
             batch: 64,
             mode: LoadGenMode::Batch,
@@ -186,7 +190,12 @@ fn busy_rejection_surfaces_as_a_client_error() {
     let server = CounterServer::start(
         "127.0.0.1:0",
         Arc::new(FetchAddCounter::new()),
-        ServerConfig { max_connections: 1, backpressure: Backpressure::Reject, processes: 1 },
+        ServerConfig {
+            max_connections: 1,
+            backpressure: Backpressure::Reject,
+            processes: 1,
+            reactors: 1,
+        },
     )
     .expect("bind ephemeral loopback port");
     let holder = RemoteCounter::connect(server.local_addr(), 1).expect("first connection");
@@ -196,16 +205,116 @@ fn busy_rejection_surfaces_as_a_client_error() {
     assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused, "{err}");
 }
 
-/// The committed benchmark artifact must parse as schema v3 — including
-/// rows that predate the `transport` field (absent means `"memory"`) or
-/// the `batch`/`oversubscribed` fields (absent means `1`/`false`) — and
-/// the v3 fields must round-trip through cnet-util JSON.
+/// The reactor's defining regime: 256 open connections of which only a
+/// few are active at any instant (4 workers round-robin their bursts
+/// across their shares). The run must still hand out an exact permutation
+/// and audit clean through the slot-sharded recorder — the
+/// slot = process = recorder-shard invariant survives connection counts
+/// far beyond the thread count.
 #[test]
-fn committed_bench_artifact_parses_as_schema_v3() {
+fn many_mostly_idle_connections_keep_the_permutation_and_audit_clean() {
+    let connections = 256;
+    let threads = 4;
+    let ops_per_thread = 2_048;
+    let total = threads * ops_per_thread;
+    let recorder = Arc::new(TraceRecorder::new(connections, 256));
+    let mut server = CounterServer::with_recorder(
+        "127.0.0.1:0",
+        Arc::new(FetchAddCounter::new()),
+        Arc::clone(&recorder),
+        ServerConfig {
+            max_connections: connections,
+            processes: connections,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral loopback port");
+    let report = run_loadgen(
+        server.local_addr(),
+        &LoadGenConfig {
+            threads,
+            connections,
+            ops_per_thread,
+            batch: 16,
+            mode: LoadGenMode::Batch,
+            collect_values: true,
+        },
+    )
+    .expect("loadgen completes over 256 connections");
+    assert_eq!(report.connections, connections);
+    assert_eq!(report.is_permutation(), Some(true), "permutation across 256 connections");
+    server.shutdown();
+    let stats = server.stats();
+    assert_eq!(stats.total_connections, connections as u64);
+    assert_eq!(stats.ops, total as u64);
+    assert!(stats.reactor_wakeups > 0, "the reactor actually polled");
+    assert!(stats.reactor_events >= stats.reactor_wakeups / 64, "events were delivered");
+    let mut auditor = StreamingAuditor::new();
+    drain_remaining(&recorder, &mut auditor);
+    assert_eq!(auditor.operations(), total, "every increment reached its slot's shard");
+    assert!(auditor.is_clean(), "fetch_add over 256 conns must audit clean: {}", auditor.summary());
+}
+
+/// Graceful drain: a client pipelines eight `Next` frames and a
+/// `Shutdown` in one write. The server must answer all eight in order
+/// *before* the `Bye` — buffered in-flight frames are served, not
+/// dropped, when shutdown arrives on the same connection.
+#[test]
+fn graceful_shutdown_answers_inflight_frames_before_bye() {
+    use cnet_net::wire::{FrameDecoder, Request, Response};
+    use std::io::{Read, Write};
+
+    let mut server = CounterServer::start(
+        "127.0.0.1:0",
+        Arc::new(FetchAddCounter::new()),
+        ServerConfig { max_connections: 1, processes: 1, ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral loopback port");
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    let mut out = Vec::new();
+    for seq in 0..8u32 {
+        Request::Next.encode(seq, &mut out);
+    }
+    Request::Shutdown.encode(8, &mut out);
+    stream.write_all(&out).expect("one write carrying nine frames");
+    let mut decoder = FrameDecoder::new();
+    let mut got: Vec<(u32, Response)> = Vec::new();
+    let mut buf = [0u8; 4096];
+    while !matches!(got.last(), Some((_, Response::Bye))) {
+        let n = stream.read(&mut buf).expect("read responses");
+        assert!(n > 0, "EOF before Bye: got {} responses", got.len());
+        decoder.extend(&buf[..n]);
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(payload)) => {
+                    got.push(Response::decode(payload).expect("well-formed response"));
+                }
+                Ok(None) => break,
+                Err(e) => panic!("framing error mid-drain: {e:?}"),
+            }
+        }
+    }
+    assert_eq!(got.len(), 9, "eight values then Bye");
+    for (i, (seq, resp)) in got[..8].iter().enumerate() {
+        assert_eq!(*seq, i as u32);
+        assert_eq!(*resp, Response::Value { value: i as u64 }, "in-flight frame {i} answered");
+    }
+    assert_eq!(got[8].0, 8);
+    server.shutdown();
+    assert_eq!(server.stats().ops, 8);
+}
+
+/// The committed benchmark artifact must parse as schema v4 — including
+/// rows that predate the `transport` field (absent means `"memory"`), the
+/// `batch`/`oversubscribed` fields (absent means `1`/`false`), or the
+/// `connections`/percentile fields (absent means `0`/`null`) — and the v4
+/// fields must round-trip through cnet-util JSON.
+#[test]
+fn committed_bench_artifact_parses_as_schema_v4() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let text = std::fs::read_to_string(path).expect("BENCH_throughput.json is committed");
-    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v3");
-    assert_eq!(report.version, 3);
+    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v4");
+    assert_eq!(report.version, 4);
     assert!(!report.measurements.is_empty());
     for m in &report.measurements {
         assert!(
@@ -221,9 +330,20 @@ fn committed_bench_artifact_parses_as_schema_v3() {
             "oversubscription flag inconsistent with cores: {m:?}"
         );
         assert!(m.mops > 0.0);
+        if m.transport == Measurement::TRANSPORT_TCP {
+            // Every v4 tcp row carries its connection count and the
+            // end-to-end burst latency percentiles of the kept run.
+            assert!(m.connections > 0, "tcp row without connections: {m:?}");
+            let (p50, p99, p999) =
+                (m.p50_ns.expect("p50"), m.p99_ns.expect("p99"), m.p999_ns.expect("p999"));
+            assert!(p50 > 0 && p50 <= p99 && p99 <= p999, "percentiles out of order: {m:?}");
+        } else {
+            assert_eq!(m.connections, 0, "memory rows have no connections: {m:?}");
+            assert!(m.p99_ns.is_none(), "memory rows have no latency column: {m:?}");
+        }
     }
-    // The acceptance row: batched traversal on the compiled bitonic B(8)
-    // at 8 threads beats the per-token path at least 3x.
+    // The batching acceptance row: batched traversal on the compiled
+    // bitonic B(8) at 8 threads beats the per-token path at least 3x.
     let batched = report
         .batch_cell("compiled", "bitonic", 8, 64)
         .expect("artifact carries the batch=64 compiled/bitonic row at 8 threads");
@@ -232,7 +352,25 @@ fn committed_bench_artifact_parses_as_schema_v3() {
         .batch_speedup("compiled", "bitonic", 8, 64)
         .expect("batch speedup computable");
     assert!(speedup >= 3.0, "batch=64 must be at least 3x batch=1, got {speedup:.2}x");
-    // The v3 fields survive a serialize/deserialize round trip.
+    // The reactor acceptance rows: the connection-scaling sweep at 64,
+    // 1024, and 10000 mostly-idle connections, with flat tail latency —
+    // p99 at 1024 connections within 2x of p99 at 64.
+    let conn_row = |count: usize| {
+        report
+            .measurements
+            .iter()
+            .find(|m| m.transport == Measurement::TRANSPORT_TCP && m.connections == count)
+            .unwrap_or_else(|| panic!("artifact carries the {count}-connection tcp row"))
+    };
+    let (small, large, huge) = (conn_row(64), conn_row(1024), conn_row(10_000));
+    assert!(huge.total_ops > 0);
+    let (p99_small, p99_large) = (small.p99_ns.expect("p99"), large.p99_ns.expect("p99"));
+    assert!(
+        p99_large <= 2 * p99_small,
+        "p99 must stay flat under connection scaling: {p99_small}ns at 64 conns, \
+         {p99_large}ns at 1024"
+    );
+    // The v4 fields survive a serialize/deserialize round trip.
     let back: ThroughputReport =
         json::from_str(&json::to_string_pretty(&report)).expect("round-trips");
     assert_eq!(back, report);
@@ -358,6 +496,115 @@ mod wire_fuzz {
             Request::NextBatch { n }.encode(seq, &mut out);
             let decoded = Request::decode(&out[4..]);
             prop_assert_eq!(decoded, Ok((seq, Request::NextBatch { n })));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental-decoder fuzzing: the reactor's FrameDecoder is
+// split-invariant and total.
+// ---------------------------------------------------------------------
+
+mod decoder_fuzz {
+    use cnet_net::wire::{FrameDecoder, Request, Response, WireError, MAX_FRAME};
+    use cnet_util::proptest::prelude::*;
+
+    /// A stream of well-formed frames plus the `(seq, payload)` pairs a
+    /// correct decoder must recover from it.
+    fn frame_stream(seqs: &[u32], shapes: &[u32]) -> (Vec<u8>, Vec<Vec<u8>>) {
+        let mut stream = Vec::new();
+        let mut payloads = Vec::new();
+        for (&seq, &shape) in seqs.iter().zip(shapes) {
+            let mut frame = Vec::new();
+            match shape % 5 {
+                0 => Request::Next.encode(seq, &mut frame),
+                1 => Request::NextBatch { n: shape }.encode(seq, &mut frame),
+                2 => Response::Value { value: u64::from(shape) }.encode(seq, &mut frame),
+                3 => Response::Batch {
+                    values: (0..u64::from(shape % 7)).collect(),
+                }
+                .encode(seq, &mut frame),
+                _ => Request::Stats.encode(seq, &mut frame),
+            }
+            payloads.push(frame[4..].to_vec());
+            stream.extend_from_slice(&frame);
+        }
+        (stream, payloads)
+    }
+
+    /// Drains every currently decodable frame into owned payloads.
+    fn drain(decoder: &mut FrameDecoder, into: &mut Vec<Vec<u8>>) {
+        while let Ok(Some(payload)) = decoder.next_frame() {
+            into.push(payload.to_vec());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Splitting the byte stream at *every* position `1..len` — the
+        /// arbitrary fragmentation TCP is allowed to produce — yields
+        /// exactly the original frames, in order, never duplicated and
+        /// never dropped, with the decoder resuming mid-frame exactly
+        /// where the first fragment stopped.
+        #[test]
+        fn decoder_is_split_invariant_at_every_position(
+            seqs in prop::collection::vec(0u32..u32::MAX, 1usize..5),
+            shapes in prop::collection::vec(0u32..64, 1usize..5),
+        ) {
+            let n = seqs.len().min(shapes.len());
+            let (stream, expected) = frame_stream(&seqs[..n], &shapes[..n]);
+            for split in 1..stream.len() {
+                let mut decoder = FrameDecoder::new();
+                let mut got = Vec::new();
+                decoder.extend(&stream[..split]);
+                drain(&mut decoder, &mut got);
+                decoder.extend(&stream[split..]);
+                drain(&mut decoder, &mut got);
+                prop_assert_eq!(&got, &expected, "split at {}", split);
+                prop_assert_eq!(decoder.buffered(), 0, "split at {}", split);
+            }
+            // The degenerate fragmentation: one byte at a time.
+            let mut decoder = FrameDecoder::new();
+            let mut got = Vec::new();
+            for b in &stream {
+                decoder.extend(std::slice::from_ref(b));
+                drain(&mut decoder, &mut got);
+            }
+            prop_assert_eq!(&got, &expected);
+        }
+
+        /// A corrupted length prefix is a sticky `BadLength` error —
+        /// reported on every poll, never a panic, never a bogus frame —
+        /// and frames decoded *before* the corruption still came out.
+        #[test]
+        fn corrupted_length_prefixes_error_stickily(
+            seqs in prop::collection::vec(0u32..u32::MAX, 1usize..4),
+            shapes in prop::collection::vec(0u32..64, 1usize..4),
+            bad_pick in 0usize..5,
+            junk in prop::collection::vec(0u32..256, 0usize..16),
+        ) {
+            let bad_len = [0u32, 1, 5, (MAX_FRAME as u32) + 1, u32::MAX][bad_pick];
+            let n = seqs.len().min(shapes.len());
+            let (mut stream, expected) = frame_stream(&seqs[..n], &shapes[..n]);
+            // Append a frame whose length word is out of range, then junk.
+            stream.extend_from_slice(&bad_len.to_le_bytes());
+            stream.extend(junk.iter().map(|b| *b as u8));
+            let mut decoder = FrameDecoder::new();
+            decoder.extend(&stream);
+            let mut got = Vec::new();
+            drain(&mut decoder, &mut got);
+            prop_assert_eq!(&got, &expected, "pre-corruption frames all decoded");
+            prop_assert_eq!(
+                decoder.next_frame(),
+                Err(WireError::BadLength(bad_len as usize))
+            );
+            // Sticky: more bytes do not resynchronize a corrupt stream.
+            decoder.extend(&[0u8; 8]);
+            prop_assert_eq!(
+                decoder.next_frame(),
+                Err(WireError::BadLength(bad_len as usize))
+            );
         }
     }
 }
