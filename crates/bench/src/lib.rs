@@ -14,7 +14,7 @@ pub mod search;
 pub mod sweeps;
 pub mod throughput;
 
-pub use net::{run_net_throughput, NetThroughputConfig};
+pub use net::{run_cluster_net_throughput, run_net_throughput, NetThroughputConfig};
 pub use report::{write_json, Table};
 pub use throughput::{run_throughput_sweep, Measurement, ThroughputConfig, ThroughputReport};
 pub use search::{maximize, SearchOutcome, SearchSpace};

@@ -15,6 +15,7 @@
 
 use crate::throughput::Measurement;
 use cnet_net::loadgen::{run_loadgen, LoadGenConfig, LoadGenMode};
+use cnet_net::router::ClusterNode;
 use cnet_net::server::{CounterServer, ServerConfig};
 use cnet_runtime::{FetchAddCounter, ProcessCounter, SharedNetworkCounter};
 use cnet_topology::construct::bitonic;
@@ -90,6 +91,7 @@ fn measure_net(
                 batch: cfg.batch,
                 mode: cfg.mode,
                 collect_values: false,
+                route: false,
             },
         )?;
         server.shutdown();
@@ -119,7 +121,114 @@ fn measure_net(
         p50_ns: Some(percentiles.0),
         p99_ns: Some(percentiles.1),
         p999_ns: Some(percentiles.2),
+        nodes: 1,
     })
+}
+
+/// Times one (threads, nodes) cell of the partitioned fabric: the bitonic
+/// network split into `nodes` chained [`ClusterNode`] servers over
+/// loopback TCP, the load driven into the head. Fresh chain per
+/// repetition, best run kept. Rows carry `"nodes": N` (schema v5).
+///
+/// The load always uses the batched wire mode regardless of
+/// [`NetThroughputConfig::mode`]: one `NextBatch` per burst becomes one
+/// pipelined `ForwardBatch` burst per occupied cut position, which is
+/// the fabric's designed fast path. The per-token `Forward` path pays a
+/// full peer round trip per increment — that measures the hop latency,
+/// not what the fabric can move.
+fn measure_cluster(
+    threads: usize,
+    nodes: usize,
+    cfg: &NetThroughputConfig,
+) -> std::io::Result<Measurement> {
+    let net = bitonic(cfg.fan).expect("power-of-two fan");
+    let total_ops = threads * cfg.ops_per_thread;
+    let connections = if cfg.connections == 0 { threads.max(1) } else { cfg.connections };
+    let mut best = f64::INFINITY;
+    let mut percentiles = (0, 0, 0);
+    for _ in 0..cfg.repeats.max(1) {
+        let server_cfg = ServerConfig {
+            max_connections: connections,
+            processes: cfg.fan,
+            ..ServerConfig::default()
+        };
+        // Build the chain tail-first so every relay's downstream peer is
+        // already listening when the relay dials it.
+        let mut servers: Vec<CounterServer> = Vec::new();
+        let mut downstream: Option<String> = None;
+        for node in (0..nodes).rev() {
+            let peers: Vec<String> = downstream.iter().cloned().collect();
+            let cluster = ClusterNode::new(&net, node, nodes, &peers, connections)
+                .map_err(std::io::Error::other)?;
+            let server =
+                CounterServer::start_cluster("127.0.0.1:0", Arc::new(cluster), None, server_cfg)?;
+            downstream = Some(server.local_addr().to_string());
+            servers.push(server);
+        }
+        let head_addr = downstream.expect("at least one node");
+        let report = run_loadgen(
+            &head_addr[..],
+            &LoadGenConfig {
+                threads,
+                connections,
+                ops_per_thread: cfg.ops_per_thread,
+                batch: cfg.batch,
+                mode: LoadGenMode::Batch,
+                collect_values: false,
+                route: false,
+            },
+        )?;
+        // Head first (it stops forwarding), then down the chain.
+        for server in servers.iter_mut().rev() {
+            server.shutdown();
+        }
+        if report.seconds < best {
+            best = report.seconds;
+            percentiles = report.latency.percentiles();
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Ok(Measurement {
+        counter: "compiled".to_string(),
+        network: "bitonic".to_string(),
+        threads,
+        total_ops,
+        seconds: best,
+        mops: total_ops as f64 / best / 1.0e6,
+        audited: false,
+        transport: Measurement::TRANSPORT_TCP.to_string(),
+        batch: cfg.batch,
+        oversubscribed: threads > cores,
+        connections,
+        p50_ns: Some(percentiles.0),
+        p99_ns: Some(percentiles.1),
+        p999_ns: Some(percentiles.2),
+        nodes,
+    })
+}
+
+/// Runs the partitioned-fabric sweep: for each thread count, the compiled
+/// bitonic network split across `nodes` chained servers on loopback TCP.
+/// Rows are distinguished from the single-server tcp cells by their
+/// `"nodes"` column.
+///
+/// # Errors
+///
+/// Surfaces server-bind, peer-dial, and client I/O failures, plus invalid
+/// partitions (more nodes than the network has layers).
+///
+/// # Panics
+///
+/// Panics if `cfg.fan` is not a supported power of two.
+pub fn run_cluster_net_throughput(
+    cfg: &NetThroughputConfig,
+    nodes: usize,
+) -> std::io::Result<Vec<Measurement>> {
+    let mut rows = Vec::new();
+    for &threads in &cfg.threads {
+        rows.push(measure_cluster(threads, nodes.max(1), cfg)?);
+    }
+    Ok(rows)
 }
 
 /// Runs the networked sweep and returns rows ready to append to a
@@ -201,6 +310,31 @@ mod tests {
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert_eq!(row.batch, 32, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_sweep_rows_carry_the_node_count() {
+        let rows = run_cluster_net_throughput(
+            &NetThroughputConfig {
+                fan: 8,
+                threads: vec![1, 2],
+                connections: 0,
+                ops_per_thread: 200,
+                batch: 16,
+                mode: LoadGenMode::Batch,
+                repeats: 1,
+            },
+            2,
+        )
+        .expect("two-node loopback chain runs");
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.nodes, 2, "{row:?}");
+            assert_eq!(row.transport, Measurement::TRANSPORT_TCP);
+            assert_eq!((row.counter.as_str(), row.network.as_str()), ("compiled", "bitonic"));
+            assert!(row.mops > 0.0, "{row:?}");
+            assert!(row.p99_ns.unwrap() > 0, "{row:?}");
         }
     }
 

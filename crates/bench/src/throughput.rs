@@ -108,6 +108,11 @@ pub struct Measurement {
     pub p99_ns: Option<u64>,
     /// 99.9th-percentile burst round-trip time in nanoseconds (schema v4).
     pub p999_ns: Option<u64>,
+    /// How many cluster nodes served the row (schema v5): `1` for every
+    /// in-process row and single-server tcp row; `N > 1` for rows driven
+    /// through an N-node partitioned counting fabric. Absent in older
+    /// artifacts means `1`.
+    pub nodes: usize,
 }
 
 impl Measurement {
@@ -120,9 +125,10 @@ impl Measurement {
 // Hand-written (not `json_struct!`) so fields added by later schema
 // versions may be absent in older artifacts: a missing `transport` means
 // `"memory"` (pre-v2 rows), a missing `batch` means `1`, a missing
-// `oversubscribed` means `false` (pre-v3 rows), and missing `connections`
-// / latency percentiles mean `0` / `None` (pre-v4 rows) — keeping every
-// previously committed BENCH_throughput.json parseable.
+// `oversubscribed` means `false` (pre-v3 rows), missing `connections`
+// / latency percentiles mean `0` / `None` (pre-v4 rows), and a missing
+// `nodes` means `1` (pre-v5 rows) — keeping every previously committed
+// BENCH_throughput.json parseable.
 impl ToJson for Measurement {
     fn to_json(&self) -> Value {
         Value::Object(vec![
@@ -140,6 +146,7 @@ impl ToJson for Measurement {
             ("p50_ns".to_string(), self.p50_ns.to_json()),
             ("p99_ns".to_string(), self.p99_ns.to_json()),
             ("p999_ns".to_string(), self.p999_ns.to_json()),
+            ("nodes".to_string(), self.nodes.to_json()),
         ])
     }
 }
@@ -174,6 +181,10 @@ impl FromJson for Measurement {
             p50_ns: cnet_util::json::field(v, "p50_ns")?,
             p99_ns: cnet_util::json::field(v, "p99_ns")?,
             p999_ns: cnet_util::json::field(v, "p999_ns")?,
+            nodes: match v.get("nodes") {
+                Some(n) => FromJson::from_json(n)?,
+                None => 1,
+            },
         })
     }
 }
@@ -251,6 +262,7 @@ fn measure<C: ProcessCounter>(
         p50_ns: None,
         p99_ns: None,
         p999_ns: None,
+        nodes: 1,
     }
 }
 
@@ -304,6 +316,7 @@ fn measure_batched<C: ProcessCounter>(
         p50_ns: None,
         p99_ns: None,
         p999_ns: None,
+        nodes: 1,
     }
 }
 
@@ -345,6 +358,7 @@ fn measure_audited<C: ProcessCounter>(
         p50_ns: None,
         p99_ns: None,
         p999_ns: None,
+        nodes: 1,
     }
 }
 
@@ -444,7 +458,7 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
         m.oversubscribed = m.threads > cores;
     }
     ThroughputReport {
-        version: 4,
+        version: 5,
         fan: cfg.fan,
         ops_per_thread: cfg.ops_per_thread,
         repeats: cfg.repeats.max(1),
@@ -521,21 +535,24 @@ impl ThroughputReport {
         })
     }
 
-    /// The networked (loopback-TCP) measurement for a cell, if measured —
-    /// rows appended by `cnet bench --net` or `cnet loadgen --out`. When
-    /// several connection counts were swept this returns the first; use
-    /// [`net_cell_at`](Self::net_cell_at) to pick one.
+    /// The single-server networked (loopback-TCP) measurement for a cell,
+    /// if measured — rows appended by `cnet bench --net` or `cnet loadgen
+    /// --out`. When several connection counts were swept this returns the
+    /// first; use [`net_cell_at`](Self::net_cell_at) to pick one, and
+    /// [`cluster_cell`](Self::cluster_cell) for multi-node rows.
     pub fn net_cell(&self, counter: &str, network: &str, threads: usize) -> Option<&Measurement> {
         self.measurements.iter().find(|m| {
             m.transport == Measurement::TRANSPORT_TCP
+                && m.nodes == 1
                 && m.counter == counter
                 && m.network == network
                 && m.threads == threads
         })
     }
 
-    /// The networked measurement for a specific pooled-connection count
-    /// (schema v4) — the cells of the reactor's connection-scaling sweep.
+    /// The single-server networked measurement for a specific
+    /// pooled-connection count (schema v4) — the cells of the reactor's
+    /// connection-scaling sweep.
     pub fn net_cell_at(
         &self,
         counter: &str,
@@ -545,10 +562,29 @@ impl ThroughputReport {
     ) -> Option<&Measurement> {
         self.measurements.iter().find(|m| {
             m.transport == Measurement::TRANSPORT_TCP
+                && m.nodes == 1
                 && m.counter == counter
                 && m.network == network
                 && m.threads == threads
                 && m.connections == connections
+        })
+    }
+
+    /// The partitioned-fabric measurement (schema v5, `nodes > 1`) for a
+    /// cell — the rows of the node-scaling sweep.
+    pub fn cluster_cell(
+        &self,
+        counter: &str,
+        network: &str,
+        threads: usize,
+        nodes: usize,
+    ) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| {
+            m.transport == Measurement::TRANSPORT_TCP
+                && m.nodes == nodes
+                && m.counter == counter
+                && m.network == network
+                && m.threads == threads
         })
     }
 
@@ -574,7 +610,7 @@ impl ThroughputReport {
     /// Renders the human-readable summary: one row per thread count, one
     /// column per counter/network combination, in Mops/s.
     pub fn summary(&self) -> Table {
-        let mut columns: Vec<(String, String, bool, String, usize, usize)> = Vec::new();
+        let mut columns: Vec<(String, String, bool, String, usize, usize, usize)> = Vec::new();
         for m in &self.measurements {
             let key = (
                 m.counter.clone(),
@@ -583,29 +619,35 @@ impl ThroughputReport {
                 m.transport.clone(),
                 m.batch,
                 m.connections,
+                m.nodes,
             );
             if !columns.contains(&key) {
                 columns.push(key);
             }
         }
         let mut headers = vec!["threads".to_string()];
-        headers.extend(columns.iter().map(|(c, n, audited, transport, batch, connections)| {
-            let mut label = if n == "-" { c.clone() } else { format!("{c}/{n}") };
-            if *audited {
-                label.push_str("+audit");
-            }
-            if transport != Measurement::TRANSPORT_MEMORY {
-                label.push('@');
-                label.push_str(transport);
-            }
-            if *batch > 1 {
-                label.push_str(&format!(" x{batch}"));
-            }
-            if *connections > 0 {
-                label.push_str(&format!(" c{connections}"));
-            }
-            label
-        }));
+        headers.extend(columns.iter().map(
+            |(c, n, audited, transport, batch, connections, nodes)| {
+                let mut label = if n == "-" { c.clone() } else { format!("{c}/{n}") };
+                if *audited {
+                    label.push_str("+audit");
+                }
+                if transport != Measurement::TRANSPORT_MEMORY {
+                    label.push('@');
+                    label.push_str(transport);
+                }
+                if *batch > 1 {
+                    label.push_str(&format!(" x{batch}"));
+                }
+                if *connections > 0 {
+                    label.push_str(&format!(" c{connections}"));
+                }
+                if *nodes > 1 {
+                    label.push_str(&format!(" n{nodes}"));
+                }
+                label
+            },
+        ));
         let mut table = Table::new(headers);
         let mut threads_seen: Vec<usize> = Vec::new();
         for m in &self.measurements {
@@ -615,7 +657,7 @@ impl ThroughputReport {
         }
         for &t in &threads_seen {
             let mut row = vec![t.to_string()];
-            for (c, n, audited, transport, batch, connections) in &columns {
+            for (c, n, audited, transport, batch, connections, nodes) in &columns {
                 let cell = self.measurements.iter().find(|m| {
                     m.counter == *c
                         && m.network == *n
@@ -623,6 +665,7 @@ impl ThroughputReport {
                         && m.transport == *transport
                         && m.batch == *batch
                         && m.connections == *connections
+                        && m.nodes == *nodes
                         && m.threads == t
                 });
                 row.push(cell.map_or("-".to_string(), |m| format!("{:.2}", m.mops)));
@@ -720,7 +763,7 @@ mod tests {
         let text = json::to_string_pretty(&report);
         let back: ThroughputReport = json::from_str(&text).expect("report parses");
         assert_eq!(back, report);
-        assert_eq!(back.version, 4);
+        assert_eq!(back.version, 5);
         assert_eq!(back.fan, 4);
         assert!(back.measurements.iter().any(|m| m.audited));
     }

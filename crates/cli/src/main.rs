@@ -23,8 +23,14 @@ fn main() -> ExitCode {
         }
         Err(message) => {
             eprintln!("error: {message}");
-            eprintln!();
-            eprintln!("{}", usage());
+            // Usage help is for malformed invocations (one-line errors).
+            // Multi-line errors are failed *results* — an audit that found
+            // violations, a loadgen that broke the permutation — where the
+            // report itself is the message and usage text is noise.
+            if !message.contains('\n') {
+                eprintln!();
+                eprintln!("{}", usage());
+            }
             ExitCode::FAILURE
         }
     }

@@ -22,7 +22,8 @@
 //! *next* call redials.
 
 use crate::wire::{
-    write_request, ErrorCode, FrameDecoder, Request, Response, StatsSnapshot, MAX_BATCH,
+    write_request, ErrorCode, FrameDecoder, NodeInfo, Request, Response, StatsSnapshot,
+    MAX_BATCH,
 };
 use cnet_runtime::ProcessCounter;
 use cnet_util::sync::{CachePadded, Mutex};
@@ -156,6 +157,33 @@ impl RemoteCounter {
             addr,
             ClientConfig { pool: pool.max(1), ..ClientConfig::default() },
         )
+    }
+
+    /// Connects to **any** node of a counting cluster and routes to the
+    /// head: asks the contacted node who it is ([`Request::NodeInfo`]) and,
+    /// if it is not the entry node, re-dials the head address the node
+    /// advertises. Increments always enter the fabric at the head, so the
+    /// never-retry permutation guarantee is untouched — the handshake
+    /// happens before any counting request is sent.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, plus `AddrNotAvailable` when the contacted
+    /// node does not yet know the head's address (the head has not
+    /// announced itself down the chain).
+    pub fn connect_routed(addr: impl ToSocketAddrs, pool: usize) -> io::Result<RemoteCounter> {
+        let first = RemoteCounter::connect(addr, pool)?;
+        let info = first.node_info()?;
+        if info.node == 0 {
+            return Ok(first);
+        }
+        if info.head.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                format!("node {} of {} does not know the head yet", info.node, info.nodes),
+            ));
+        }
+        RemoteCounter::connect(&info.head[..], pool)
     }
 
     /// [`connect`](Self::connect) with explicit [`ClientConfig`].
@@ -312,6 +340,32 @@ impl RemoteCounter {
     pub fn ping(&self, process: usize) -> io::Result<()> {
         self.with_conn(process, |conn| match conn.call(&Request::Ping)? {
             Response::Pong => Ok(()),
+            other => Err(response_error(&other)),
+        })
+    }
+
+    /// Asks the server who it is in the cluster (a plain server answers
+    /// as a one-node cluster).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a non-`NodeInfo` answer.
+    pub fn node_info(&self) -> io::Result<NodeInfo> {
+        self.with_conn(0, |conn| match conn.call(&Request::NodeInfo)? {
+            Response::NodeInfo(info) => Ok(info),
+            other => Err(response_error(&other)),
+        })
+    }
+
+    /// Fetches one chunk of recorded trace events for the cluster-wide
+    /// audit; an empty chunk means the server's recorder is drained.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a non-`Trace` answer.
+    pub fn fetch_trace(&self, max: u32) -> io::Result<Vec<crate::wire::TraceEvent>> {
+        self.with_conn(0, |conn| match conn.call(&Request::Trace { max })? {
+            Response::Trace { events } => Ok(events),
             other => Err(response_error(&other)),
         })
     }

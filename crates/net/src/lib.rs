@@ -15,9 +15,10 @@
 //!
 //! | module | what it is |
 //! |---|---|
-//! | [`wire`] | length-prefixed binary frames: `Next`, `NextBatch`, `Ping`, `Stats`, `Shutdown`; incremental [`wire::FrameDecoder`] |
+//! | [`wire`] | length-prefixed binary frames: `Next`, `NextBatch`, `Ping`, `Stats`, `Shutdown`, plus the v2 cluster opcodes (`Forward`, `NodeInfo`, `Announce`, `Trace`); incremental [`wire::FrameDecoder`] |
 //! | [`server`] | sharded epoll-reactor [`CounterServer`] (one reactor per core) with backpressure and graceful drain |
-//! | [`client`] | pooling, pipelining [`RemoteCounter`] — itself a `ProcessCounter` |
+//! | [`router`] | the cluster fabric: [`router::ClusterNode`] — one node's partitioned layer range — and the [`router::RemoteNode`] peer link forwarding tokens downstream |
+//! | [`client`] | pooling, pipelining [`RemoteCounter`] — itself a `ProcessCounter`, cluster-routing to the head |
 //! | [`loadgen`] | multi-threaded load generator: M pooled connections driven by N workers, permutation checking, latency percentiles |
 
 #![forbid(unsafe_code)]
@@ -25,10 +26,12 @@
 
 pub mod client;
 pub mod loadgen;
+pub mod router;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, RemoteCounter};
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenMode, LoadGenReport};
+pub use router::{ClusterError, ClusterNode, RemoteNode};
 pub use server::{Backpressure, CounterServer, ServerConfig};
 pub use wire::{Request, Response, StatsSnapshot};

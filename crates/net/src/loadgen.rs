@@ -67,6 +67,10 @@ pub struct LoadGenConfig {
     pub mode: LoadGenMode,
     /// Keep every received value for permutation checking.
     pub collect_values: bool,
+    /// Treat the target as **any** node of a counting cluster: handshake
+    /// with [`Request::NodeInfo`](crate::wire::Request::NodeInfo) first
+    /// and re-dial the head if the contacted node is a relay or the tail.
+    pub route: bool,
 }
 
 impl Default for LoadGenConfig {
@@ -78,6 +82,7 @@ impl Default for LoadGenConfig {
             batch: 32,
             mode: LoadGenMode::default(),
             collect_values: false,
+            route: false,
         }
     }
 }
@@ -144,10 +149,14 @@ pub fn run_loadgen(addr: impl ToSocketAddrs, cfg: &LoadGenConfig) -> io::Result<
     let threads = cfg.threads.max(1);
     let connections = if cfg.connections == 0 { threads } else { cfg.connections };
     let batch = cfg.batch.max(1);
-    let client = Arc::new(RemoteCounter::with_config(
-        addr,
-        ClientConfig { pool: connections, ..ClientConfig::default() },
-    )?);
+    let client = Arc::new(if cfg.route {
+        RemoteCounter::connect_routed(addr, connections)?
+    } else {
+        RemoteCounter::with_config(
+            addr,
+            ClientConfig { pool: connections, ..ClientConfig::default() },
+        )?
+    });
     // Workers warm up, meet at the barrier, then the measured region
     // starts; the main thread joins the same barrier to stamp `start`.
     let barrier = Arc::new(std::sync::Barrier::new(threads + 1));
@@ -344,6 +353,7 @@ mod tests {
                 batch: 10,
                 mode: LoadGenMode::Batch,
                 collect_values: true,
+                ..LoadGenConfig::default()
             },
         )
         .unwrap();
@@ -356,6 +366,49 @@ mod tests {
         // All 24 connections were actually dialed and served: each worker
         // runs 24 bursts over its 8 connections.
         assert_eq!(stats.total_connections, 24);
+    }
+
+    #[test]
+    fn routed_loadgen_against_the_tail_counts_through_the_head() {
+        use crate::router::ClusterNode;
+        use cnet_topology::construct::bitonic;
+
+        let net = bitonic(4).unwrap();
+        let cfg = ServerConfig { max_connections: 8, processes: 4, ..ServerConfig::default() };
+        let tail = Arc::new(ClusterNode::new(&net, 1, 2, &[], 8).unwrap());
+        let tail_server =
+            CounterServer::start_cluster("127.0.0.1:0", Arc::clone(&tail), None, cfg.clone())
+                .unwrap();
+        let peers = vec![tail_server.local_addr().to_string()];
+        let head = Arc::new(ClusterNode::new(&net, 0, 2, &peers, 8).unwrap());
+        let _head_server =
+            CounterServer::start_cluster("127.0.0.1:0", head, None, cfg).unwrap();
+
+        // Point the generator at the *tail*; routing must land it on the
+        // head (poll briefly: the head announces itself asynchronously).
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        let report = loop {
+            let run = run_loadgen(
+                tail_server.local_addr(),
+                &LoadGenConfig {
+                    threads: 2,
+                    ops_per_thread: 100,
+                    batch: 10,
+                    collect_values: true,
+                    route: true,
+                    ..LoadGenConfig::default()
+                },
+            );
+            match run {
+                Ok(r) => break r,
+                Err(e) if Instant::now() < deadline => {
+                    assert_eq!(e.kind(), io::ErrorKind::AddrNotAvailable, "{e}");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(e) => panic!("routing never became available: {e}"),
+            }
+        };
+        assert_eq!(report.is_permutation(), Some(true));
     }
 
     #[test]
@@ -375,6 +428,7 @@ mod tests {
                 batch: 5,
                 mode: LoadGenMode::Batch,
                 collect_values: true,
+                ..LoadGenConfig::default()
             },
         )
         .unwrap();

@@ -1,0 +1,551 @@
+//! The cluster router: one node's share of a partitioned counting
+//! network, plus the peer link that carries tokens to the next node.
+//!
+//! # The fabric
+//!
+//! A [`Partition`] plan splits a uniform network's layers across `N`
+//! nodes, node `k` owning a contiguous layer range. Each node compiles
+//! only its own sub-network ([`Partition::sub_network`]); the cut between
+//! node `k` and node `k+1` is `w` wires wide (the network fan), and a
+//! token leaving node `k` on cut position `p` enters node `k+1` on source
+//! `p` — both sides derive the cut from the same whole-network plan, so
+//! no port translation table ever crosses the wire.
+//!
+//! A client operation enters at the **head** (node 0), traverses the
+//! head's layers, and is forwarded ([`Request::Forward`]) hop by hop down
+//! the chain; the **tail** (node `N-1`) owns the output counters and the
+//! value flows back along the reverse path, one nested response per hop.
+//! Forwarding is strictly downstream — node `k` only ever blocks on node
+//! `k+1`, and the tail blocks on nobody — so the linear chain cannot
+//! deadlock.
+//!
+//! # Exactly-once counting
+//!
+//! The never-retry rule of [`crate::client`] applies per hop: once a
+//! `Forward` frame has been written the hop is never resent (the token
+//! may already be counted downstream), the peer connection is torn down,
+//! and the failure propagates back to the client as
+//! [`ErrorCode::Cluster`](crate::wire::ErrorCode::Cluster). Dialing —
+//! before anything is sent — retries freely.
+
+use crate::client::response_error;
+use crate::wire::{read_frame, write_request, Request, Response};
+use cnet_runtime::{CompiledNetwork, ProcessCounter, SharedNetworkCounter};
+use cnet_topology::{Network, Partition, PartitionError};
+use cnet_util::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use cnet_util::sync::{CachePadded, Mutex};
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a cluster node could not be assembled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The partition plan itself was rejected.
+    Partition(PartitionError),
+    /// The node index is outside `0..nodes`.
+    BadNode {
+        /// The offending index.
+        node: usize,
+        /// The chain length.
+        nodes: usize,
+    },
+    /// A non-tail node was given no downstream peer address.
+    MissingPeer {
+        /// The node that needs a peer.
+        node: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Partition(e) => write!(f, "partition plan rejected: {e}"),
+            ClusterError::BadNode { node, nodes } => {
+                write!(f, "node {node} out of range for a {nodes}-node chain")
+            }
+            ClusterError::MissingPeer { node } => {
+                write!(f, "node {node} is not the tail and needs a --peers address")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<PartitionError> for ClusterError {
+    fn from(e: PartitionError) -> ClusterError {
+        ClusterError::Partition(e)
+    }
+}
+
+/// One blocking connection to a downstream peer.
+struct PeerConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    seq: u32,
+}
+
+impl PeerConn {
+    fn dial(addr: &str) -> io::Result<PeerConn> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "peer address resolved to nothing")
+        })?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(PeerConn { stream, buf: Vec::new(), seq: 0 })
+    }
+
+    /// Sends every request, then reads every response, matching sequence
+    /// numbers in order — one write burst per hop even when a batched
+    /// traversal fans out over several cut positions.
+    fn calls(&mut self, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        let mut out = Vec::new();
+        let first = self.seq;
+        for req in reqs {
+            write_request(&mut out, self.seq, req)?;
+            self.seq = self.seq.wrapping_add(1);
+        }
+        self.stream.write_all(&out)?;
+        let mut resps = Vec::with_capacity(reqs.len());
+        for i in 0..reqs.len() {
+            let expect = first.wrapping_add(i as u32);
+            let payload = read_frame(&mut self.stream, &mut self.buf)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-conversation")
+            })?;
+            let (seq, resp) = Response::decode(payload)?;
+            if seq != expect {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("peer sequence mismatch: sent {expect}, got {seq}"),
+                ));
+            }
+            resps.push(resp);
+        }
+        Ok(resps)
+    }
+}
+
+/// A pooled client for one downstream node: `lanes` independent
+/// connections so concurrent reactor threads (or slots) never share a
+/// stream. Lane `l` maps to slot `l % lanes`. Dialing retries with
+/// backoff; a failure after a request has been written tears the lane
+/// down without resending (see the module docs).
+pub struct RemoteNode {
+    addr: String,
+    lanes: Box<[CachePadded<Mutex<Option<PeerConn>>>]>,
+}
+
+impl fmt::Debug for RemoteNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RemoteNode")
+            .field("addr", &self.addr)
+            .field("lanes", &self.lanes.len())
+            .finish()
+    }
+}
+
+/// Dial attempts per peer call (nothing has been sent yet, so retrying
+/// is safe) and the first backoff, doubled per attempt.
+const PEER_DIAL_ATTEMPTS: u32 = 20;
+const PEER_DIAL_BACKOFF: Duration = Duration::from_millis(5);
+
+impl RemoteNode {
+    /// A pool of `lanes` connection slots toward `addr` (dialed lazily).
+    pub fn new(addr: String, lanes: usize) -> RemoteNode {
+        RemoteNode {
+            addr,
+            lanes: (0..lanes.max(1)).map(|_| CachePadded::new(Mutex::new(None))).collect(),
+        }
+    }
+
+    /// The downstream address this link dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Runs one pipelined conversation on `lane`'s connection.
+    fn with_lane<T>(
+        &self,
+        lane: usize,
+        f: impl FnOnce(&mut PeerConn) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut slot = self.lanes[lane % self.lanes.len()].lock();
+        if slot.is_none() {
+            let mut backoff = PEER_DIAL_BACKOFF;
+            let mut last = None;
+            for attempt in 0..PEER_DIAL_ATTEMPTS {
+                match PeerConn::dial(&self.addr) {
+                    Ok(conn) => {
+                        *slot = Some(conn);
+                        break;
+                    }
+                    Err(e) => {
+                        last = Some(e);
+                        if attempt + 1 < PEER_DIAL_ATTEMPTS {
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(PEER_DIAL_BACKOFF * 100);
+                        }
+                    }
+                }
+            }
+            if slot.is_none() {
+                return Err(last.unwrap_or_else(|| {
+                    io::Error::new(io::ErrorKind::NotConnected, "peer dial failed")
+                }));
+            }
+        }
+        let conn = slot.as_mut().expect("dialed above");
+        let result = f(conn);
+        if result.is_err() {
+            *slot = None; // never resend on a torn conversation
+        }
+        result
+    }
+
+    /// One request, one response, on `lane`.
+    pub fn call(&self, lane: usize, req: &Request) -> io::Result<Response> {
+        self.with_lane(lane, |conn| {
+            Ok(conn.calls(std::slice::from_ref(req))?.pop().expect("one response"))
+        })
+    }
+
+    /// Pipelines `reqs` on `lane` and returns the responses in order.
+    pub fn call_many(&self, lane: usize, reqs: &[Request]) -> io::Result<Vec<Response>> {
+        self.with_lane(lane, |conn| conn.calls(reqs))
+    }
+}
+
+/// A node's executable share of the network: relay nodes traverse and
+/// forward, the tail traverses and counts.
+enum StageKind {
+    /// Nodes `0..N-1`: balancer layers only; exits cross the cut.
+    Relay {
+        engine: CompiledNetwork,
+        balancers: Box<[CachePadded<AtomicUsize>]>,
+    },
+    /// Node `N-1`: balancer layers plus the output counters.
+    Tail { counter: SharedNetworkCounter },
+}
+
+/// One process of the counting fabric: node `node` of an `N`-node chain
+/// over a partitioned network, holding its compiled layer range and (on
+/// every node but the tail) the peer link to node `node+1`.
+///
+/// The head (node 0) doubles as a [`ProcessCounter`]: a client `Next`
+/// enters the fabric here exactly like a thread enters the shared-memory
+/// network, which is what lets [`crate::server::CounterServer`] serve a
+/// whole cluster through the same data path as a single process.
+pub struct ClusterNode {
+    node: usize,
+    nodes: usize,
+    fan: usize,
+    stage: StageKind,
+    downstream: Option<RemoteNode>,
+    /// Fabric-entry token ids (diagnostic identity carried by `Forward`).
+    tokens: AtomicU64,
+    /// Client-facing address of the head, propagated down the chain by
+    /// `Announce`; empty until learned.
+    head: Mutex<String>,
+}
+
+impl fmt::Debug for ClusterNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClusterNode")
+            .field("node", &self.node)
+            .field("nodes", &self.nodes)
+            .field("fan", &self.fan)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterNode {
+    /// Assembles node `node` of an `nodes`-node chain over `net`,
+    /// partitioned by [`Partition::contiguous`]. `peers` lists the
+    /// downstream node addresses in chain order (`node+1`, `node+2`, …);
+    /// only the first is dialed — each node relays onward. `lanes` sizes
+    /// the peer connection pool (use the server's connection-slot count).
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError`] on a rejected plan, an out-of-range node index, or
+    /// a missing peer address for a non-tail node.
+    pub fn new(
+        net: &Network,
+        node: usize,
+        nodes: usize,
+        peers: &[String],
+        lanes: usize,
+    ) -> Result<ClusterNode, ClusterError> {
+        let plan = Partition::contiguous(net, nodes)?;
+        if node >= nodes {
+            return Err(ClusterError::BadNode { node, nodes });
+        }
+        let fan = plan.fan();
+        let engine = CompiledNetwork::compile(&plan.sub_network(net, node));
+        let (stage, downstream) = if node + 1 == nodes {
+            (StageKind::Tail { counter: SharedNetworkCounter::from_compiled(engine) }, None)
+        } else {
+            let peer =
+                peers.first().ok_or(ClusterError::MissingPeer { node })?.clone();
+            let balancers = engine.new_balancer_states();
+            (
+                StageKind::Relay { engine, balancers },
+                Some(RemoteNode::new(peer, lanes)),
+            )
+        };
+        Ok(ClusterNode {
+            node,
+            nodes,
+            fan,
+            stage,
+            downstream,
+            tokens: AtomicU64::new(0),
+            head: Mutex::new(String::new()),
+        })
+    }
+
+    /// This node's chain index.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Chain length.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The network fan `w` (the width of every cut).
+    pub fn fan(&self) -> usize {
+        self.fan
+    }
+
+    /// Whether this is the entry node clients count through.
+    pub fn is_head(&self) -> bool {
+        self.node == 0
+    }
+
+    /// Whether this node owns the output counters.
+    pub fn is_tail(&self) -> bool {
+        self.node + 1 == self.nodes
+    }
+
+    /// The head's client-facing address as currently known (empty until
+    /// announced down the chain; the head itself learns it at bind time).
+    pub fn head_addr(&self) -> String {
+        self.head.lock().clone()
+    }
+
+    /// Records the head's client-facing address.
+    pub fn set_head_addr(&self, addr: String) {
+        *self.head.lock() = addr;
+    }
+
+    /// Introduces this node to its downstream peer, propagating the
+    /// head's address ([`Request::Announce`]). A no-op on the tail.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures on the peer link, or a non-`Pong` answer.
+    pub fn announce_downstream(&self, lane: usize) -> io::Result<()> {
+        let Some(down) = &self.downstream else { return Ok(()) };
+        let req = Request::Announce { node: self.node as u32, head: self.head_addr() };
+        match down.call(lane, &req)? {
+            Response::Pong => Ok(()),
+            other => Err(response_error(&other)),
+        }
+    }
+
+    /// Runs one token that is already inside the fabric: traverse this
+    /// node's layers from cut position `port`, then count (tail) or
+    /// forward across the next cut carrying `token` (relay). `lane` picks
+    /// the peer connection.
+    ///
+    /// # Errors
+    ///
+    /// Peer-link I/O failures and downstream refusals.
+    pub fn step(&self, lane: usize, token: u64, port: usize) -> io::Result<u64> {
+        assert!(port < self.fan, "cut position {port} out of range");
+        match &self.stage {
+            StageKind::Tail { counter } => Ok(counter.increment_from(port)),
+            StageKind::Relay { engine, balancers } => {
+                let exit = engine.traverse(port, balancers);
+                let down = self.downstream.as_ref().expect("relay has a downstream");
+                let req = Request::Forward {
+                    token,
+                    port: exit as u32,
+                    node_seq: (self.node + 1) as u32,
+                };
+                match down.call(lane, &req)? {
+                    Response::Value { value } => Ok(value),
+                    other => Err(response_error(&other)),
+                }
+            }
+        }
+    }
+
+    /// Runs `n` tokens entering together on cut position `port` — the
+    /// batched counterpart of [`step`](Self::step). A relay node pays at
+    /// most one atomic per balancer for the whole batch
+    /// ([`CompiledNetwork::traverse_batch`]), then forwards one
+    /// `ForwardBatch` per occupied cut position, pipelined in a single
+    /// write burst. Values come back grouped by cut position; the set is
+    /// what matters (a counting network never promises per-token order).
+    ///
+    /// # Errors
+    ///
+    /// Peer-link I/O failures, downstream refusals, and a downstream
+    /// batch of the wrong length.
+    pub fn step_batch(
+        &self,
+        lane: usize,
+        token: u64,
+        port: usize,
+        n: usize,
+    ) -> io::Result<Vec<u64>> {
+        assert!(port < self.fan, "cut position {port} out of range");
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        match &self.stage {
+            StageKind::Tail { counter } => {
+                let mut values = Vec::with_capacity(n);
+                counter.increment_batch_from(port, n, &mut values);
+                Ok(values)
+            }
+            StageKind::Relay { engine, balancers } => {
+                let mut sink_counts = Vec::new();
+                engine.traverse_batch(port, n, balancers, &mut sink_counts);
+                let down = self.downstream.as_ref().expect("relay has a downstream");
+                let node_seq = (self.node + 1) as u32;
+                let mut reqs = Vec::new();
+                let mut offset = 0u64;
+                for (exit, &count) in sink_counts.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    reqs.push(Request::ForwardBatch {
+                        token: token.wrapping_add(offset),
+                        port: exit as u32,
+                        node_seq,
+                        n: count as u32,
+                    });
+                    offset += count as u64;
+                }
+                let mut values = Vec::with_capacity(n);
+                for (req, resp) in reqs.iter().zip(down.call_many(lane, &reqs)?) {
+                    let Request::ForwardBatch { n: want, .. } = req else { unreachable!() };
+                    match resp {
+                        Response::Batch { values: got } if got.len() == *want as usize => {
+                            values.extend(got);
+                        }
+                        Response::Batch { values: got } => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("forwarded {want} tokens, got {} values", got.len()),
+                            ));
+                        }
+                        other => return Err(response_error(&other)),
+                    }
+                }
+                Ok(values)
+            }
+        }
+    }
+
+    /// A client operation entering the fabric: stamps a fresh token id and
+    /// runs it from entry port `process % fan`. Call on the head — entry
+    /// ports of any other node are interior cut positions, and counting
+    /// from them would skip the upstream layers.
+    ///
+    /// # Errors
+    ///
+    /// Peer-link I/O failures and downstream refusals.
+    pub fn ingress(&self, lane: usize, process: usize) -> io::Result<u64> {
+        let token = self.tokens.fetch_add(1, Ordering::Relaxed);
+        self.step(lane, token, process % self.fan)
+    }
+
+    /// `n` client operations entering together on `process`'s entry port.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ingress`](Self::ingress).
+    pub fn ingress_batch(&self, lane: usize, process: usize, n: usize) -> io::Result<Vec<u64>> {
+        let token = self.tokens.fetch_add(n as u64, Ordering::Relaxed);
+        self.step_batch(lane, token, process % self.fan, n)
+    }
+}
+
+impl ProcessCounter for ClusterNode {
+    /// Panics on peer-link failures — the trait is infallible; the server
+    /// uses the fallible [`ClusterNode::ingress`] path instead.
+    fn next_for(&self, process: usize) -> u64 {
+        match self.ingress(process, process) {
+            Ok(value) => value,
+            Err(e) => panic!("cluster hop from node {} failed: {e}", self.node),
+        }
+    }
+
+    fn next_batch_for(&self, process: usize, n: usize) -> Vec<u64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        match self.ingress_batch(process, process, n) {
+            Ok(values) => values,
+            Err(e) => panic!("cluster hop from node {} failed: {e}", self.node),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnet_topology::construct::bitonic;
+
+    #[test]
+    fn a_single_node_chain_is_just_the_network() {
+        let net = bitonic(4).unwrap();
+        let node = ClusterNode::new(&net, 0, 1, &[], 2).unwrap();
+        assert!(node.is_head() && node.is_tail());
+        assert_eq!(node.fan(), 4);
+        let mut values: Vec<u64> = (0..32).map(|i| node.next_for(i)).collect();
+        values.extend(node.next_batch_for(1, 16));
+        values.sort_unstable();
+        assert_eq!(values, (0..48).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relay_nodes_require_a_peer() {
+        let net = bitonic(4).unwrap();
+        let err = ClusterNode::new(&net, 0, 2, &[], 1).unwrap_err();
+        assert_eq!(err, ClusterError::MissingPeer { node: 0 });
+        let err = ClusterNode::new(&net, 5, 2, &[], 1).unwrap_err();
+        assert_eq!(err, ClusterError::BadNode { node: 5, nodes: 2 });
+        let err = ClusterNode::new(&net, 0, 99, &[], 1).unwrap_err();
+        assert!(matches!(err, ClusterError::Partition(_)), "{err}");
+    }
+
+    #[test]
+    fn the_tail_counts_without_any_peer_link() {
+        let net = bitonic(8).unwrap();
+        let tail = ClusterNode::new(&net, 1, 2, &[], 1).unwrap();
+        assert!(tail.is_tail() && !tail.is_head());
+        // Tokens entering the tail on cut positions count through the
+        // final layers; sequentially the values are a permutation.
+        let mut values: Vec<u64> =
+            (0..24).map(|i| tail.step(0, i as u64, i % 8).unwrap()).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cluster_errors_render_their_cause() {
+        let msg = ClusterError::MissingPeer { node: 3 }.to_string();
+        assert!(msg.contains("node 3"), "{msg}");
+        let net = bitonic(2).unwrap();
+        let msg = ClusterNode::new(&net, 0, 9, &[], 1).unwrap_err().to_string();
+        assert!(msg.contains("partition plan rejected"), "{msg}");
+    }
+}

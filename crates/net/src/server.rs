@@ -74,14 +74,16 @@
 //! with [`Response::Bye`] and wakes whoever is parked in
 //! [`CounterServer::wait_for_shutdown_request`].
 
+use crate::router::ClusterNode;
 use crate::wire::{
-    write_response, ErrorCode, FrameDecoder, Request, Response, StatsSnapshot, MAX_BATCH,
+    write_response, ErrorCode, FrameDecoder, NodeInfo, Request, Response, StatsSnapshot,
+    TraceEvent, MAX_BATCH, MAX_TRACE_EVENTS,
 };
 use cnet_runtime::drain::Drain;
 use cnet_runtime::{ProcessCounter, TraceRecorder};
 use cnet_util::poll::{Interest, Poller, Waker};
 use cnet_util::sync::{CachePadded, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -159,6 +161,14 @@ struct ReactorShared {
 struct Shared {
     backend: Arc<dyn ProcessCounter + Send + Sync>,
     recorder: Option<Arc<TraceRecorder>>,
+    /// Cluster identity and forwarding state; `None` for a plain
+    /// single-process server.
+    cluster: Option<Arc<ClusterNode>>,
+    /// This server's own client-facing address (learned at bind).
+    advertise: String,
+    /// Recorder events drained but not yet shipped by a [`Request::Trace`]
+    /// conversation; the lock serializes drains (single-drainer contract).
+    trace_pending: Mutex<VecDeque<TraceEvent>>,
     cfg: ServerConfig,
     /// Stop serving: acceptor and reactors exit, handlers refuse
     /// increments.
@@ -223,7 +233,7 @@ impl CounterServer {
         backend: Arc<dyn ProcessCounter + Send + Sync>,
         cfg: ServerConfig,
     ) -> io::Result<CounterServer> {
-        CounterServer::start_inner(addr, backend, None, cfg)
+        CounterServer::start_inner(addr, backend, None, None, cfg)
     }
 
     /// Like [`start`](Self::start), additionally recording every increment
@@ -240,23 +250,43 @@ impl CounterServer {
         recorder: Arc<TraceRecorder>,
         cfg: ServerConfig,
     ) -> io::Result<CounterServer> {
-        if recorder.shards() < cfg.max_connections {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "recorder has {} shards for {} connection slots",
-                    recorder.shards(),
-                    cfg.max_connections
-                ),
-            ));
+        check_shards(&recorder, &cfg)?;
+        CounterServer::start_inner(addr, backend, Some(recorder), None, cfg)
+    }
+
+    /// Starts one node of a counting cluster: the node's own layer range
+    /// runs behind the same reactor data path, with [`Request::Forward`]
+    /// hops accepted from upstream peers and (on the head) client
+    /// increments entering the fabric. With a `recorder`, every *client*
+    /// operation this node serves is recorded — forwarded hops are not
+    /// (the head records them once; recording each hop again would
+    /// duplicate values in the merged cluster history).
+    ///
+    /// The head announces its address down the chain on startup, so any
+    /// node can point clients at the head ([`Request::NodeInfo`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; fails with `InvalidInput` if the
+    /// recorder has fewer shards than `cfg.max_connections`.
+    pub fn start_cluster(
+        addr: impl ToSocketAddrs,
+        cluster: Arc<ClusterNode>,
+        recorder: Option<Arc<TraceRecorder>>,
+        cfg: ServerConfig,
+    ) -> io::Result<CounterServer> {
+        if let Some(rec) = recorder.clone() {
+            check_shards(&rec, &cfg)?;
         }
-        CounterServer::start_inner(addr, backend, Some(recorder), cfg)
+        let backend: Arc<dyn ProcessCounter + Send + Sync> = Arc::clone(&cluster) as _;
+        CounterServer::start_inner(addr, backend, recorder, Some(cluster), cfg)
     }
 
     fn start_inner(
         addr: impl ToSocketAddrs,
         backend: Arc<dyn ProcessCounter + Send + Sync>,
         recorder: Option<Arc<TraceRecorder>>,
+        cluster: Option<Arc<ClusterNode>>,
         cfg: ServerConfig,
     ) -> io::Result<CounterServer> {
         let max_connections = cfg.max_connections.max(1);
@@ -289,9 +319,23 @@ impl CounterServer {
                 events: CachePadded::new(AtomicU64::new(0)),
             });
         }
+        // The head learns its client-facing address at bind time and
+        // pushes it down the chain so every node can redirect clients.
+        if let Some(c) = &cluster {
+            if c.is_head() {
+                c.set_head_addr(addr.to_string());
+                let announcer = Arc::clone(c);
+                std::thread::spawn(move || {
+                    let _ = announcer.announce_downstream(0);
+                });
+            }
+        }
         let shared = Arc::new(Shared {
             backend,
             recorder,
+            cluster,
+            advertise: addr.to_string(),
+            trace_pending: Mutex::new(VecDeque::new()),
             cfg,
             stop: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
@@ -376,6 +420,22 @@ impl Drop for CounterServer {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Every connection slot is a recorder shard; refuse a recorder that
+/// cannot hold them all.
+fn check_shards(recorder: &Arc<TraceRecorder>, cfg: &ServerConfig) -> io::Result<()> {
+    if recorder.shards() < cfg.max_connections {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "recorder has {} shards for {} connection slots",
+                recorder.shards(),
+                cfg.max_connections
+            ),
+        ));
+    }
+    Ok(())
 }
 
 fn snapshot(shared: &Shared) -> StatsSnapshot {
@@ -657,14 +717,16 @@ fn process_frames(shared: &Shared, conn: &mut Conn) {
             return;
         }
         // Decode to owned values before touching `conn` again (the
-        // payload borrows the decoder's buffer).
-        let decoded: Result<(u32, Request), _> = match conn.decoder.next_frame() {
-            Ok(Some(payload)) => Request::decode(payload),
+        // payload borrows the decoder's buffer). The frame's protocol
+        // version rides along so the response answers in the same
+        // dialect (a v1 client's Ping gets a v1 Pong).
+        let decoded: Result<(u32, u8, Request), _> = match conn.decoder.next_frame() {
+            Ok(Some(payload)) => Request::decode_versioned(payload),
             Ok(None) => return,
             Err(e) => Err(e),
         };
         match decoded {
-            Ok((seq, req)) => execute(shared, conn, seq, req),
+            Ok((seq, version, req)) => execute(shared, conn, seq, version, req),
             Err(_) => {
                 // Cannot trust anything in the frame, including its seq.
                 Response::Error(ErrorCode::Malformed).encode(0, &mut conn.out);
@@ -675,33 +737,53 @@ fn process_frames(shared: &Shared, conn: &mut Conn) {
     }
 }
 
-/// Runs one decoded request against the backend and buffers the response.
-fn execute(shared: &Shared, conn: &mut Conn, seq: u32, req: Request) {
+/// Runs one decoded request against the backend and buffers the
+/// response, stamped with the request's protocol `version` so old
+/// clients are answered in their own dialect.
+fn execute(shared: &Shared, conn: &mut Conn, seq: u32, version: u8, req: Request) {
     let stats = &shared.slot_stats[conn.slot];
     stats.requests.fetch_add(1, Ordering::Relaxed);
     match req {
         Request::Next => {
             if shared.stop.load(Ordering::Acquire) {
-                Response::Error(ErrorCode::ShuttingDown).encode(seq, &mut conn.out);
+                Response::Error(ErrorCode::ShuttingDown)
+                    .encode_versioned(seq, version, &mut conn.out);
                 conn.phase = Phase::Closing;
                 return;
             }
             conn.phase = Phase::Executing;
-            let value = shared.backend.next_for(conn.process);
-            if let Some(rec) = &shared.recorder {
-                rec.record(conn.slot, value);
+            // A client increment enters the fabric at the head; on any
+            // other cluster node the entry ports are interior cut
+            // positions, so counting from them is refused.
+            let value = match &shared.cluster {
+                None => Ok(shared.backend.next_for(conn.process)),
+                Some(c) if c.is_head() => {
+                    c.ingress(conn.slot, conn.process).map_err(|_| ())
+                }
+                Some(_) => Err(()),
+            };
+            match value {
+                Ok(value) => {
+                    if let Some(rec) = &shared.recorder {
+                        rec.record(conn.slot, value);
+                    }
+                    stats.ops.fetch_add(1, Ordering::Relaxed);
+                    Response::Value { value }.encode_versioned(seq, version, &mut conn.out);
+                }
+                Err(_) => Response::Error(ErrorCode::Cluster)
+                    .encode_versioned(seq, version, &mut conn.out),
             }
-            stats.ops.fetch_add(1, Ordering::Relaxed);
-            Response::Value { value }.encode(seq, &mut conn.out);
         }
         Request::NextBatch { n } => {
             if shared.stop.load(Ordering::Acquire) {
-                Response::Error(ErrorCode::ShuttingDown).encode(seq, &mut conn.out);
+                Response::Error(ErrorCode::ShuttingDown)
+                    .encode_versioned(seq, version, &mut conn.out);
                 conn.phase = Phase::Closing;
                 return;
             }
             if n == 0 || n > MAX_BATCH {
-                Response::Error(ErrorCode::BadBatch).encode(seq, &mut conn.out);
+                Response::Error(ErrorCode::BadBatch)
+                    .encode_versioned(seq, version, &mut conn.out);
                 return;
             }
             // One batched backend call — a counting-network backend pays
@@ -709,18 +791,143 @@ fn execute(shared: &Shared, conn: &mut Conn, seq: u32, req: Request) {
             // widened recorder interval covering every value in it (PR 3's
             // interval stamping keeps that audit-sound).
             conn.phase = Phase::Executing;
-            let values = shared.backend.next_batch_for(conn.process, n as usize);
-            if let Some(rec) = &shared.recorder {
-                rec.record_batch(conn.slot, &values);
+            let values = match &shared.cluster {
+                None => Ok(shared.backend.next_batch_for(conn.process, n as usize)),
+                Some(c) if c.is_head() => {
+                    c.ingress_batch(conn.slot, conn.process, n as usize).map_err(|_| ())
+                }
+                Some(_) => Err(()),
+            };
+            match values {
+                Ok(values) => {
+                    if let Some(rec) = &shared.recorder {
+                        rec.record_batch(conn.slot, &values);
+                    }
+                    stats.ops.fetch_add(u64::from(n), Ordering::Relaxed);
+                    stats.batches.fetch_add(1, Ordering::Relaxed);
+                    Response::Batch { values }.encode_versioned(seq, version, &mut conn.out);
+                }
+                Err(_) => Response::Error(ErrorCode::Cluster)
+                    .encode_versioned(seq, version, &mut conn.out),
             }
-            stats.ops.fetch_add(u64::from(n), Ordering::Relaxed);
-            stats.batches.fetch_add(1, Ordering::Relaxed);
-            Response::Batch { values }.encode(seq, &mut conn.out);
         }
-        Request::Ping => Response::Pong.encode(seq, &mut conn.out),
-        Request::Stats => Response::Stats(snapshot(shared)).encode(seq, &mut conn.out),
+        Request::Forward { token, port, node_seq } => {
+            if shared.stop.load(Ordering::Acquire) {
+                Response::Error(ErrorCode::ShuttingDown)
+                    .encode_versioned(seq, version, &mut conn.out);
+                conn.phase = Phase::Closing;
+                return;
+            }
+            let resp = match &shared.cluster {
+                Some(c) if node_seq as usize == c.node() && (port as usize) < c.fan() => {
+                    conn.phase = Phase::Executing;
+                    // Forwarded hops are counted in this node's op stats
+                    // but never recorded: the head already recorded the
+                    // client operation, and a second event per hop would
+                    // fabricate duplicates in the merged cluster history.
+                    match c.step(conn.slot, token, port as usize) {
+                        Ok(value) => {
+                            stats.ops.fetch_add(1, Ordering::Relaxed);
+                            Response::Value { value }
+                        }
+                        Err(_) => Response::Error(ErrorCode::Cluster),
+                    }
+                }
+                _ => Response::Error(ErrorCode::Cluster),
+            };
+            resp.encode_versioned(seq, version, &mut conn.out);
+        }
+        Request::ForwardBatch { token, port, node_seq, n } => {
+            if shared.stop.load(Ordering::Acquire) {
+                Response::Error(ErrorCode::ShuttingDown)
+                    .encode_versioned(seq, version, &mut conn.out);
+                conn.phase = Phase::Closing;
+                return;
+            }
+            if n == 0 || n > MAX_BATCH {
+                Response::Error(ErrorCode::BadBatch)
+                    .encode_versioned(seq, version, &mut conn.out);
+                return;
+            }
+            let resp = match &shared.cluster {
+                Some(c) if node_seq as usize == c.node() && (port as usize) < c.fan() => {
+                    conn.phase = Phase::Executing;
+                    match c.step_batch(conn.slot, token, port as usize, n as usize) {
+                        Ok(values) => {
+                            stats.ops.fetch_add(u64::from(n), Ordering::Relaxed);
+                            stats.batches.fetch_add(1, Ordering::Relaxed);
+                            Response::Batch { values }
+                        }
+                        Err(_) => Response::Error(ErrorCode::Cluster),
+                    }
+                }
+                _ => Response::Error(ErrorCode::Cluster),
+            };
+            resp.encode_versioned(seq, version, &mut conn.out);
+        }
+        Request::NodeInfo => {
+            let shards = shared.recorder.as_ref().map_or(0, |r| r.shards() as u32);
+            let info = match &shared.cluster {
+                Some(c) => NodeInfo {
+                    node: c.node() as u32,
+                    nodes: c.nodes() as u32,
+                    fan: c.fan() as u32,
+                    shards,
+                    head: c.head_addr(),
+                },
+                // A plain server is its own one-node cluster; fan 0 means
+                // "not partitioned".
+                None => NodeInfo {
+                    node: 0,
+                    nodes: 1,
+                    fan: 0,
+                    shards,
+                    head: shared.advertise.clone(),
+                },
+            };
+            Response::NodeInfo(info).encode_versioned(seq, version, &mut conn.out);
+        }
+        Request::Announce { node: _, head } => {
+            // Learn the head's address once and relay it onward; repeat
+            // announcements are acknowledged without re-propagating.
+            if let Some(c) = &shared.cluster {
+                if !head.is_empty() && c.head_addr().is_empty() {
+                    c.set_head_addr(head);
+                    let _ = c.announce_downstream(conn.slot);
+                }
+            }
+            Response::Pong.encode_versioned(seq, version, &mut conn.out);
+        }
+        Request::Trace { max } => {
+            let mut events = Vec::new();
+            if let Some(rec) = &shared.recorder {
+                let mut pending = shared.trace_pending.lock();
+                if pending.is_empty() {
+                    // Drain published events only: shards of closed
+                    // connections were flushed in `close_conn`, and a live
+                    // shard must not be flushed from this thread (the
+                    // recorder's single-writer contract). Audit after the
+                    // load-generating clients have disconnected.
+                    rec.drain_each(|shard, enter_ns, exit_ns, value| {
+                        pending.push_back(TraceEvent {
+                            shard: shard as u32,
+                            enter_ns,
+                            exit_ns,
+                            value,
+                        });
+                    });
+                }
+                let take = (max.min(MAX_TRACE_EVENTS) as usize).min(pending.len());
+                events.extend(pending.drain(..take));
+            }
+            Response::Trace { events }.encode_versioned(seq, version, &mut conn.out);
+        }
+        Request::Ping => Response::Pong.encode_versioned(seq, version, &mut conn.out),
+        Request::Stats => {
+            Response::Stats(snapshot(shared)).encode_versioned(seq, version, &mut conn.out);
+        }
         Request::Shutdown => {
-            Response::Bye.encode(seq, &mut conn.out);
+            Response::Bye.encode_versioned(seq, version, &mut conn.out);
             shared.shutdown_requested.store(true, Ordering::Release);
             shared.gate_cv.notify_all();
             conn.phase = Phase::Closing;
@@ -1093,6 +1300,180 @@ mod tests {
         }
         values.sort_unstable();
         assert_eq!(values, (0..8).collect::<Vec<u64>>());
+    }
+
+    /// The bytes a pre-cluster (protocol v1) client actually puts on the
+    /// wire: `[len][version=1][opcode][seq]` + body.
+    fn v1_frame(opcode: u8, seq: u32, body: &[u8]) -> Vec<u8> {
+        let mut f = Vec::new();
+        f.extend_from_slice(&((6 + body.len()) as u32).to_le_bytes());
+        f.push(1); // protocol version 1
+        f.push(opcode);
+        f.extend_from_slice(&seq.to_le_bytes());
+        f.extend_from_slice(body);
+        f
+    }
+
+    #[test]
+    fn v1_clients_are_answered_in_their_own_dialect() {
+        // Regression: the server must answer a v1 Ping instead of
+        // dropping the connection, and the response must itself be a v1
+        // frame so the old client's strict decoder accepts it.
+        let server = fetch_add_server(ServerConfig::default());
+        let mut c = Raw::connect(server.local_addr());
+        c.stream.write_all(&v1_frame(0x03, 7, &[])).unwrap();
+        let payload = read_frame(&mut c.stream, &mut c.buf).unwrap().unwrap();
+        assert_eq!(payload[0], 1, "response version must echo the request's");
+        assert_eq!(Response::decode(payload).unwrap(), (7, Response::Pong));
+        // Counting works too, still stamped v1.
+        c.stream.write_all(&v1_frame(0x01, 8, &[])).unwrap();
+        let payload = read_frame(&mut c.stream, &mut c.buf).unwrap().unwrap();
+        assert_eq!(payload[0], 1);
+        assert_eq!(
+            Response::decode(payload).unwrap(),
+            (8, Response::Value { value: 0 })
+        );
+        // A cluster opcode in a v1 frame is malformed: old clients never
+        // see half-understood cluster traffic.
+        c.stream.write_all(&v1_frame(0x08, 9, &[])).unwrap();
+        let (_, resp) = c.recv();
+        assert_eq!(resp, Response::Error(ErrorCode::Malformed));
+    }
+
+    #[test]
+    fn a_plain_server_answers_node_info_as_a_one_node_cluster() {
+        let server = fetch_add_server(ServerConfig::default());
+        let mut c = Raw::connect(server.local_addr());
+        let s = c.send(&Request::NodeInfo);
+        let (seq, resp) = c.recv();
+        assert_eq!(seq, s);
+        let Response::NodeInfo(info) = resp else { panic!("{resp:?}") };
+        assert_eq!((info.node, info.nodes, info.fan), (0, 1, 0));
+        assert_eq!(info.head, server.local_addr().to_string());
+    }
+
+    #[test]
+    fn trace_chunks_drain_the_recorder_over_the_wire() {
+        let recorder = Arc::new(TraceRecorder::new(4, 1024));
+        let server = CounterServer::with_recorder(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            Arc::clone(&recorder),
+            ServerConfig { max_connections: 4, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        {
+            let mut c = Raw::connect(addr);
+            c.send(&Request::NextBatch { n: 10 });
+            c.recv();
+        } // disconnect flushes the slot's shard
+        // Poll until the reactor has processed the close (the flush runs
+        // in close_conn on the reactor thread).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut got = Vec::new();
+        while got.len() < 10 && std::time::Instant::now() < deadline {
+            let mut c = Raw::connect(addr);
+            // Chunked fetch: 4 events at a time.
+            loop {
+                c.send(&Request::Trace { max: 4 });
+                let (_, resp) = c.recv();
+                let Response::Trace { events } = resp else { panic!("{resp:?}") };
+                if events.is_empty() {
+                    break;
+                }
+                assert!(events.len() <= 4);
+                got.extend(events);
+            }
+            if got.len() < 10 {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let mut values: Vec<u64> = got.iter().map(|e| e.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..10).collect::<Vec<_>>());
+        assert!(got.iter().all(|e| e.exit_ns >= e.enter_ns));
+    }
+
+    #[test]
+    fn a_two_node_cluster_serves_the_whole_permutation() {
+        use crate::client::RemoteCounter;
+        use cnet_topology::construct::bitonic;
+
+        let net = bitonic(8).unwrap();
+        let cfg = ServerConfig { max_connections: 8, processes: 8, reactors: 2, ..ServerConfig::default() };
+        // Tail first (it owns the counters and needs no peer), then the
+        // head pointed at it — the verify-script startup order.
+        let tail = Arc::new(ClusterNode::new(&net, 1, 2, &[], cfg.max_connections).unwrap());
+        let tail_server =
+            CounterServer::start_cluster("127.0.0.1:0", Arc::clone(&tail), None, cfg).unwrap();
+        let peers = vec![tail_server.local_addr().to_string()];
+        let head = Arc::new(ClusterNode::new(&net, 0, 2, &peers, cfg.max_connections).unwrap());
+        let head_server =
+            CounterServer::start_cluster("127.0.0.1:0", Arc::clone(&head), None, cfg).unwrap();
+
+        let client = RemoteCounter::connect(head_server.local_addr(), 2).unwrap();
+        let mut values = Vec::new();
+        for i in 0..64 {
+            values.push(client.try_next(i % 8).unwrap());
+        }
+        values.extend(client.next_batch(3, 100).unwrap());
+        values.sort_unstable();
+        assert_eq!(values, (0..164).collect::<Vec<u64>>(), "cluster permutation broke");
+
+        // NodeInfo from both nodes; the tail learns the head's address
+        // from the startup announcement.
+        let info = client.node_info().unwrap();
+        assert_eq!((info.node, info.nodes, info.fan), (0, 2, 8));
+        let tail_client = RemoteCounter::connect(tail_server.local_addr(), 1).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut tail_info = tail_client.node_info().unwrap();
+        while tail_info.head.is_empty() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+            tail_info = tail_client.node_info().unwrap();
+        }
+        assert_eq!((tail_info.node, tail_info.nodes), (1, 2));
+        assert_eq!(tail_info.head, head_server.local_addr().to_string());
+
+        // Routed connect against the tail lands on the head and counts.
+        let routed = RemoteCounter::connect_routed(tail_server.local_addr(), 1).unwrap();
+        assert_eq!(routed.addr(), head_server.local_addr());
+        assert_eq!(routed.try_next(0).unwrap(), 164);
+
+        // A client Next against the tail is refused: its entry ports are
+        // interior cut positions.
+        assert!(tail_client.try_next(0).is_err());
+    }
+
+    #[test]
+    fn forward_hops_validate_their_target_node() {
+        use cnet_topology::construct::bitonic;
+        let net = bitonic(4).unwrap();
+        let tail = Arc::new(ClusterNode::new(&net, 1, 2, &[], 2).unwrap());
+        let server = CounterServer::start_cluster(
+            "127.0.0.1:0",
+            tail,
+            None,
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let mut c = Raw::connect(server.local_addr());
+        // Wrong node_seq: this node is 1, not 2.
+        let s = c.send(&Request::Forward { token: 0, port: 0, node_seq: 2 });
+        assert_eq!(c.recv(), (s, Response::Error(ErrorCode::Cluster)));
+        // Out-of-range cut position.
+        let s = c.send(&Request::Forward { token: 0, port: 99, node_seq: 1 });
+        assert_eq!(c.recv(), (s, Response::Error(ErrorCode::Cluster)));
+        // A correct hop counts.
+        let s = c.send(&Request::Forward { token: 0, port: 2, node_seq: 1 });
+        let (seq, resp) = c.recv();
+        assert_eq!(seq, s);
+        assert!(matches!(resp, Response::Value { .. }), "{resp:?}");
+        // Forwarding to a plain (non-cluster) server is refused too.
+        let plain = fetch_add_server(ServerConfig::default());
+        let mut p = Raw::connect(plain.local_addr());
+        let s = p.send(&Request::Forward { token: 0, port: 0, node_seq: 0 });
+        assert_eq!(p.recv(), (s, Response::Error(ErrorCode::Cluster)));
     }
 
     #[test]

@@ -26,23 +26,43 @@
 //! | `0x03` | → server  | [`Request::Ping`] | — |
 //! | `0x04` | → server  | [`Request::Stats`] | — |
 //! | `0x05` | → server  | [`Request::Shutdown`] | — |
+//! | `0x06` | → peer    | [`Request::Forward`] | `token: u64`, `port: u32`, `node_seq: u32` |
+//! | `0x07` | → peer    | [`Request::ForwardBatch`] | `token: u64`, `port: u32`, `node_seq: u32`, `n: u32` |
+//! | `0x08` | → server  | [`Request::NodeInfo`] | — |
+//! | `0x09` | → peer    | [`Request::Announce`] | `node: u32`, `head: u16 LE + UTF-8` |
+//! | `0x0A` | → server  | [`Request::Trace`] | `max: u32` |
 //! | `0x81` | ← server  | [`Response::Value`] | `value: u64 LE` |
 //! | `0x82` | ← server  | [`Response::Batch`] | `n: u32 LE`, `n × u64 LE` |
 //! | `0x83` | ← server  | [`Response::Pong`] | — |
 //! | `0x84` | ← server  | [`Response::Stats`] | 9 × `u64 LE` ([`StatsSnapshot`]) |
 //! | `0x85` | ← server  | [`Response::Bye`] | — |
 //! | `0x86` | ← server  | [`Response::Error`] | `code: u8` ([`ErrorCode`]) |
+//! | `0x87` | ← server  | [`Response::NodeInfo`] | 4 × `u32 LE`, `head: u16 LE + UTF-8` |
+//! | `0x88` | ← server  | [`Response::Trace`] | `n: u32 LE`, `n ×` [`TraceEvent`] (28 B) |
 //!
 //! Integers are little-endian throughout. Decoding is strict: unknown
 //! versions and opcodes, truncated bodies, and trailing bytes are all
 //! [`WireError`]s — a server answers them with [`Response::Error`] and
 //! drops the connection rather than guessing.
+//!
+//! # Version negotiation
+//!
+//! Version 2 added the cluster opcodes (`0x06`–`0x0A`, `0x87`–`0x88`).
+//! Decoding still accepts version-1 frames for the version-1 opcode set,
+//! and a server echoes the request's version in its response
+//! ([`Response::encode_versioned`]), so a v1 client's `Ping` is answered
+//! with a v1 `Pong` instead of a dropped connection. A cluster opcode
+//! inside a v1 frame is a [`WireError::BadOpcode`]: old clients never see
+//! half-understood cluster traffic.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Protocol version carried in every frame.
-pub const VERSION: u8 = 1;
+/// Protocol version stamped on newly encoded frames.
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version still decoded (see "Version negotiation").
+pub const MIN_VERSION: u8 = 1;
 
 /// Fixed payload header: version, opcode, sequence number.
 pub const HEADER_LEN: usize = 6;
@@ -56,7 +76,7 @@ pub const MAX_FRAME: usize = 1 << 20;
 pub const MAX_BATCH: u32 = 1 << 16;
 
 /// A request frame, client to server.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Request {
     /// One increment; answered with [`Response::Value`].
     Next,
@@ -74,6 +94,54 @@ pub enum Request {
     /// Asks the whole server to drain and stop; answered with
     /// [`Response::Bye`] before the connection closes.
     Shutdown,
+    /// A token crossing a partition cut, node `k` to node `k+1`; answered
+    /// with [`Response::Value`] once the chain's final node has counted
+    /// it, the value flowing back along the reverse path.
+    Forward {
+        /// Cluster-unique token id stamped by the entry node (diagnostic
+        /// identity; the counting path never branches on it).
+        token: u64,
+        /// The cut position the token exits/enters on: sink `port` of the
+        /// sender's sub-network = source `port` of the receiver's.
+        port: u32,
+        /// The receiving node's index in the chain; a node refuses a hop
+        /// that does not match its own position
+        /// ([`ErrorCode::Cluster`]).
+        node_seq: u32,
+    },
+    /// `n` tokens crossing a cut on the same position in one frame (the
+    /// sender's batched traversal groups tokens per exit port); answered
+    /// with [`Response::Batch`] of `n` values.
+    ForwardBatch {
+        /// Token id of the first token in the group.
+        token: u64,
+        /// The shared cut position.
+        port: u32,
+        /// The receiving node's expected chain index.
+        node_seq: u32,
+        /// Number of tokens in the group (`1..=MAX_BATCH`).
+        n: u32,
+    },
+    /// Asks who the server is in the cluster; answered with
+    /// [`Response::NodeInfo`]. Clients use it to route to the entry node.
+    NodeInfo,
+    /// An upstream peer introducing itself on a freshly dialed peer link,
+    /// propagating the cluster head's address down the chain; answered
+    /// with [`Response::Pong`].
+    Announce {
+        /// The announcing (upstream) node's chain index.
+        node: u32,
+        /// The client-facing address of the cluster head (node 0), as the
+        /// announcer knows it; empty if not yet known.
+        head: String,
+    },
+    /// Fetches a chunk of recorded trace events for the cluster-wide
+    /// audit; answered with [`Response::Trace`]. Repeated requests drain
+    /// the recorder; an empty response means fully drained.
+    Trace {
+        /// Upper bound on events returned in one response frame.
+        max: u32,
+    },
 }
 
 /// A response frame, server to client, echoing the request's `seq`.
@@ -98,7 +166,54 @@ pub enum Response {
     /// The request could not be served; the server closes the connection
     /// after sending this.
     Error(ErrorCode),
+    /// Who the server is in the cluster (answer to [`Request::NodeInfo`]).
+    NodeInfo(NodeInfo),
+    /// A chunk of recorded trace events (answer to [`Request::Trace`]);
+    /// empty when the server's recorder is fully drained.
+    Trace {
+        /// The drained events, in per-shard record order.
+        events: Vec<TraceEvent>,
+    },
 }
+
+/// A server's cluster identity, as carried by [`Response::NodeInfo`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// This server's chain index (`0` = entry/head node).
+    pub node: u32,
+    /// Total nodes in the chain (`1` for a single-process server).
+    pub nodes: u32,
+    /// The network fan `w` — the width of every partition cut.
+    pub fan: u32,
+    /// Recorder shards this node can serve via [`Request::Trace`]
+    /// (`0` when auditing is off).
+    pub shards: u32,
+    /// Client-facing address of the head node; empty if unknown (head not
+    /// yet announced down the chain) — the head itself always knows it.
+    pub head: String,
+}
+
+/// One recorded operation interval, as carried by [`Response::Trace`]
+/// (28 bytes on the wire: `shard: u32`, then three `u64`s).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The recorder shard (node-local) the event came from; events within
+    /// one shard arrive in nondecreasing `enter_ns` order.
+    pub shard: u32,
+    /// Operation start, integer nanoseconds on the serving node's clock.
+    pub enter_ns: u64,
+    /// Operation end, same clock, `>= enter_ns`.
+    pub exit_ns: u64,
+    /// The counter value the operation returned.
+    pub value: u64,
+}
+
+/// Wire size of one [`TraceEvent`].
+pub const TRACE_EVENT_LEN: usize = 28;
+
+/// Hard cap on events per [`Response::Trace`] frame (keeps the frame
+/// comfortably under [`MAX_FRAME`]).
+pub const MAX_TRACE_EVENTS: u32 = 1 << 14;
 
 /// Why a request was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -111,6 +226,9 @@ pub enum ErrorCode {
     Busy = 3,
     /// The server is draining and no longer serves increments.
     ShuttingDown = 4,
+    /// A cluster hop was refused: wrong `node_seq` for this node, a
+    /// forward to a node with no downstream stage, or a broken peer link.
+    Cluster = 5,
 }
 
 impl ErrorCode {
@@ -120,6 +238,7 @@ impl ErrorCode {
             2 => Ok(ErrorCode::BadBatch),
             3 => Ok(ErrorCode::Busy),
             4 => Ok(ErrorCode::ShuttingDown),
+            5 => Ok(ErrorCode::Cluster),
             other => Err(WireError::BadErrorCode(other)),
         }
     }
@@ -132,6 +251,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::BadBatch => "batch size out of range",
             ErrorCode::Busy => "server at connection limit",
             ErrorCode::ShuttingDown => "server shutting down",
+            ErrorCode::Cluster => "cluster hop refused",
         };
         f.write_str(s)
     }
@@ -188,6 +308,8 @@ pub enum WireError {
     BadErrorCode(u8),
     /// Length word over [`MAX_FRAME`] or under [`HEADER_LEN`].
     BadLength(usize),
+    /// A length-prefixed string field was not valid UTF-8.
+    BadString(u8),
 }
 
 impl fmt::Display for WireError {
@@ -202,6 +324,9 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes(op) => write!(f, "opcode {op:#04x} carries trailing bytes"),
             WireError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
             WireError::BadLength(n) => write!(f, "frame length {n} out of range"),
+            WireError::BadString(op) => {
+                write!(f, "opcode {op:#04x} carries a non-UTF-8 string field")
+            }
         }
     }
 }
@@ -214,25 +339,48 @@ impl From<WireError> for io::Error {
     }
 }
 
-fn put_header(out: &mut Vec<u8>, opcode: u8, seq: u32, body_len: usize) {
+fn put_header(out: &mut Vec<u8>, version: u8, opcode: u8, seq: u32, body_len: usize) {
     let len = (HEADER_LEN + body_len) as u32;
     out.extend_from_slice(&len.to_le_bytes());
-    out.push(VERSION);
+    out.push(version);
     out.push(opcode);
     out.extend_from_slice(&seq.to_le_bytes());
 }
 
-/// Splits a decoded payload into `(seq, opcode, body)`, checking version
-/// and header length.
-fn split_payload(payload: &[u8]) -> Result<(u32, u8, &[u8]), WireError> {
+/// Appends a length-prefixed UTF-8 string (`u16 LE` length + bytes).
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string, returning it and the rest.
+fn take_string(opcode: u8, body: &[u8]) -> Result<(String, &[u8]), WireError> {
+    if body.len() < 2 {
+        return Err(WireError::Truncated { opcode, got: body.len(), want: 2 });
+    }
+    let len = u16::from_le_bytes(body[..2].try_into().expect("2 bytes")) as usize;
+    if body.len() < 2 + len {
+        return Err(WireError::Truncated { opcode, got: body.len(), want: 2 + len });
+    }
+    let s = std::str::from_utf8(&body[2..2 + len])
+        .map_err(|_| WireError::BadString(opcode))?
+        .to_string();
+    Ok((s, &body[2 + len..]))
+}
+
+/// Splits a decoded payload into `(seq, version, opcode, body)`, checking
+/// the version range and header length. Cluster opcodes (`0x06..` /
+/// `0x87..`) additionally require version 2, enforced by the decoders.
+fn split_payload(payload: &[u8]) -> Result<(u32, u8, u8, &[u8]), WireError> {
     if payload.len() < HEADER_LEN {
         return Err(WireError::TooShort(payload.len()));
     }
-    if payload[0] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&payload[0]) {
         return Err(WireError::BadVersion(payload[0]));
     }
     let seq = u32::from_le_bytes(payload[2..6].try_into().expect("4 bytes"));
-    Ok((seq, payload[1], &payload[HEADER_LEN..]))
+    Ok((seq, payload[0], payload[1], &payload[HEADER_LEN..]))
 }
 
 fn body_exactly(opcode: u8, body: &[u8], want: usize) -> Result<(), WireError> {
@@ -246,28 +394,69 @@ fn body_exactly(opcode: u8, body: &[u8], want: usize) -> Result<(), WireError> {
 }
 
 impl Request {
-    /// Appends the full frame (length prefix included) to `out`.
+    /// Appends the full frame (length prefix included) to `out`, stamped
+    /// with the current [`VERSION`].
     pub fn encode(&self, seq: u32, out: &mut Vec<u8>) {
         match self {
-            Request::Next => put_header(out, 0x01, seq, 0),
+            Request::Next => put_header(out, VERSION, 0x01, seq, 0),
             Request::NextBatch { n } => {
-                put_header(out, 0x02, seq, 4);
+                put_header(out, VERSION, 0x02, seq, 4);
                 out.extend_from_slice(&n.to_le_bytes());
             }
-            Request::Ping => put_header(out, 0x03, seq, 0),
-            Request::Stats => put_header(out, 0x04, seq, 0),
-            Request::Shutdown => put_header(out, 0x05, seq, 0),
+            Request::Ping => put_header(out, VERSION, 0x03, seq, 0),
+            Request::Stats => put_header(out, VERSION, 0x04, seq, 0),
+            Request::Shutdown => put_header(out, VERSION, 0x05, seq, 0),
+            Request::Forward { token, port, node_seq } => {
+                put_header(out, VERSION, 0x06, seq, 16);
+                out.extend_from_slice(&token.to_le_bytes());
+                out.extend_from_slice(&port.to_le_bytes());
+                out.extend_from_slice(&node_seq.to_le_bytes());
+            }
+            Request::ForwardBatch { token, port, node_seq, n } => {
+                put_header(out, VERSION, 0x07, seq, 20);
+                out.extend_from_slice(&token.to_le_bytes());
+                out.extend_from_slice(&port.to_le_bytes());
+                out.extend_from_slice(&node_seq.to_le_bytes());
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Request::NodeInfo => put_header(out, VERSION, 0x08, seq, 0),
+            Request::Announce { node, head } => {
+                put_header(out, VERSION, 0x09, seq, 4 + 2 + head.len());
+                out.extend_from_slice(&node.to_le_bytes());
+                put_string(out, head);
+            }
+            Request::Trace { max } => {
+                put_header(out, VERSION, 0x0A, seq, 4);
+                out.extend_from_slice(&max.to_le_bytes());
+            }
         }
     }
 
     /// Decodes a request from a frame payload (length prefix already
-    /// stripped), returning the sequence number alongside.
+    /// stripped), returning the sequence number alongside. Accepts any
+    /// version in `MIN_VERSION..=VERSION`; see [`Request::decode_versioned`]
+    /// to learn which one arrived.
     ///
     /// # Errors
     ///
     /// Any structural defect is a [`WireError`].
     pub fn decode(payload: &[u8]) -> Result<(u32, Request), WireError> {
-        let (seq, opcode, body) = split_payload(payload)?;
+        let (seq, _, req) = Request::decode_versioned(payload)?;
+        Ok((seq, req))
+    }
+
+    /// Like [`Request::decode`], but also returns the frame's protocol
+    /// version so a server can answer an old client in its own dialect.
+    ///
+    /// # Errors
+    ///
+    /// Any structural defect is a [`WireError`]; a cluster opcode inside a
+    /// version-1 frame is [`WireError::BadOpcode`].
+    pub fn decode_versioned(payload: &[u8]) -> Result<(u32, u8, Request), WireError> {
+        let (seq, version, opcode, body) = split_payload(payload)?;
+        if version < 2 && opcode > 0x05 {
+            return Err(WireError::BadOpcode(opcode));
+        }
         let req = match opcode {
             0x01 => {
                 body_exactly(opcode, body, 0)?;
@@ -289,30 +478,84 @@ impl Request {
                 body_exactly(opcode, body, 0)?;
                 Request::Shutdown
             }
+            0x06 => {
+                body_exactly(opcode, body, 16)?;
+                Request::Forward {
+                    token: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+                    port: u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")),
+                    node_seq: u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")),
+                }
+            }
+            0x07 => {
+                body_exactly(opcode, body, 20)?;
+                Request::ForwardBatch {
+                    token: u64::from_le_bytes(body[..8].try_into().expect("8 bytes")),
+                    port: u32::from_le_bytes(body[8..12].try_into().expect("4 bytes")),
+                    node_seq: u32::from_le_bytes(body[12..16].try_into().expect("4 bytes")),
+                    n: u32::from_le_bytes(body[16..20].try_into().expect("4 bytes")),
+                }
+            }
+            0x08 => {
+                body_exactly(opcode, body, 0)?;
+                Request::NodeInfo
+            }
+            0x09 => {
+                if body.len() < 4 {
+                    return Err(WireError::Truncated { opcode, got: body.len(), want: 4 });
+                }
+                let node = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+                let (head, rest) = take_string(opcode, &body[4..])?;
+                if !rest.is_empty() {
+                    return Err(WireError::TrailingBytes(opcode));
+                }
+                Request::Announce { node, head }
+            }
+            0x0A => {
+                body_exactly(opcode, body, 4)?;
+                Request::Trace { max: u32::from_le_bytes(body.try_into().expect("4 bytes")) }
+            }
             other => return Err(WireError::BadOpcode(other)),
         };
-        Ok((seq, req))
+        Ok((seq, version, req))
     }
 }
 
 impl Response {
-    /// Appends the full frame (length prefix included) to `out`.
+    /// Appends the full frame (length prefix included) to `out`, stamped
+    /// with the current [`VERSION`].
     pub fn encode(&self, seq: u32, out: &mut Vec<u8>) {
+        self.encode_versioned(seq, VERSION, out);
+    }
+
+    /// Appends the full frame stamped with `version` — the negotiation
+    /// half of version tolerance: a server answers a request in the
+    /// dialect the request arrived in, so a v1 client gets v1 responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a cluster-only response is stamped with
+    /// a pre-cluster version; a correct server never produces one for a
+    /// v1 request.
+    pub fn encode_versioned(&self, seq: u32, version: u8, out: &mut Vec<u8>) {
+        debug_assert!(
+            version >= 2 || !matches!(self, Response::NodeInfo(_) | Response::Trace { .. }),
+            "cluster response in a v{version} frame"
+        );
         match self {
             Response::Value { value } => {
-                put_header(out, 0x81, seq, 8);
+                put_header(out, version, 0x81, seq, 8);
                 out.extend_from_slice(&value.to_le_bytes());
             }
             Response::Batch { values } => {
-                put_header(out, 0x82, seq, 4 + 8 * values.len());
+                put_header(out, version, 0x82, seq, 4 + 8 * values.len());
                 out.extend_from_slice(&(values.len() as u32).to_le_bytes());
                 for v in values {
                     out.extend_from_slice(&v.to_le_bytes());
                 }
             }
-            Response::Pong => put_header(out, 0x83, seq, 0),
+            Response::Pong => put_header(out, version, 0x83, seq, 0),
             Response::Stats(s) => {
-                put_header(out, 0x84, seq, 72);
+                put_header(out, version, 0x84, seq, 72);
                 for word in [
                     s.active_connections,
                     s.total_connections,
@@ -327,22 +570,44 @@ impl Response {
                     out.extend_from_slice(&word.to_le_bytes());
                 }
             }
-            Response::Bye => put_header(out, 0x85, seq, 0),
+            Response::Bye => put_header(out, version, 0x85, seq, 0),
             Response::Error(code) => {
-                put_header(out, 0x86, seq, 1);
+                put_header(out, version, 0x86, seq, 1);
                 out.push(*code as u8);
+            }
+            Response::NodeInfo(info) => {
+                put_header(out, version, 0x87, seq, 16 + 2 + info.head.len());
+                for word in [info.node, info.nodes, info.fan, info.shards] {
+                    out.extend_from_slice(&word.to_le_bytes());
+                }
+                put_string(out, &info.head);
+            }
+            Response::Trace { events } => {
+                put_header(out, version, 0x88, seq, 4 + TRACE_EVENT_LEN * events.len());
+                out.extend_from_slice(&(events.len() as u32).to_le_bytes());
+                for e in events {
+                    out.extend_from_slice(&e.shard.to_le_bytes());
+                    out.extend_from_slice(&e.enter_ns.to_le_bytes());
+                    out.extend_from_slice(&e.exit_ns.to_le_bytes());
+                    out.extend_from_slice(&e.value.to_le_bytes());
+                }
             }
         }
     }
 
     /// Decodes a response from a frame payload, returning the echoed
-    /// sequence number alongside.
+    /// sequence number alongside. Accepts any version in
+    /// `MIN_VERSION..=VERSION`.
     ///
     /// # Errors
     ///
-    /// Any structural defect is a [`WireError`].
+    /// Any structural defect is a [`WireError`]; a cluster opcode inside a
+    /// version-1 frame is [`WireError::BadOpcode`].
     pub fn decode(payload: &[u8]) -> Result<(u32, Response), WireError> {
-        let (seq, opcode, body) = split_payload(payload)?;
+        let (seq, version, opcode, body) = split_payload(payload)?;
+        if version < 2 && opcode > 0x86 {
+            return Err(WireError::BadOpcode(opcode));
+        }
         let resp = match opcode {
             0x81 => {
                 body_exactly(opcode, body, 8)?;
@@ -388,6 +653,42 @@ impl Response {
             0x86 => {
                 body_exactly(opcode, body, 1)?;
                 Response::Error(ErrorCode::from_byte(body[0])?)
+            }
+            0x87 => {
+                if body.len() < 16 {
+                    return Err(WireError::Truncated { opcode, got: body.len(), want: 16 });
+                }
+                let word = |i: usize| {
+                    u32::from_le_bytes(body[4 * i..4 * (i + 1)].try_into().expect("4 bytes"))
+                };
+                let (head, rest) = take_string(opcode, &body[16..])?;
+                if !rest.is_empty() {
+                    return Err(WireError::TrailingBytes(opcode));
+                }
+                Response::NodeInfo(NodeInfo {
+                    node: word(0),
+                    nodes: word(1),
+                    fan: word(2),
+                    shards: word(3),
+                    head,
+                })
+            }
+            0x88 => {
+                if body.len() < 4 {
+                    return Err(WireError::Truncated { opcode, got: body.len(), want: 4 });
+                }
+                let n = u32::from_le_bytes(body[..4].try_into().expect("4 bytes")) as usize;
+                body_exactly(opcode, &body[4..], TRACE_EVENT_LEN * n)?;
+                let events = body[4..]
+                    .chunks_exact(TRACE_EVENT_LEN)
+                    .map(|c| TraceEvent {
+                        shard: u32::from_le_bytes(c[..4].try_into().expect("4 bytes")),
+                        enter_ns: u64::from_le_bytes(c[4..12].try_into().expect("8 bytes")),
+                        exit_ns: u64::from_le_bytes(c[12..20].try_into().expect("8 bytes")),
+                        value: u64::from_le_bytes(c[20..28].try_into().expect("8 bytes")),
+                    })
+                    .collect();
+                Response::Trace { events }
             }
             other => return Err(WireError::BadOpcode(other)),
         };
@@ -543,6 +844,12 @@ mod tests {
             Request::Ping,
             Request::Stats,
             Request::Shutdown,
+            Request::Forward { token: 7, port: 3, node_seq: 1 },
+            Request::ForwardBatch { token: u64::MAX, port: 0, node_seq: 2, n: 64 },
+            Request::NodeInfo,
+            Request::Announce { node: 0, head: String::new() },
+            Request::Announce { node: 1, head: "127.0.0.1:4040".to_string() },
+            Request::Trace { max: MAX_TRACE_EVENTS },
         ]
     }
 
@@ -566,6 +873,22 @@ mod tests {
             }),
             Response::Bye,
             Response::Error(ErrorCode::Busy),
+            Response::Error(ErrorCode::Cluster),
+            Response::NodeInfo(NodeInfo {
+                node: 1,
+                nodes: 2,
+                fan: 8,
+                shards: 4,
+                head: "127.0.0.1:9000".to_string(),
+            }),
+            Response::NodeInfo(NodeInfo::default()),
+            Response::Trace { events: vec![] },
+            Response::Trace {
+                events: vec![
+                    TraceEvent { shard: 0, enter_ns: 10, exit_ns: 20, value: 0 },
+                    TraceEvent { shard: 3, enter_ns: 15, exit_ns: 35, value: 1 },
+                ],
+            },
         ]
     }
 
@@ -639,6 +962,61 @@ mod tests {
             Request::decode(payload(&rframe)),
             Err(WireError::BadOpcode(0x83))
         );
+    }
+
+    /// Hand-builds a version-1 payload (no length prefix): the bytes a
+    /// pre-cluster client actually emits.
+    fn v1_payload(opcode: u8, seq: u32, body: &[u8]) -> Vec<u8> {
+        let mut p = vec![1u8, opcode];
+        p.extend_from_slice(&seq.to_le_bytes());
+        p.extend_from_slice(body);
+        p
+    }
+
+    #[test]
+    fn v1_frames_still_decode_for_the_legacy_opcode_set() {
+        assert_eq!(
+            Request::decode_versioned(&v1_payload(0x03, 41, &[])),
+            Ok((41, 1, Request::Ping))
+        );
+        assert_eq!(
+            Request::decode_versioned(&v1_payload(0x02, 9, &5u32.to_le_bytes())),
+            Ok((9, 1, Request::NextBatch { n: 5 }))
+        );
+        assert_eq!(
+            Response::decode(&v1_payload(0x81, 9, &7u64.to_le_bytes())),
+            Ok((9, Response::Value { value: 7 }))
+        );
+    }
+
+    #[test]
+    fn v1_frames_reject_cluster_opcodes() {
+        let body = [0u8; 16];
+        assert_eq!(
+            Request::decode(&v1_payload(0x06, 1, &body)),
+            Err(WireError::BadOpcode(0x06))
+        );
+        assert_eq!(
+            Request::decode(&v1_payload(0x08, 1, &[])),
+            Err(WireError::BadOpcode(0x08))
+        );
+        assert_eq!(
+            Response::decode(&v1_payload(0x88, 1, &0u32.to_le_bytes())),
+            Err(WireError::BadOpcode(0x88))
+        );
+    }
+
+    #[test]
+    fn responses_can_echo_the_request_version() {
+        let mut out = Vec::new();
+        Response::Pong.encode_versioned(4, 1, &mut out);
+        assert_eq!(out[4], 1, "version byte echoes the request's");
+        let (seq, resp) = Response::decode(payload(&out)).unwrap();
+        assert_eq!((seq, resp), (4, Response::Pong));
+        // The default stamp is the current version.
+        let mut out2 = Vec::new();
+        Response::Pong.encode(4, &mut out2);
+        assert_eq!(out2[4], VERSION);
     }
 
     #[test]

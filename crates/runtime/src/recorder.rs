@@ -244,6 +244,18 @@ impl TraceRecorder {
     ///
     /// Panics if the merger has fewer shards than the recorder.
     pub fn drain_into(&self, merger: &mut EventMerger) -> usize {
+        self.drain_each(|si, enter_ns, exit_ns, value| {
+            merger.push(si, RawOp { process: si, enter_ns, exit_ns, value });
+        })
+    }
+
+    /// Moves every currently-published event out of the rings into a
+    /// callback `(shard, enter_ns, exit_ns, value)`, in per-shard record
+    /// order with nondecreasing enter times per shard — the raw form a
+    /// cluster node serves over the wire so the *fetching* side can do
+    /// the global merge. Returns how many events moved. Call from one
+    /// drainer thread at a time.
+    pub fn drain_each(&self, mut f: impl FnMut(usize, u64, u64, u64)) -> usize {
         let mut moved = 0;
         for (si, s) in self.shards.iter().enumerate() {
             let head = s.head.load(Ordering::Acquire);
@@ -259,7 +271,7 @@ impl TraceRecorder {
                 let enter_ns = self.clock.raw_to_ns(enter_raw).max(last_enter);
                 let exit_ns = self.clock.raw_to_ns(exit_raw).max(enter_ns);
                 last_enter = enter_ns;
-                merger.push(si, RawOp { process: si, enter_ns, exit_ns, value });
+                f(si, enter_ns, exit_ns, value);
                 tail = tail.wrapping_add(1);
                 moved += 1;
             }

@@ -56,6 +56,7 @@ pub mod dot;
 pub mod error;
 pub mod ids;
 pub mod network;
+pub mod partition;
 pub mod state;
 
 pub use balancer::Balancer;
@@ -63,3 +64,4 @@ pub use builder::{LayeredBuilder, NetworkBuilder};
 pub use error::{BuildError, TopologyError};
 pub use ids::{BalancerId, SinkId, SourceId, WireId};
 pub use network::{Layer, Network, NodeRef, WireEnd, WireStart};
+pub use partition::{Partition, PartitionError};

@@ -257,6 +257,56 @@ mod tests {
     }
 
     #[test]
+    fn merging_disjoint_shards_keeps_quantiles_within_the_error_budget() {
+        // Cluster audit merges per-node histogram shards whose ranges do
+        // not overlap at all (e.g. head-local bursts vs forwarded hops):
+        // fast shard in 1..10µs, slow shard in 1..10ms. The merged
+        // quantiles must still bound the exact order statistics within
+        // the 1/32 ≈ 3.1% bucket error.
+        let mut fast = LatencyHistogram::new();
+        let mut slow = LatencyHistogram::new();
+        let mut values = Vec::new();
+        let mut x = 0x243f6a8885a308d3u64;
+        for i in 0..50_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            if i % 4 == 0 {
+                // Slow shard: 1ms .. 10ms — strictly above the fast range.
+                let v = 1_000_000 + (x % 9_000_000);
+                slow.record(v);
+                values.push(v);
+            } else {
+                // Fast shard: 1µs .. 10µs.
+                let v = 1_000 + (x % 9_000);
+                fast.record(v);
+                values.push(v);
+            }
+        }
+        let mut merged = fast.clone();
+        merged.merge(&slow);
+        assert_eq!(merged.count(), 50_000);
+        values.sort_unstable();
+        // q=0.75 straddles the gap between the shards; the rest probe
+        // deep inside each shard's range.
+        for &q in &[0.25f64, 0.5, 0.74, 0.75, 0.76, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let approx = merged.quantile(q);
+            assert!(approx >= exact, "q{q}: approx {approx} < exact {exact}");
+            let err = (approx - exact) as f64 / exact as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "q{q}: error {err} exceeds 3.1%");
+        }
+        assert_eq!(merged.max(), *values.last().unwrap());
+        // Merge order must not matter.
+        let mut other = slow.clone();
+        other.merge(&fast);
+        for &q in &[0.25f64, 0.75, 0.999] {
+            assert_eq!(merged.quantile(q), other.quantile(q));
+        }
+    }
+
+    #[test]
     fn mean_is_exact() {
         let mut h = LatencyHistogram::new();
         h.record(10);

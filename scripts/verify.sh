@@ -193,6 +193,109 @@ else
     rm -f "$port_file"
 fi
 
+# Cluster smoke: partition B(8) across two `serve --cluster` nodes on
+# ephemeral loopback ports (tail first — the head dials its downstream
+# peer at startup), drive 100k ops from a 4-thread loadgen pointed at
+# the *tail* (`--cluster 1` makes the NodeInfo handshake re-dial the
+# head), require an exact permutation, then fetch and merge both nodes'
+# trace shards into one cluster-wide audit verdict. The per-token
+# pipeline path on this host serializes each slot's tokens through the
+# chain in order, so the merged audit must come back clean; `cnet
+# audit` exits nonzero on violations, so the exit code is the gate.
+# Both nodes drain gracefully via the trafficless `--ops 0 --shutdown`
+# handshake (the tail serves no clients, so a normal loadgen run
+# against it cannot carry the shutdown).
+tail_pf=$(mktemp); head_pf=$(mktemp)
+rm -f "$tail_pf" "$head_pf"
+cargo run -q --release --offline -p cnet-cli -- \
+    serve 8 --cluster 1/2 --audit 1 --max-conns 8 --port-file "$tail_pf" &
+tail_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tail_pf" ] && break
+    if ! kill -0 "$tail_pid" 2>/dev/null; then
+        echo "error: cluster tail exited before binding" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ ! -s "$tail_pf" ]; then
+    echo "error: cluster tail never wrote its port file" >&2
+    kill "$tail_pid" 2>/dev/null || true
+    exit 1
+fi
+tail_addr=$(cat "$tail_pf")
+cargo run -q --release --offline -p cnet-cli -- \
+    serve 8 --cluster 0/2 --peers "$tail_addr" --audit 1 --max-conns 8 \
+    --port-file "$head_pf" &
+head_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$head_pf" ] && break
+    if ! kill -0 "$head_pid" 2>/dev/null; then
+        echo "error: cluster head exited before binding" >&2
+        kill "$tail_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ ! -s "$head_pf" ]; then
+    echo "error: cluster head never wrote its port file" >&2
+    kill "$tail_pid" "$head_pid" 2>/dev/null || true
+    exit 1
+fi
+head_addr=$(cat "$head_pf")
+# The head announces itself down the chain asynchronously; retry the
+# routed loadgen until the tail has learned the head's address.
+cluster_out=""
+for _ in $(seq 1 100); do
+    if cluster_out=$(cargo run -q --release --offline -p cnet-cli -- \
+        loadgen --addr "$tail_addr" --cluster 1 --threads 4 --ops 100000 \
+        --batch 32 --mode pipeline --check 1 2>/dev/null); then
+        break
+    fi
+    cluster_out=""
+    sleep 0.1
+done
+echo "$cluster_out"
+if ! echo "$cluster_out" | grep -q "permutation 0..100000: true"; then
+    echo "error: routed cluster values were not a permutation of 0..n" >&2
+    kill "$tail_pid" "$head_pid" 2>/dev/null || true
+    exit 1
+fi
+audit_out=$(cargo run -q --release --offline -p cnet-cli -- \
+    audit 8 --backend cluster --addr "$head_addr,$tail_addr") || {
+    echo "error: cluster-wide audit reported violations (nonzero exit)" >&2
+    kill "$tail_pid" "$head_pid" 2>/dev/null || true
+    exit 1
+}
+echo "$audit_out" | tail -n 3
+if ! echo "$audit_out" | grep -q "audit verdict: clean"; then
+    echo "error: cluster-wide audit verdict was not clean" >&2
+    kill "$tail_pid" "$head_pid" 2>/dev/null || true
+    exit 1
+fi
+for node in "$tail_addr" "$head_addr"; do
+    cargo run -q --release --offline -p cnet-cli -- \
+        loadgen --addr "$node" --ops 0 --shutdown 1 >/dev/null
+done
+for pid in "$tail_pid" "$head_pid"; do
+    drained=0
+    for _ in $(seq 1 100); do
+        if ! kill -0 "$pid" 2>/dev/null; then
+            drained=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$drained" -ne 1 ]; then
+        echo "error: a cluster node failed to drain after its shutdown request" >&2
+        kill -9 "$tail_pid" "$head_pid" 2>/dev/null || true
+        exit 1
+    fi
+done
+wait "$tail_pid" "$head_pid"
+rm -f "$tail_pf" "$head_pf"
+echo "cluster smoke: ok (2-node B(8), 100k ops routed via the tail, clean merged audit)"
+
 # Batch-sweep smoke: a small in-process sweep over batch sizes 1/16/64
 # must run, emit the x16/x64 rows, and report the batched speedup line.
 batch_out=$(cargo run -q --release --offline -p cnet-cli -- \
@@ -203,11 +306,13 @@ if ! echo "$batch_out" | grep -q "batched traversal (k=64)"; then
     exit 1
 fi
 
-# The committed benchmark artifact must parse under the schema-v4 reader
+# The committed benchmark artifact must parse under the schema-v5 reader
 # (transport-tagged networked rows, width-k batch rows, oversubscription
-# flags, connection counts, latency percentiles) and carry the acceptance
-# rows: batch=64 >= 3x batch=1 on the compiled bitonic at 8 threads, and
-# the 64/1024/10000-connection tcp rows with p99(1024) <= 2*p99(64).
+# flags, connection counts, latency percentiles, node counts) and carry
+# the acceptance rows: batch=64 >= 3x batch=1 on the compiled bitonic at
+# 8 threads, the 64/1024/10000-connection tcp rows with p99(1024) <=
+# 2*p99(64), and the two-node `"nodes": 2` cluster rows at >= 25% of
+# their single-node tcp cells.
 cargo test -q --release --offline -p cnet-bench --test net_roundtrip \
-    committed_bench_artifact_parses_as_schema_v4
+    committed_bench_artifact_parses_as_schema_v5
 echo "verify: ok"

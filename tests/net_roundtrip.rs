@@ -36,6 +36,7 @@ fn concurrent_pipelined_clients_receive_a_permutation() {
             batch: 64,
             mode: LoadGenMode::Pipeline,
             collect_values: true,
+            route: false,
         },
     )
     .expect("loadgen completes");
@@ -77,6 +78,7 @@ fn fetch_add_service_audits_clean_across_the_socket() {
             batch: 16,
             mode: LoadGenMode::Pipeline,
             collect_values: true,
+            route: false,
         },
     )
     .expect("loadgen completes");
@@ -115,6 +117,7 @@ fn counting_network_violations_are_counted_not_fatal() {
             batch: 8,
             mode: LoadGenMode::Pipeline,
             collect_values: true,
+            route: false,
         },
     )
     .expect("loadgen completes against a counting network");
@@ -163,6 +166,7 @@ fn batched_loadgen_yields_a_permutation_with_a_clean_audit() {
             batch: 64,
             mode: LoadGenMode::Batch,
             collect_values: true,
+            route: false,
         },
     )
     .expect("batched loadgen completes");
@@ -238,6 +242,7 @@ fn many_mostly_idle_connections_keep_the_permutation_and_audit_clean() {
             batch: 16,
             mode: LoadGenMode::Batch,
             collect_values: true,
+            route: false,
         },
     )
     .expect("loadgen completes over 256 connections");
@@ -304,17 +309,18 @@ fn graceful_shutdown_answers_inflight_frames_before_bye() {
     assert_eq!(server.stats().ops, 8);
 }
 
-/// The committed benchmark artifact must parse as schema v4 — including
+/// The committed benchmark artifact must parse as schema v5 — including
 /// rows that predate the `transport` field (absent means `"memory"`), the
-/// `batch`/`oversubscribed` fields (absent means `1`/`false`), or the
-/// `connections`/percentile fields (absent means `0`/`null`) — and the v4
-/// fields must round-trip through cnet-util JSON.
+/// `batch`/`oversubscribed` fields (absent means `1`/`false`), the
+/// `connections`/percentile fields (absent means `0`/`null`), or the
+/// `nodes` field (absent means `1`) — and the v5 fields must round-trip
+/// through cnet-util JSON.
 #[test]
-fn committed_bench_artifact_parses_as_schema_v4() {
+fn committed_bench_artifact_parses_as_schema_v5() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let text = std::fs::read_to_string(path).expect("BENCH_throughput.json is committed");
-    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v4");
-    assert_eq!(report.version, 4);
+    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v5");
+    assert_eq!(report.version, 5);
     assert!(!report.measurements.is_empty());
     for m in &report.measurements {
         assert!(
@@ -330,8 +336,9 @@ fn committed_bench_artifact_parses_as_schema_v4() {
             "oversubscription flag inconsistent with cores: {m:?}"
         );
         assert!(m.mops > 0.0);
+        assert!(m.nodes >= 1, "nodes must be at least 1: {m:?}");
         if m.transport == Measurement::TRANSPORT_TCP {
-            // Every v4 tcp row carries its connection count and the
+            // Every v4+ tcp row carries its connection count and the
             // end-to-end burst latency percentiles of the kept run.
             assert!(m.connections > 0, "tcp row without connections: {m:?}");
             let (p50, p99, p999) =
@@ -340,7 +347,31 @@ fn committed_bench_artifact_parses_as_schema_v4() {
         } else {
             assert_eq!(m.connections, 0, "memory rows have no connections: {m:?}");
             assert!(m.p99_ns.is_none(), "memory rows have no latency column: {m:?}");
+            assert_eq!(m.nodes, 1, "memory rows are single-process: {m:?}");
         }
+    }
+    // The cluster acceptance rows (schema v5): the two-node partitioned
+    // fabric keeps at least a quarter of the single-server tcp
+    // throughput on the same cell — forwarding costs one extra hop, not
+    // an order of magnitude.
+    let cluster = report
+        .measurements
+        .iter()
+        .filter(|m| m.nodes == 2 && m.transport == Measurement::TRANSPORT_TCP)
+        .collect::<Vec<_>>();
+    assert!(!cluster.is_empty(), "artifact carries nodes: 2 rows");
+    for two in &cluster {
+        let one = report
+            .net_cell(&two.counter, &two.network, two.threads)
+            .expect("every cluster row has its single-node tcp counterpart");
+        assert!(
+            two.mops >= 0.25 * one.mops,
+            "two-node fabric must keep >=25% of the single-node cell: \
+             {:.3} vs {:.3} Mops/s at {} threads",
+            two.mops,
+            one.mops,
+            two.threads
+        );
     }
     // The batching acceptance row: batched traversal on the compiled
     // bitonic B(8) at 8 threads beats the per-token path at least 3x.
