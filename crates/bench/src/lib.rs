@@ -16,7 +16,9 @@ pub mod throughput;
 
 pub use net::{run_cluster_net_throughput, run_net_throughput, NetThroughputConfig};
 pub use report::{write_json, Table};
-pub use throughput::{run_throughput_sweep, Measurement, ThroughputConfig, ThroughputReport};
+pub use throughput::{
+    run_consistency_sweep, run_throughput_sweep, Measurement, ThroughputConfig, ThroughputReport,
+};
 pub use search::{maximize, SearchOutcome, SearchSpace};
 pub use sweeps::{
     adversarial_fractions, local_delay_sufficiency, sufficiency_scan, FractionPoint,

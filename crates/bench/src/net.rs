@@ -122,6 +122,9 @@ fn measure_net(
         p99_ns: Some(percentiles.1),
         p999_ns: Some(percentiles.2),
         nodes: 1,
+        qqc_max: None,
+        qqc_mean: None,
+        f_nl: None,
     })
 }
 
@@ -204,6 +207,9 @@ fn measure_cluster(
         p99_ns: Some(percentiles.1),
         p999_ns: Some(percentiles.2),
         nodes,
+        qqc_max: None,
+        qqc_mean: None,
+        f_nl: None,
     })
 }
 

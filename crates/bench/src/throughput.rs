@@ -14,11 +14,11 @@
 //! `crates/cli`) or programmatically through [`run_throughput_sweep`].
 
 use crate::report::Table;
-use cnet_core::trace::StreamingAuditor;
-use cnet_runtime::recorder::drain_remaining;
+use cnet_core::trace::{OpEvent, OpSink, StreamingAuditor};
+use cnet_runtime::recorder::{drain_remaining, Traced};
 use cnet_runtime::{
-    CombiningFunnel, DiffractingTree, FetchAddCounter, GraphWalkCounter, LockCounter,
-    ProcessCounter, SharedNetworkCounter, TraceRecorder,
+    CombiningFunnel, DiffractingTree, EliminationCounter, FetchAddCounter, GraphWalkCounter,
+    LockCounter, ProcessCounter, RelaxedCounter, SharedNetworkCounter, TraceRecorder,
 };
 use cnet_topology::construct::{bitonic, counting_tree, periodic};
 use cnet_util::json::{FromJson, JsonError, ToJson, Value};
@@ -113,6 +113,19 @@ pub struct Measurement {
     /// through an N-node partitioned counting fabric. Absent in older
     /// artifacts means `1`.
     pub nodes: usize,
+    /// Maximum QQC lateness measured while the row ran (schema v6): the
+    /// worst per-op rank displacement against the quiescent order, from
+    /// the consistency sweep's audited drain. `None` (JSON `null` /
+    /// absent) for rows measured without the QQC meter — every plain
+    /// throughput row.
+    pub qqc_max: Option<u64>,
+    /// Mean QQC lateness over the row's operations (schema v6); `None`
+    /// for rows measured without the QQC meter.
+    pub qqc_mean: Option<f64>,
+    /// Measured non-linearizability fraction of the row's trace (schema
+    /// v6, the Section 5.1 F_nl); `None` for rows measured without the
+    /// audited drain.
+    pub f_nl: Option<f64>,
 }
 
 impl Measurement {
@@ -126,8 +139,9 @@ impl Measurement {
 // versions may be absent in older artifacts: a missing `transport` means
 // `"memory"` (pre-v2 rows), a missing `batch` means `1`, a missing
 // `oversubscribed` means `false` (pre-v3 rows), missing `connections`
-// / latency percentiles mean `0` / `None` (pre-v4 rows), and a missing
-// `nodes` means `1` (pre-v5 rows) — keeping every previously committed
+// / latency percentiles mean `0` / `None` (pre-v4 rows), a missing
+// `nodes` means `1` (pre-v5 rows), and missing `qqc_max`/`qqc_mean`/
+// `f_nl` mean `None` (pre-v6 rows) — keeping every previously committed
 // BENCH_throughput.json parseable.
 impl ToJson for Measurement {
     fn to_json(&self) -> Value {
@@ -147,6 +161,9 @@ impl ToJson for Measurement {
             ("p99_ns".to_string(), self.p99_ns.to_json()),
             ("p999_ns".to_string(), self.p999_ns.to_json()),
             ("nodes".to_string(), self.nodes.to_json()),
+            ("qqc_max".to_string(), self.qqc_max.to_json()),
+            ("qqc_mean".to_string(), self.qqc_mean.to_json()),
+            ("f_nl".to_string(), self.f_nl.to_json()),
         ])
     }
 }
@@ -185,6 +202,11 @@ impl FromJson for Measurement {
                 Some(n) => FromJson::from_json(n)?,
                 None => 1,
             },
+            // Schema v6: absent (pre-v6 rows) and explicit `null` both
+            // read as `None` through `field`'s absent→Null mapping.
+            qqc_max: cnet_util::json::field(v, "qqc_max")?,
+            qqc_mean: cnet_util::json::field(v, "qqc_mean")?,
+            f_nl: cnet_util::json::field(v, "f_nl")?,
         })
     }
 }
@@ -263,6 +285,9 @@ fn measure<C: ProcessCounter>(
         p99_ns: None,
         p999_ns: None,
         nodes: 1,
+        qqc_max: None,
+        qqc_mean: None,
+        f_nl: None,
     }
 }
 
@@ -317,6 +342,9 @@ fn measure_batched<C: ProcessCounter>(
         p99_ns: None,
         p999_ns: None,
         nodes: 1,
+        qqc_max: None,
+        qqc_mean: None,
+        f_nl: None,
     }
 }
 
@@ -359,7 +387,198 @@ fn measure_audited<C: ProcessCounter>(
         p99_ns: None,
         p999_ns: None,
         nodes: 1,
+        qqc_max: None,
+        qqc_mean: None,
+        f_nl: None,
     }
+}
+
+/// An [`OpSink`] for the consistency sweep's drain: streams into the full
+/// [`StreamingAuditor`] (fractions + QQC lateness) while checking the
+/// multiset contract — every value in `0..total`, each exactly once.
+struct ConsistencySink {
+    auditor: StreamingAuditor,
+    seen: Vec<bool>,
+    duplicates: usize,
+    out_of_range: usize,
+}
+
+impl ConsistencySink {
+    fn new(total: usize) -> ConsistencySink {
+        ConsistencySink {
+            auditor: StreamingAuditor::new(),
+            seen: vec![false; total],
+            duplicates: 0,
+            out_of_range: 0,
+        }
+    }
+
+    /// Panics unless exactly `0..total` was seen — the hard guarantee
+    /// every backend in the sweep makes, relaxed ones included (only
+    /// *ordering* may relax; a hole or duplicate is a counter bug).
+    fn assert_dense(&self, label: (&str, &str)) {
+        let missing = self.seen.iter().filter(|&&s| !s).count();
+        assert!(
+            self.duplicates == 0 && self.out_of_range == 0 && missing == 0,
+            "{}/{}: values are not the exact multiset 0..{} \
+             ({} duplicates, {} out of range, {} missing)",
+            label.0,
+            label.1,
+            self.seen.len(),
+            self.duplicates,
+            self.out_of_range,
+            missing,
+        );
+    }
+}
+
+impl OpSink for ConsistencySink {
+    fn record(&mut self, ev: OpEvent) {
+        match self.seen.get_mut(ev.value as usize) {
+            None => self.out_of_range += 1,
+            Some(slot) => {
+                if *slot {
+                    self.duplicates += 1;
+                }
+                *slot = true;
+            }
+        }
+        self.auditor.record(ev);
+    }
+}
+
+/// Like [`measure_audited`], but the drain runs the full consistency
+/// instrumentation: the row carries the measured `qqc_max`/`qqc_mean`/
+/// `f_nl` (schema v6) from the same run its throughput was timed on (the
+/// best-of-`repeats` run), and the handed-out values are asserted to be
+/// exactly the multiset `0..total_ops`.
+fn measure_consistency<C: ProcessCounter>(
+    label: (&str, &str),
+    build: impl Fn(Arc<TraceRecorder>) -> C,
+    threads: usize,
+    cfg: &ThroughputConfig,
+) -> Measurement {
+    let total_ops = threads * cfg.ops_per_thread;
+    let mut best_seconds = f64::INFINITY;
+    let mut best_stats = (0u64, 0.0f64, 0.0f64);
+    for _ in 0..cfg.repeats.max(1) {
+        let recorder = Arc::new(TraceRecorder::new(threads, cfg.ops_per_thread));
+        let counter = build(Arc::clone(&recorder));
+        let seconds = time_run(&counter, threads, cfg.ops_per_thread);
+        let mut sink = ConsistencySink::new(total_ops);
+        drain_remaining(&recorder, &mut sink);
+        assert_eq!(
+            sink.auditor.operations(),
+            total_ops,
+            "{}/{}: recorder dropped events",
+            label.0,
+            label.1
+        );
+        sink.assert_dense(label);
+        if seconds < best_seconds {
+            best_seconds = seconds;
+            best_stats =
+                (sink.auditor.qqc_max(), sink.auditor.qqc_mean(), sink.auditor.f_nl());
+        }
+    }
+    Measurement {
+        counter: label.0.to_string(),
+        network: label.1.to_string(),
+        threads,
+        total_ops,
+        seconds: best_seconds,
+        mops: total_ops as f64 / best_seconds / 1.0e6,
+        audited: true,
+        transport: Measurement::TRANSPORT_MEMORY.to_string(),
+        batch: 1,
+        oversubscribed: false,
+        connections: 0,
+        p50_ns: None,
+        p99_ns: None,
+        p999_ns: None,
+        nodes: 1,
+        qqc_max: Some(best_stats.0),
+        qqc_mean: Some(best_stats.1),
+        f_nl: Some(best_stats.2),
+    }
+}
+
+/// The consistency sweep (`cnet bench --sweep consistency`, schema v6):
+/// every backend × every thread count, audited through the QQC meter, so
+/// the rows trace the throughput-versus-measured-inconsistency frontier.
+/// `sub_counters` sizes the relaxed backends (`RelaxedCounter`'s bank
+/// count and the `EliminationCounter`'s slot count).
+///
+/// Strict backends (`fetch_add`, `lock`, and the network traversals when
+/// their run happens to stay clean) report `qqc_max = 0`; the relaxed
+/// backends report the bounded, nonzero lateness they traded for speed.
+/// Every row — relaxed included — is asserted to hand out the exact
+/// multiset `0..n`.
+///
+/// # Panics
+///
+/// Panics if `cfg.fan` is not a supported power of two, or if any backend
+/// violates the multiset contract.
+pub fn run_consistency_sweep(cfg: &ThroughputConfig, sub_counters: usize) -> Vec<Measurement> {
+    let net = bitonic(cfg.fan).expect("power-of-two fan");
+    let mut measurements = Vec::new();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for &threads in &cfg.threads {
+        measurements.push(measure_consistency(
+            ("fetch_add", "-"),
+            |rec| Traced::new(FetchAddCounter::new(), rec),
+            threads,
+            cfg,
+        ));
+        measurements.push(measure_consistency(
+            ("lock", "-"),
+            |rec| Traced::new(LockCounter::new(), rec),
+            threads,
+            cfg,
+        ));
+        measurements.push(measure_consistency(
+            ("compiled", "bitonic"),
+            |rec| SharedNetworkCounter::with_recorder(&net, rec),
+            threads,
+            cfg,
+        ));
+        measurements.push(measure_consistency(
+            ("diffracting", "tree"),
+            |rec| {
+                DiffractingTree::with_recorder(cfg.fan, PRISM_WIDTH, rec)
+                    .expect("power-of-two fan")
+            },
+            threads,
+            cfg,
+        ));
+        measurements.push(measure_consistency(
+            ("combining", "bitonic"),
+            |rec| {
+                Traced::new(
+                    CombiningFunnel::new(SharedNetworkCounter::new(&net), threads.max(1)),
+                    rec,
+                )
+            },
+            threads,
+            cfg,
+        ));
+        measurements.push(measure_consistency(
+            ("relaxed", "-"),
+            |rec| RelaxedCounter::with_recorder(sub_counters, rec),
+            threads,
+            cfg,
+        ));
+        measurements.push(measure_consistency(
+            ("elimination", "bitonic"),
+            |rec| EliminationCounter::with_recorder(&net, sub_counters, rec),
+            threads,
+            cfg,
+        ));
+    }
+    for m in &mut measurements {
+        m.oversubscribed = m.threads > cores;
+    }
+    measurements
 }
 
 /// Runs the full sweep: `threads × {fetch_add, lock, compiled, graph_walk,
@@ -458,7 +677,7 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
         m.oversubscribed = m.threads > cores;
     }
     ThroughputReport {
-        version: 5,
+        version: 6,
         fan: cfg.fan,
         ops_per_thread: cfg.ops_per_thread,
         repeats: cfg.repeats.max(1),
@@ -528,6 +747,26 @@ impl ThroughputReport {
     ) -> Option<&Measurement> {
         self.measurements.iter().find(|m| {
             m.audited
+                && m.transport == Measurement::TRANSPORT_MEMORY
+                && m.counter == counter
+                && m.network == network
+                && m.threads == threads
+        })
+    }
+
+    /// The consistency-sweep measurement (schema v6: carries measured
+    /// `qqc_max`/`qqc_mean`/`f_nl`) for a cell, if swept — rows appended
+    /// by `cnet bench --sweep consistency`. Distinguished from plain
+    /// audited rows by the presence of the QQC fields.
+    pub fn consistency_cell(
+        &self,
+        counter: &str,
+        network: &str,
+        threads: usize,
+    ) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| {
+            m.audited
+                && m.qqc_max.is_some()
                 && m.transport == Measurement::TRANSPORT_MEMORY
                 && m.counter == counter
                 && m.network == network
@@ -610,7 +849,9 @@ impl ThroughputReport {
     /// Renders the human-readable summary: one row per thread count, one
     /// column per counter/network combination, in Mops/s.
     pub fn summary(&self) -> Table {
-        let mut columns: Vec<(String, String, bool, String, usize, usize, usize)> = Vec::new();
+        #[allow(clippy::type_complexity)]
+        let mut columns: Vec<(String, String, bool, String, usize, usize, usize, bool)> =
+            Vec::new();
         for m in &self.measurements {
             let key = (
                 m.counter.clone(),
@@ -620,6 +861,7 @@ impl ThroughputReport {
                 m.batch,
                 m.connections,
                 m.nodes,
+                m.qqc_max.is_some(),
             );
             if !columns.contains(&key) {
                 columns.push(key);
@@ -627,9 +869,11 @@ impl ThroughputReport {
         }
         let mut headers = vec!["threads".to_string()];
         headers.extend(columns.iter().map(
-            |(c, n, audited, transport, batch, connections, nodes)| {
+            |(c, n, audited, transport, batch, connections, nodes, qqc)| {
                 let mut label = if n == "-" { c.clone() } else { format!("{c}/{n}") };
-                if *audited {
+                if *qqc {
+                    label.push_str("+qqc");
+                } else if *audited {
                     label.push_str("+audit");
                 }
                 if transport != Measurement::TRANSPORT_MEMORY {
@@ -657,7 +901,7 @@ impl ThroughputReport {
         }
         for &t in &threads_seen {
             let mut row = vec![t.to_string()];
-            for (c, n, audited, transport, batch, connections, nodes) in &columns {
+            for (c, n, audited, transport, batch, connections, nodes, qqc) in &columns {
                 let cell = self.measurements.iter().find(|m| {
                     m.counter == *c
                         && m.network == *n
@@ -666,6 +910,7 @@ impl ThroughputReport {
                         && m.batch == *batch
                         && m.connections == *connections
                         && m.nodes == *nodes
+                        && m.qqc_max.is_some() == *qqc
                         && m.threads == t
                 });
                 row.push(cell.map_or("-".to_string(), |m| format!("{:.2}", m.mops)));
@@ -763,9 +1008,69 @@ mod tests {
         let text = json::to_string_pretty(&report);
         let back: ThroughputReport = json::from_str(&text).expect("report parses");
         assert_eq!(back, report);
-        assert_eq!(back.version, 5);
+        assert_eq!(back.version, 6);
         assert_eq!(back.fan, 4);
         assert!(back.measurements.iter().any(|m| m.audited));
+    }
+
+    #[test]
+    fn consistency_sweep_reports_qqc_on_every_row() {
+        let cfg = tiny();
+        let rows = run_consistency_sweep(&cfg, 4);
+        // Per thread count: fetch_add, lock, compiled/bitonic,
+        // diffracting/tree, combining/bitonic, relaxed, elimination.
+        assert_eq!(rows.len(), 2 * 7);
+        for m in &rows {
+            assert!(m.audited, "{m:?}");
+            assert!(m.qqc_max.is_some(), "{m:?}");
+            assert!(m.qqc_mean.is_some(), "{m:?}");
+            assert!(m.f_nl.is_some(), "{m:?}");
+            assert!(m.qqc_mean.unwrap() >= 0.0, "{m:?}");
+            assert!(m.mops > 0.0, "{m:?}");
+        }
+        // Single-threaded runs are trivially linearizable: zero lateness.
+        for m in rows.iter().filter(|m| m.threads == 1) {
+            assert_eq!(m.qqc_max, Some(0), "{m:?}");
+            assert_eq!(m.f_nl, Some(0.0), "{m:?}");
+        }
+        // A clean stream and the fraction meter must agree: F_nl == 0
+        // exactly when the max lateness is 0 (flag ⇔ lateness > 0).
+        for m in &rows {
+            assert_eq!(
+                m.f_nl == Some(0.0),
+                m.qqc_max == Some(0),
+                "F_nl and qqc_max disagree: {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn consistency_rows_merge_without_shadowing_plain_cells() {
+        let cfg = tiny();
+        let mut report = run_throughput_sweep(&cfg);
+        report.measurements.extend(run_consistency_sweep(&cfg, 4));
+        // New accessors find the qqc-bearing rows...
+        let c = report.consistency_cell("relaxed", "-", 2).unwrap();
+        assert!(c.qqc_max.is_some());
+        assert!(report.consistency_cell("elimination", "bitonic", 1).is_some());
+        assert!(report.consistency_cell("graph_walk", "bitonic", 1).is_none());
+        // ...while the plain and audited accessors still resolve to the
+        // original rows (no qqc fields).
+        assert!(report.cell("compiled", "bitonic", 2).unwrap().qqc_max.is_none());
+        assert!(report
+            .audited_cell("compiled", "bitonic", 2)
+            .unwrap()
+            .qqc_max
+            .is_none());
+        // The summary renders the qqc rows as their own columns.
+        let rendered = report.summary().to_string();
+        assert!(rendered.contains("relaxed+qqc"), "{rendered}");
+        assert!(rendered.contains("compiled/bitonic+qqc"), "{rendered}");
+        assert!(rendered.contains("compiled/bitonic+audit"), "{rendered}");
+        // And the merged report round-trips at schema v6.
+        let text = json::to_string_pretty(&report);
+        let back: ThroughputReport = json::from_str(&text).expect("report parses");
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -75,5 +75,5 @@ pub use fractions::{non_linearizability_fraction, non_sequential_consistency_fra
 pub use op::Op;
 pub use trace::{
     EventMerger, OpEvent, OpSink, StreamingAuditor, StreamingFractionMeter, StreamingLinMonitor,
-    StreamingScMonitor,
+    StreamingQqcMeter, StreamingScMonitor,
 };

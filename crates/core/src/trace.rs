@@ -36,9 +36,11 @@
 
 use crate::consistency::Violation;
 use cnet_sim::exec::TimedExecution;
+use cnet_util::hist::LatencyHistogram;
 use cnet_util::json_struct;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::ops::Bound::{Excluded, Unbounded};
 
 /// One completed increment operation — the shared event type of the whole
 /// workspace (the simulator, the threaded runtime, and the checkers all
@@ -443,15 +445,23 @@ impl StreamingFractionMeter {
         self.non_sequentially_consistent
     }
 
-    /// The running non-linearizability fraction (0 before any event).
+    /// The running non-linearizability fraction. An empty (or, trivially,
+    /// single-op) trace has no inconsistent operations, so the fraction is
+    /// exactly `0.0` — never `NaN` from a `0/0`.
     pub fn f_nl(&self) -> f64 {
-        self.non_linearizable as f64 / self.total.max(1) as f64
+        match self.total {
+            0 => 0.0,
+            n => self.non_linearizable as f64 / n as f64,
+        }
     }
 
-    /// The running non-sequential-consistency fraction (0 before any
-    /// event).
+    /// The running non-sequential-consistency fraction. Same contract as
+    /// [`Self::f_nl`]: `0.0` (not `NaN`) on an empty or single-op trace.
     pub fn f_nsc(&self) -> f64 {
-        self.non_sequentially_consistent as f64 / self.total.max(1) as f64
+        match self.total {
+            0 => 0.0,
+            n => self.non_sequentially_consistent as f64 / n as f64,
+        }
     }
 }
 
@@ -461,14 +471,162 @@ impl OpSink for StreamingFractionMeter {
     }
 }
 
-/// All three monitors behind one push: verdicts, witnesses, and running
-/// fractions for a live stream. Feed in nondecreasing enter order, with
-/// each process's events in program order (a live trace satisfies both).
+/// Online quantitative-quiescent-consistency meter (Jagadeesan–Riely,
+/// arXiv 1402.4043), specialized to counting.
+///
+/// Where [`StreamingFractionMeter`] reports the *fraction* of operations
+/// carrying the Section 5.1 non-linearizable flag, this meter reports the
+/// *magnitude* behind each flag. The quiescent order of a counting history
+/// is the order of returned values, so an operation's displacement from it
+/// is its **lateness**:
+///
+/// > `lateness(o)` = number of operations that completely precede `o`
+/// > (finished before `o` entered) yet returned a *larger* value.
+///
+/// An operation is non-linearizable in the Section 5.1 sense iff its
+/// lateness is nonzero, so a linearizable stream measures `qqc_max == 0`
+/// exactly; a relaxed backend measures a bounded, nonzero distribution
+/// rather than a clean/violation bit. The meter tracks the maximum, mean,
+/// and p99 of the per-op lateness distribution.
+///
+/// Feed in nondecreasing enter order (same contract as the other
+/// monitors). Each push costs `O(log n + lateness)`: finished values below
+/// the dense "floor" (counting histories hand out every value exactly
+/// once, so the finished set is eventually an interval) are compacted to a
+/// single integer, and only the sparse out-of-order suffix is kept in a
+/// tree.
+#[derive(Clone, Debug, Default)]
+pub struct StreamingQqcMeter {
+    pending: BinaryHeap<Reverse<Pending>>,
+    /// Every value `< floor` has finished exactly once (interval
+    /// compaction of the dense prefix).
+    floor: u64,
+    /// Finished values not covered by the floor interval: out-of-order
+    /// values `>= floor`, plus duplicate finishes of compacted values.
+    above: BTreeMap<u64, u64>,
+    last_enter: Option<(u64, usize)>,
+    total: usize,
+    late: usize,
+    max: u64,
+    sum: u128,
+    hist: LatencyHistogram,
+}
+
+impl StreamingQqcMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks one value as finished (its operation retired from the
+    /// pending set).
+    fn finish(&mut self, v: u64) {
+        if v != self.floor {
+            *self.above.entry(v).or_insert(0) += 1;
+            return;
+        }
+        self.floor += 1;
+        while let Some(&c) = self.above.get(&self.floor) {
+            self.above.remove(&self.floor);
+            if c > 1 {
+                // The extra finishes are duplicates of a now-compacted
+                // value; keep them as explicit entries below the floor.
+                self.above.insert(self.floor, c - 1);
+            }
+            self.floor += 1;
+        }
+    }
+
+    /// Finished operations with a value strictly greater than `v`.
+    fn finished_greater(&self, v: u64) -> u64 {
+        let interval = if v < self.floor { self.floor - 1 - v } else { 0 };
+        let sparse: u64 = self.above.range((Excluded(v), Unbounded)).map(|(_, c)| c).sum();
+        interval + sparse
+    }
+
+    /// Consumes one event and returns its lateness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events arrive out of enter order.
+    pub fn push(&mut self, ev: &OpEvent) -> u64 {
+        let key = ev.enter_key();
+        assert!(
+            self.last_enter.is_none_or(|k| k <= key),
+            "StreamingQqcMeter: events must arrive in nondecreasing enter order"
+        );
+        self.last_enter = Some(key);
+        while let Some(&Reverse(top)) = self.pending.peek() {
+            if (top.exit_ns, top.exit_seq) < key {
+                self.pending.pop();
+                self.finish(top.value);
+            } else {
+                break;
+            }
+        }
+        let lateness = self.finished_greater(ev.value);
+        self.total += 1;
+        self.late += usize::from(lateness > 0);
+        self.max = self.max.max(lateness);
+        self.sum += lateness as u128;
+        self.hist.record(lateness);
+        self.pending.push(Reverse(Pending {
+            exit_ns: ev.exit_ns,
+            exit_seq: ev.exit_seq,
+            arrival: self.total - 1,
+            value: ev.value,
+        }));
+        lateness
+    }
+
+    /// Events consumed so far.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Operations with nonzero lateness (equals the fraction meter's
+    /// non-linearizable count on the same stream).
+    pub fn late_ops(&self) -> usize {
+        self.late
+    }
+
+    /// Maximum lateness observed (0 on an empty or linearizable stream).
+    pub fn qqc_max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean lateness. `0.0` (never `NaN`) on an empty stream — same edge
+    /// contract as [`StreamingFractionMeter::f_nl`].
+    pub fn qqc_mean(&self) -> f64 {
+        match self.total {
+            0 => 0.0,
+            n => self.sum as f64 / n as f64,
+        }
+    }
+
+    /// The 99th-percentile lateness (0 on an empty stream). Values below
+    /// 32 are exact; larger ones carry the histogram's ~3.1% bucket error.
+    pub fn qqc_p99(&self) -> u64 {
+        self.hist.quantile(0.99)
+    }
+}
+
+impl OpSink for StreamingQqcMeter {
+    fn record(&mut self, ev: OpEvent) {
+        let _ = self.push(&ev);
+    }
+}
+
+/// All four monitors behind one push: verdicts, witnesses, running
+/// fractions, and the QQC lateness distribution for a live stream. Feed in
+/// nondecreasing enter order, with each process's events in program order
+/// (a live trace satisfies both).
 #[derive(Clone, Debug, Default)]
 pub struct StreamingAuditor {
     lin: StreamingLinMonitor,
     sc: StreamingScMonitor,
     meter: StreamingFractionMeter,
+    qqc: StreamingQqcMeter,
 }
 
 impl StreamingAuditor {
@@ -477,10 +635,11 @@ impl StreamingAuditor {
         Self::default()
     }
 
-    /// Consumes one event through all three monitors.
+    /// Consumes one event through all four monitors.
     pub fn push(&mut self, ev: &OpEvent) -> EventFlags {
         let _ = self.lin.push(ev);
         let _ = self.sc.push(ev);
+        let _ = self.qqc.push(ev);
         self.meter.push(ev)
     }
 
@@ -530,6 +689,22 @@ impl StreamingAuditor {
         self.meter.f_nsc()
     }
 
+    /// Maximum QQC lateness observed (0 iff the stream is linearizable in
+    /// the Section 5.1 per-op sense).
+    pub fn qqc_max(&self) -> u64 {
+        self.qqc.qqc_max()
+    }
+
+    /// Mean QQC lateness (0.0 on an empty stream).
+    pub fn qqc_mean(&self) -> f64 {
+        self.qqc.qqc_mean()
+    }
+
+    /// 99th-percentile QQC lateness.
+    pub fn qqc_p99(&self) -> u64 {
+        self.qqc.qqc_p99()
+    }
+
     /// Whether the stream so far is both linearizable and sequentially
     /// consistent — the "clean" verdict every audit surface (the `cnet
     /// audit` command, the networked `CounterServer`, `verify.sh`'s smoke)
@@ -543,12 +718,16 @@ impl StreamingAuditor {
     /// across the CLI and the network service layer.
     pub fn summary(&self) -> String {
         format!(
-            "{} ops audited: non-linearizable {} (F_nl={:.4}), non-SC {} (F_nsc={:.4}) — {}",
+            "{} ops audited: non-linearizable {} (F_nl={:.4}), non-SC {} (F_nsc={:.4}), \
+             qqc max {} mean {:.2} p99 {} — {}",
             self.operations(),
             self.non_linearizable(),
             self.f_nl(),
             self.non_sequentially_consistent(),
             self.f_nsc(),
+            self.qqc_max(),
+            self.qqc_mean(),
+            self.qqc_p99(),
             if self.is_clean() { "clean" } else { "violations detected" }
         )
     }
@@ -811,6 +990,84 @@ mod tests {
         assert!(aud.sequential_consistency_violation().is_some());
         assert_eq!(aud.non_linearizable(), 1);
         assert_eq!(aud.f_nsc(), 0.5);
+    }
+
+    #[test]
+    fn fraction_meter_is_zero_not_nan_on_empty_and_single_op_traces() {
+        // Satellite pin: the edge contract is an explicit 0.0, so a
+        // regression back to a bare 0/0 division (NaN) cannot land
+        // silently. NaN != NaN, so assert_eq alone would not catch a
+        // comparison rewrite — check finiteness too.
+        let mut meter = StreamingFractionMeter::new();
+        assert_eq!(meter.f_nl(), 0.0);
+        assert_eq!(meter.f_nsc(), 0.0);
+        assert!(meter.f_nl().is_finite() && meter.f_nsc().is_finite());
+        meter.push(&op(0, 0.0, 1.0, 0));
+        assert_eq!(meter.f_nl(), 0.0);
+        assert_eq!(meter.f_nsc(), 0.0);
+        let mut qqc = StreamingQqcMeter::new();
+        assert_eq!(qqc.qqc_mean(), 0.0);
+        assert!(qqc.qqc_mean().is_finite());
+        assert_eq!(qqc.qqc_max(), 0);
+        assert_eq!(qqc.qqc_p99(), 0);
+        qqc.push(&op(0, 0.0, 1.0, 0));
+        assert_eq!(qqc.qqc_mean(), 0.0);
+    }
+
+    #[test]
+    fn qqc_meter_is_zero_on_a_linearizable_stream() {
+        // Values arrive in enter order with no overtaking: every op's
+        // lateness is 0 even though some ops overlap.
+        let mut qqc = StreamingQqcMeter::new();
+        qqc.push(&op(0, 0.0, 3.0, 0)); // overlaps the next two
+        qqc.push(&op(1, 1.0, 2.0, 1));
+        qqc.push(&op(1, 4.0, 5.0, 2));
+        qqc.push(&op(0, 6.0, 7.0, 3));
+        assert_eq!(qqc.total(), 4);
+        assert_eq!(qqc.qqc_max(), 0);
+        assert_eq!(qqc.late_ops(), 0);
+        assert_eq!(qqc.qqc_mean(), 0.0);
+    }
+
+    #[test]
+    fn qqc_lateness_counts_every_finished_larger_value() {
+        // Three ops finish with values 5, 6, 7 before a late op returns 1:
+        // its lateness is 3 (the fraction meter would flag it just once).
+        let mut qqc = StreamingQqcMeter::new();
+        qqc.push(&op(0, 0.0, 1.0, 5));
+        qqc.push(&op(1, 0.5, 1.5, 6));
+        qqc.push(&op(2, 0.6, 1.6, 7));
+        let late = qqc.push(&op(3, 2.0, 3.0, 1));
+        assert_eq!(late, 3);
+        assert_eq!(qqc.qqc_max(), 3);
+        assert_eq!(qqc.late_ops(), 1);
+        assert_eq!(qqc.qqc_mean(), 3.0 / 4.0);
+        // An overlapping op is not "finished": a larger value whose op is
+        // still pending contributes nothing.
+        let late = qqc.push(&op(4, 2.5, 4.0, 2));
+        assert_eq!(late, 3, "op 3 (value 1) has not finished at enter 2.5");
+    }
+
+    #[test]
+    fn qqc_meter_agrees_with_the_fraction_meter_flags() {
+        // lateness > 0 iff the Section 5.1 non-linearizable flag: check on
+        // an interleaved stream with duplicate values.
+        let evs = [
+            op(0, 0.0, 1.0, 2),
+            op(1, 0.5, 2.5, 0),
+            op(2, 2.0, 3.0, 1),
+            op(0, 4.0, 5.0, 1), // duplicate value, late
+            op(1, 6.0, 7.0, 4),
+            op(2, 8.0, 9.0, 3),
+        ];
+        let mut meter = StreamingFractionMeter::new();
+        let mut qqc = StreamingQqcMeter::new();
+        for ev in &evs {
+            let flags = meter.push(ev);
+            let late = qqc.push(ev);
+            assert_eq!(flags.non_linearizable, late > 0, "{ev:?}");
+        }
+        assert_eq!(qqc.late_ops(), meter.non_linearizable());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod history;
 pub mod message_passing;
 pub mod paced;
 pub mod recorder;
+pub mod relaxed;
 pub mod stats;
 
 pub use baseline::{FetchAddCounter, LockCounter};
@@ -73,6 +74,7 @@ pub use history::{drive, RecordedOp, Workload};
 pub use recorder::{drain_remaining, drive_audited, AuditedRun, TraceRecorder, Traced};
 pub use message_passing::MessagePassingCounter;
 pub use paced::LocallyPacedCounter;
+pub use relaxed::{EliminationCounter, RelaxedCounter, DEFAULT_SUB_COUNTERS};
 pub use stats::InstrumentedNetworkCounter;
 
 /// A shared counter usable concurrently by many processes.

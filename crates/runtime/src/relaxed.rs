@@ -1,0 +1,533 @@
+//! Relaxed counting backends: spend ordering to buy throughput, and let
+//! the meters say exactly how much ordering was spent.
+//!
+//! The paper proves sequential consistency is strictly cheaper than
+//! linearizability for counting networks; the relaxation literature
+//! (MultiQueues, *Distributionally Linearizable Data Structures*, arXiv
+//! 1804.01018; quantitative quiescent consistency, arXiv 1402.4043) pushes
+//! the same axis further: give up *bounded amounts* of ordering and get
+//! shallower, faster structures back. This module holds the workspace's
+//! two deliberately-relaxed [`ProcessCounter`] backends:
+//!
+//! * [`RelaxedCounter`] — `k` stride-`k` sub-counters behind a wait-free
+//!   round-robin ticket dealer. Two uncontended-width atomics per token
+//!   (versus one atomic *per network layer* for a compiled traversal), a
+//!   hard `0..n` multiset guarantee under **any** schedule, and a proven
+//!   per-op lateness bound of `(k−1)·P` (`P` = in-flight tokens).
+//! * [`EliminationCounter`] — an elimination array in front of the
+//!   compiled network traversal: two colliding tokens split one width-2
+//!   batched traversal between them, halving pressure on the network's
+//!   balancers; tokens that miss fall through to the ordinary traversal
+//!   (the toggle path), so low-contention behaviour is unchanged.
+//!
+//! # Why the dealer is round-robin, not random d-choice
+//!
+//! A MultiQueue picks `d` random sub-structures and serves the best of
+//! them. For counters that guarantee is *distributional*: an adversarial
+//! schedule can starve one sub-counter and leave holes in the handed-out
+//! set, so "the values are a permutation of `0..n`" would hold only in
+//! expectation. This workspace's acceptance bar (and its audit tooling)
+//! demands the multiset property **unconditionally** — only *ordering* may
+//! relax. The ticket dealer is the degenerate, deterministic form of
+//! d-choice that restores the guarantee: dealing tickets round-robin makes
+//! every sub-counter's arrival count step-shaped under any schedule
+//! (dispatch counts per bank differ by at most one, in residue order), and
+//! a step-shaped family of stride-`k` counters hands out exactly `0..n` —
+//! the same argument that makes a balancer network count. What remains
+//! relaxed is *when* each value appears: a token can park between taking
+//! its ticket and touching its bank, so later entrants overtake it and the
+//! audit measures genuine, bounded non-linearizability instead of a clean
+//! verdict.
+//!
+//! # The lateness bound
+//!
+//! Let `P` bound the tokens in flight (dispatched, bank not yet touched) —
+//! `P ≤ threads` when every thread issues single tokens. For a token with
+//! ticket `t`, bank `j`, value `v = j + k·c`: any bank `j′` has received at
+//! most `⌈t/k⌉` dispatches before ours (round-robin), and our own bank had
+//! at least `⌊t/k⌋ − (P−1)` of its dispatches already served (the rest are
+//! parked), so `c ≥ ⌊t/k⌋ − P + 1`. A completely-preceding finished token
+//! on bank `j′` with a larger value must be one of that bank's takes
+//! numbered `≥ c`, of which there are at most `⌈t/k⌉ − c ≤ P`. Summed over
+//! the `k−1` other banks (our own bank's earlier takes are all smaller):
+//!
+//! > `lateness ≤ (k−1)·P`.
+//!
+//! The property test in this module drives real schedules through the
+//! [`StreamingQqcMeter`](cnet_core::trace::StreamingQqcMeter) and holds
+//! the measurement to that bound.
+
+use crate::counter::SharedNetworkCounter;
+use crate::recorder::TraceRecorder;
+use crate::ProcessCounter;
+use cnet_topology::Network;
+use cnet_util::sync::atomic::{AtomicU64, Ordering};
+use cnet_util::sync::{Backoff, CachePadded};
+use std::sync::Arc;
+
+/// Default sub-counter count for the relaxed backends (`--sub-counters`).
+pub const DEFAULT_SUB_COUNTERS: usize = 8;
+
+/// A wait-free relaxed counter: a round-robin ticket dealer in front of
+/// `k` cache-padded stride-`k` sub-counters. See the module docs for the
+/// design and its guarantees.
+#[derive(Debug)]
+pub struct RelaxedCounter {
+    /// The dealer: ticket `t` sends its token to bank `t % k`.
+    tickets: CachePadded<AtomicU64>,
+    /// Bank `j` hands out `j, j+k, j+2k, …` in order.
+    banks: Box<[CachePadded<AtomicU64>]>,
+    recorder: Option<Arc<TraceRecorder>>,
+}
+
+impl RelaxedCounter {
+    /// A relaxed counter over `k` sub-counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> RelaxedCounter {
+        assert!(k > 0, "RelaxedCounter needs at least one sub-counter");
+        RelaxedCounter {
+            tickets: CachePadded::new(AtomicU64::new(0)),
+            banks: (0..k).map(|j| CachePadded::new(AtomicU64::new(j as u64))).collect(),
+            recorder: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), with every operation recorded into
+    /// `recorder` (process `p` writes shard `p`).
+    pub fn with_recorder(k: usize, recorder: Arc<TraceRecorder>) -> RelaxedCounter {
+        let mut c = RelaxedCounter::new(k);
+        c.recorder = Some(recorder);
+        c
+    }
+
+    /// Number of sub-counters.
+    pub fn sub_counters(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Tokens served by each sub-counter so far (quiescent snapshot).
+    pub fn sub_counts(&self) -> Vec<u64> {
+        let k = self.banks.len() as u64;
+        self.banks
+            .iter()
+            .enumerate()
+            .map(|(j, b)| (b.load(Ordering::Acquire) - j as u64) / k)
+            .collect()
+    }
+
+    /// One token: take a ticket, touch the dealt bank. Both steps are
+    /// single wait-free RMWs; the park window between them is the entire
+    /// source of the measured relaxation.
+    #[inline]
+    fn take(&self) -> u64 {
+        let k = self.banks.len() as u64;
+        let t = self.tickets.fetch_add(1, Ordering::AcqRel);
+        self.banks[(t % k) as usize].fetch_add(k, Ordering::AcqRel)
+    }
+}
+
+impl ProcessCounter for RelaxedCounter {
+    fn next_for(&self, process: usize) -> u64 {
+        match &self.recorder {
+            None => self.take(),
+            Some(rec) => {
+                let value = self.take();
+                rec.record(process, value);
+                value
+            }
+        }
+    }
+
+    fn next_batch_for(&self, process: usize, n: usize) -> Vec<u64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = self.banks.len() as u64;
+        // Deal n consecutive tickets in one RMW, then touch each bank that
+        // received any of them once: one fetch_add serves all of a bank's
+        // share, handing out consecutive stride-k values.
+        let first = self.tickets.fetch_add(n as u64, Ordering::AcqRel);
+        let mut values = Vec::with_capacity(n);
+        let mut base = vec![0u64; self.banks.len().min(n)];
+        let mut dealt = vec![0u64; self.banks.len().min(n)];
+        // Banks are touched in ticket order, so per-bank values ascend in
+        // the same order the tickets were dealt.
+        let lanes = base.len() as u64;
+        for (i, slot) in base.iter_mut().enumerate() {
+            let t = first + i as u64;
+            let share = (n as u64 - i as u64).div_ceil(lanes);
+            *slot = self.banks[(t % k) as usize].fetch_add(k * share, Ordering::AcqRel);
+        }
+        for i in 0..n as u64 {
+            let lane = (i as usize) % base.len();
+            values.push(base[lane] + k * dealt[lane]);
+            dealt[lane] += 1;
+        }
+        if let Some(rec) = &self.recorder {
+            rec.record_batch(process, &values);
+        }
+        values
+    }
+}
+
+/// Elimination-slot states, packed into one atomic word: the low two bits
+/// tag the state, and a `PAID` word carries the deposited value in the
+/// high bits.
+const EMPTY: u64 = 0;
+const WAITING: u64 = 1;
+const CLAIMED: u64 = 2;
+const PAID_TAG: u64 = 3;
+const TAG_BITS: u32 = 2;
+
+#[inline]
+fn pack_paid(value: u64) -> u64 {
+    (value << TAG_BITS) | PAID_TAG
+}
+
+/// How long a waiter spins before retracting its offer, in slot reads.
+/// Small on purpose: on an uncontended (or single-core) host the network
+/// fallback is the fast path.
+const SPIN_LIMIT: u32 = 16;
+
+/// After this many consecutive collision-less probes the counter sends
+/// most tokens straight to the traversal, re-probing the array only
+/// occasionally — the \[SZ96\] adaptive strategy, which keeps the
+/// low-contention path as cheap as the plain compiled backend.
+const MISS_BACKOFF: u64 = 8;
+
+/// An elimination array in front of the compiled network traversal.
+///
+/// Two concurrent tokens that meet on a slot are both served by **one**
+/// width-2 batched traversal (the partner runs it and deposits one of the
+/// two values in the slot), so a collision halves the balancer traffic the
+/// pair would otherwise generate. Tokens that find no partner fall through
+/// to the ordinary per-token traversal — under low contention the array is
+/// skipped entirely after a few misses, so the backend degrades to the
+/// plain compiled counter plus one streak check.
+///
+/// The multiset guarantee is inherited, not re-proven: every value still
+/// comes out of the inner network's counters (singly or as a width-2
+/// batch), so the handed-out set is exactly the network's — the exchange
+/// only moves *which token carries which value*, which is precisely the
+/// reordering the QQC meter prices. The exactly-once property of the
+/// exchange itself (a pair never double-serves; a missed exchange falls
+/// through) is model-checked exhaustively in `tests/model_check.rs`.
+#[derive(Debug)]
+pub struct EliminationCounter {
+    inner: SharedNetworkCounter,
+    slots: Vec<CachePadded<AtomicU64>>,
+    /// Probe entropy, salted per operation like the diffracting prism.
+    salt: CachePadded<AtomicU64>,
+    /// Tokens served via a collision (both partners counted).
+    eliminated: AtomicU64,
+    /// Tokens served by the fallback traversal.
+    fell_through: AtomicU64,
+    /// Consecutive collision-less probes (adaptation signal).
+    miss_streak: AtomicU64,
+    recorder: Option<Arc<TraceRecorder>>,
+}
+
+impl EliminationCounter {
+    /// An elimination front-end of `slots` exchange slots over the compiled
+    /// traversal of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(net: &Network, slots: usize) -> EliminationCounter {
+        assert!(slots > 0, "EliminationCounter needs at least one slot");
+        EliminationCounter {
+            inner: SharedNetworkCounter::new(net),
+            slots: (0..slots).map(|_| CachePadded::new(AtomicU64::new(EMPTY))).collect(),
+            salt: CachePadded::new(AtomicU64::new(0)),
+            eliminated: AtomicU64::new(0),
+            fell_through: AtomicU64::new(0),
+            miss_streak: AtomicU64::new(0),
+            recorder: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), with every operation recorded into
+    /// `recorder`. The recording happens at this counter's boundaries, so
+    /// a waiter's audited interval covers its time parked in the array.
+    pub fn with_recorder(
+        net: &Network,
+        slots: usize,
+        recorder: Arc<TraceRecorder>,
+    ) -> EliminationCounter {
+        let mut c = EliminationCounter::new(net, slots);
+        c.recorder = Some(recorder);
+        c
+    }
+
+    /// `(eliminated, fell_through)` token counts. Every completed token is
+    /// in exactly one bucket.
+    pub fn elimination_stats(&self) -> (u64, u64) {
+        (self.eliminated.load(Ordering::Acquire), self.fell_through.load(Ordering::Acquire))
+    }
+
+    /// Spins until the partner that claimed our offer deposits a value.
+    /// The partner is mid-traversal, so this terminates once it is
+    /// scheduled; `snooze` yields so it always is.
+    fn await_payment(&self, slot: usize) -> u64 {
+        let backoff = Backoff::new();
+        loop {
+            let w = self.slots[slot].load(Ordering::Acquire);
+            if w & PAID_TAG == PAID_TAG {
+                self.slots[slot].store(EMPTY, Ordering::Release);
+                self.eliminated.fetch_add(1, Ordering::Relaxed);
+                return w >> TAG_BITS;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// One token through the array-then-network path.
+    fn take(&self, process: usize) -> u64 {
+        let salt = self.salt.fetch_add(1, Ordering::Relaxed);
+        let missing = self.miss_streak.load(Ordering::Relaxed) >= MISS_BACKOFF;
+        // Adaptive fallback: on a long miss streak, only every
+        // MISS_BACKOFF-th token re-probes the array.
+        if !missing || salt % MISS_BACKOFF == 0 {
+            let entropy = (process as u64).wrapping_mul(0x9e37_79b9).wrapping_add(salt);
+            let slot = (entropy % self.slots.len() as u64) as usize;
+            match self.slots[slot].load(Ordering::Acquire) {
+                EMPTY => {
+                    if self.offer_and_wait(slot) {
+                        return self.await_payment(slot);
+                    }
+                }
+                WAITING => {
+                    if self
+                        .slots[slot]
+                        .compare_exchange(WAITING, CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        // We are the partner: one width-2 batched traversal
+                        // serves both tokens; the waiter gets the first
+                        // value, we keep the second.
+                        let pair = self.inner.next_batch_for(process, 2);
+                        self.slots[slot].store(pack_paid(pair[0]), Ordering::Release);
+                        self.eliminated.fetch_add(1, Ordering::Relaxed);
+                        self.miss_streak.store(0, Ordering::Relaxed);
+                        return pair[1];
+                    }
+                }
+                _ => {}
+            }
+            self.miss_streak.fetch_add(1, Ordering::Relaxed);
+        }
+        self.fell_through.fetch_add(1, Ordering::Relaxed);
+        self.inner.next_for(process)
+    }
+
+    /// Parks an offer in `slot` and spins briefly. Returns `true` if a
+    /// partner committed to serving us (payment is due), `false` if the
+    /// offer was retracted (caller falls through to the traversal).
+    fn offer_and_wait(&self, slot: usize) -> bool {
+        if self
+            .slots[slot]
+            .compare_exchange(EMPTY, WAITING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        for _ in 0..SPIN_LIMIT {
+            if self.slots[slot].load(Ordering::Acquire) != WAITING {
+                // A partner moved us to CLAIMED (or already PAID): it is
+                // committed — the value is ours even if we must wait.
+                self.miss_streak.store(0, Ordering::Relaxed);
+                return true;
+            }
+        }
+        // Timed out: retract. A failed retraction means a partner claimed
+        // the offer between our last read and the CAS — the collision
+        // stands.
+        let retracted = self
+            .slots[slot]
+            .compare_exchange(WAITING, EMPTY, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if !retracted {
+            self.miss_streak.store(0, Ordering::Relaxed);
+        }
+        !retracted
+    }
+}
+
+impl ProcessCounter for EliminationCounter {
+    fn next_for(&self, process: usize) -> u64 {
+        match &self.recorder {
+            None => self.take(process),
+            Some(rec) => {
+                let value = self.take(process);
+                rec.record(process, value);
+                value
+            }
+        }
+    }
+
+    fn next_batch_for(&self, process: usize, n: usize) -> Vec<u64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        // A batch is already a combining structure: it claims the network
+        // once for n tokens, which is strictly better than pairing off in
+        // the array. Delegate to the inner batched traversal.
+        let values = self.inner.next_batch_for(process, n);
+        if let Some(rec) = &self.recorder {
+            rec.record_batch(process, &values);
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{drive, stream_records, Workload};
+    use cnet_core::trace::StreamingQqcMeter;
+    use cnet_topology::construct::bitonic;
+    use cnet_util::proptest::prelude::*;
+    use std::thread;
+
+    fn assert_permutation(mut values: Vec<u64>, n: u64) {
+        values.sort_unstable();
+        assert_eq!(values, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sub-counter")]
+    fn zero_sub_counters_is_rejected() {
+        let _ = RelaxedCounter::new(0);
+    }
+
+    #[test]
+    fn sequential_relaxed_counts_in_order() {
+        let c = RelaxedCounter::new(4);
+        let got: Vec<u64> = (0..12).map(|_| c.next_for(0)).collect();
+        // One thread never parks between ticket and bank, so the dealer's
+        // round-robin makes the values come out exactly in order.
+        assert_eq!(got, (0..12).collect::<Vec<_>>());
+        assert_eq!(c.sub_counts(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn concurrent_relaxed_values_are_dense() {
+        let c = RelaxedCounter::new(8);
+        let threads = 4;
+        let per = 2_000;
+        let mut values = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|p| {
+                    let c = &c;
+                    s.spawn(move || (0..per).map(|_| c.next_for(p)).collect::<Vec<u64>>())
+                })
+                .collect();
+            for h in handles {
+                values.extend(h.join().unwrap());
+            }
+        });
+        assert_permutation(values, (threads * per) as u64);
+    }
+
+    #[test]
+    fn relaxed_batches_are_dense_and_mixable_with_singles() {
+        let c = RelaxedCounter::new(8);
+        let mut values = c.next_batch_for(0, 5);
+        values.push(c.next_for(1));
+        values.extend(c.next_batch_for(2, 17));
+        values.extend(c.next_batch_for(3, 0));
+        values.push(c.next_for(0));
+        assert_eq!(values.len(), 24);
+        assert_permutation(values, 24);
+    }
+
+    #[test]
+    fn relaxed_batch_touches_each_bank_once() {
+        // A batch larger than k must deal every bank its exact share.
+        let c = RelaxedCounter::new(4);
+        let values = c.next_batch_for(0, 10);
+        assert_permutation(values, 10);
+        assert_eq!(c.sub_counts(), vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn elimination_sequential_values_are_dense() {
+        let net = bitonic(4).unwrap();
+        let c = EliminationCounter::new(&net, 2);
+        let values: Vec<u64> = (0..100).map(|_| c.next_for(0)).collect();
+        assert_permutation(values, 100);
+        let (eliminated, fell_through) = c.elimination_stats();
+        // One thread can never collide with itself.
+        assert_eq!(eliminated, 0);
+        assert_eq!(fell_through, 100);
+    }
+
+    #[test]
+    fn elimination_concurrent_values_are_dense_and_stats_account() {
+        let net = bitonic(4).unwrap();
+        let c = EliminationCounter::new(&net, 2);
+        let threads = 4;
+        let per = 1_000;
+        let mut values = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|p| {
+                    let c = &c;
+                    s.spawn(move || (0..per).map(|_| c.next_for(p)).collect::<Vec<u64>>())
+                })
+                .collect();
+            for h in handles {
+                values.extend(h.join().unwrap());
+            }
+        });
+        assert_permutation(values, (threads * per) as u64);
+        let (eliminated, fell_through) = c.elimination_stats();
+        assert_eq!(eliminated + fell_through, (threads * per) as u64);
+        assert_eq!(eliminated % 2, 0, "collisions come in pairs");
+    }
+
+    #[test]
+    fn elimination_batches_delegate_to_the_network() {
+        let net = bitonic(4).unwrap();
+        let c = EliminationCounter::new(&net, 2);
+        let mut values = c.next_batch_for(0, 9);
+        values.extend(c.next_batch_for(1, 7));
+        assert!(c.next_batch_for(2, 0).is_empty());
+        assert_permutation(values, 16);
+        let (eliminated, _) = c.elimination_stats();
+        assert_eq!(eliminated, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        fn relaxed_counter_is_dense_and_lateness_stays_under_the_bound(
+            k in 1usize..12,
+            threads in 1usize..6,
+            per in 1usize..400,
+        ) {
+            // Whatever schedule the OS produces: the values are a
+            // permutation of 0..n, and the measured QQC lateness respects
+            // the analytic (k-1)·P bound with P = threads (each thread has
+            // at most one token in flight).
+            let c = RelaxedCounter::new(k);
+            let records = drive(&c, Workload { threads, increments_per_thread: per });
+            let mut values: Vec<u64> = records.iter().map(|r| r.value).collect();
+            values.sort_unstable();
+            let n = (threads * per) as u64;
+            prop_assert_eq!(values, (0..n).collect::<Vec<_>>());
+            let mut qqc = StreamingQqcMeter::new();
+            stream_records(&records, &mut qqc);
+            let bound = ((k - 1) * threads) as u64;
+            prop_assert!(
+                qqc.qqc_max() <= bound,
+                "lateness {} exceeds (k-1)*threads = {} (k={}, threads={})",
+                qqc.qqc_max(), bound, k, threads
+            );
+        }
+    }
+}

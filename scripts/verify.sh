@@ -306,13 +306,98 @@ if ! echo "$batch_out" | grep -q "batched traversal (k=64)"; then
     exit 1
 fi
 
-# The committed benchmark artifact must parse under the schema-v5 reader
+# Consistency-sweep smoke: the schema-v6 throughput-vs-inconsistency
+# frontier must run every backend (relaxed and elimination included)
+# through the QQC meter, assert the exact 0..n multiset on each row,
+# and merge qqc-bearing rows into the artifact at version 6.
+sweep_json=$(mktemp)
+rm -f "$sweep_json"
+sweep_out=$(cargo run -q --release --offline -p cnet-cli -- \
+    bench 4 --threads 1,2 --ops 2000 --repeats 1 --sweep consistency \
+    --sub-counters 4 --out "$sweep_json")
+echo "$sweep_out" | tail -n 4
+if ! echo "$sweep_out" | grep -q "consistency rows merged into"; then
+    echo "error: cnet bench --sweep consistency did not merge its rows" >&2
+    exit 1
+fi
+if ! grep -q '"version": 6' "$sweep_json"; then
+    echo "error: consistency-sweep artifact is not schema v6" >&2
+    exit 1
+fi
+if ! grep -q '"qqc_max"' "$sweep_json"; then
+    echo "error: consistency-sweep artifact carries no qqc_max column" >&2
+    exit 1
+fi
+rm -f "$sweep_json"
+
+# Relaxed-service smoke: a RelaxedCounter-backed serve on an ephemeral
+# port must hand an exact permutation to a concurrent loadgen (ordering
+# may relax across the socket, the multiset may not), and the relaxed
+# audit must report measured lateness with a zero exit code.
+port_file=$(mktemp)
+rm -f "$port_file"
+cargo run -q --release --offline -p cnet-cli -- \
+    serve 8 --backend relaxed --sub-counters 8 --max-conns 8 \
+    --port-file "$port_file" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "error: cnet serve (relaxed smoke) exited before binding" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ ! -s "$port_file" ]; then
+    echo "error: cnet serve (relaxed smoke) never wrote its port file" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+addr=$(cat "$port_file")
+relaxed_out=$(cargo run -q --release --offline -p cnet-cli -- \
+    loadgen --addr "$addr" --threads 4 --ops 20000 --batch 64 --mode pipeline \
+    --check 1 --shutdown 1)
+echo "$relaxed_out"
+if ! echo "$relaxed_out" | grep -q "permutation 0..20000: true"; then
+    echo "error: relaxed networked values were not a permutation of 0..n" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+drained=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        drained=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$drained" -ne 1 ]; then
+    echo "error: cnet serve (relaxed smoke) failed to drain after shutdown" >&2
+    kill -9 "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+wait "$serve_pid"
+rm -f "$port_file"
+relaxed_audit=$(cargo run -q --release --offline -p cnet-cli -- \
+    audit 8 --backend relaxed --threads 4 --ops 5000) || {
+    echo "error: relaxed audit must report lateness, not fail the process" >&2
+    exit 1
+}
+echo "$relaxed_audit" | tail -n 3
+if ! echo "$relaxed_audit" | grep -q "qqc lateness: max"; then
+    echo "error: relaxed audit did not report its qqc lateness" >&2
+    exit 1
+fi
+echo "relaxed smoke: ok (permutation over tcp, measured-lateness audit)"
+
+# The committed benchmark artifact must parse under the schema-v6 reader
 # (transport-tagged networked rows, width-k batch rows, oversubscription
-# flags, connection counts, latency percentiles, node counts) and carry
-# the acceptance rows: batch=64 >= 3x batch=1 on the compiled bitonic at
-# 8 threads, the 64/1024/10000-connection tcp rows with p99(1024) <=
-# 2*p99(64), and the two-node `"nodes": 2` cluster rows at >= 25% of
-# their single-node tcp cells.
+# flags, connection counts, latency percentiles, node counts, qqc
+# columns) and carry the acceptance rows: batch=64 >= 3x batch=1 on the
+# compiled bitonic at 8 threads, the 64/1024/10000-connection tcp rows
+# with p99(1024) <= 2*p99(64), the two-node `"nodes": 2` cluster rows at
+# >= 25% of their single-node tcp cells, and the consistency rows with
+# the relaxed counter at >= 2x the compiled bitonic per-token cell.
 cargo test -q --release --offline -p cnet-bench --test net_roundtrip \
-    committed_bench_artifact_parses_as_schema_v5
+    committed_bench_artifact_parses_as_schema_v6
 echo "verify: ok"

@@ -9,7 +9,9 @@ use cnet_core::trace::StreamingAuditor;
 use cnet_net::loadgen::{run_loadgen, LoadGenConfig, LoadGenMode};
 use cnet_net::server::{Backpressure, CounterServer, ServerConfig};
 use cnet_net::RemoteCounter;
-use cnet_runtime::{drain_remaining, FetchAddCounter, SharedNetworkCounter, TraceRecorder};
+use cnet_runtime::{
+    drain_remaining, FetchAddCounter, RelaxedCounter, SharedNetworkCounter, TraceRecorder,
+};
 use cnet_topology::construct::bitonic;
 use cnet_util::json;
 use std::sync::Arc;
@@ -309,18 +311,19 @@ fn graceful_shutdown_answers_inflight_frames_before_bye() {
     assert_eq!(server.stats().ops, 8);
 }
 
-/// The committed benchmark artifact must parse as schema v5 — including
+/// The committed benchmark artifact must parse as schema v6 — including
 /// rows that predate the `transport` field (absent means `"memory"`), the
 /// `batch`/`oversubscribed` fields (absent means `1`/`false`), the
-/// `connections`/percentile fields (absent means `0`/`null`), or the
-/// `nodes` field (absent means `1`) — and the v5 fields must round-trip
+/// `connections`/percentile fields (absent means `0`/`null`), the
+/// `nodes` field (absent means `1`), or the `qqc_max`/`qqc_mean`/`f_nl`
+/// fields (absent means `null`) — and the v6 fields must round-trip
 /// through cnet-util JSON.
 #[test]
-fn committed_bench_artifact_parses_as_schema_v5() {
+fn committed_bench_artifact_parses_as_schema_v6() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let text = std::fs::read_to_string(path).expect("BENCH_throughput.json is committed");
-    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v5");
-    assert_eq!(report.version, 5);
+    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v6");
+    assert_eq!(report.version, 6);
     assert!(!report.measurements.is_empty());
     for m in &report.measurements {
         assert!(
@@ -401,10 +404,95 @@ fn committed_bench_artifact_parses_as_schema_v5() {
         "p99 must stay flat under connection scaling: {p99_small}ns at 64 conns, \
          {p99_large}ns at 1024"
     );
-    // The v4 fields survive a serialize/deserialize round trip.
+    // The consistency acceptance rows (schema v6): every backend's
+    // qqc-bearing cell carries finite measured lateness, and the strict
+    // backends that audited clean (f_nl == 0) show exactly zero lateness
+    // — the two meters agree on what "clean" means.
+    let qqc_rows: Vec<_> = report.measurements.iter().filter(|m| m.qqc_max.is_some()).collect();
+    assert!(!qqc_rows.is_empty(), "artifact carries consistency-sweep rows");
+    for m in &qqc_rows {
+        assert!(m.audited, "qqc rows are audited rows: {m:?}");
+        assert!(m.qqc_mean.expect("qqc_mean") >= 0.0, "{m:?}");
+        let f_nl = m.f_nl.expect("f_nl");
+        assert!((0.0..=1.0).contains(&f_nl), "{m:?}");
+        assert_eq!(
+            f_nl == 0.0,
+            m.qqc_max == Some(0),
+            "F_nl and qqc_max must agree on cleanliness: {m:?}"
+        );
+    }
+    for counter in ["fetch_add", "lock", "compiled", "diffracting", "combining", "relaxed",
+                    "elimination"]
+    {
+        assert!(
+            qqc_rows.iter().any(|m| m.counter == counter),
+            "consistency sweep covers backend {counter}"
+        );
+    }
+    // Single-threaded runs are totally ordered: zero lateness everywhere.
+    for m in qqc_rows.iter().filter(|m| m.threads == 1) {
+        assert_eq!(m.qqc_max, Some(0), "single-threaded run must be clean: {m:?}");
+    }
+    // The headline frontier point: the relaxed counter at the top thread
+    // count delivers at least 2x the compiled bitonic network's
+    // per-token throughput — the speed it bought with bounded lateness.
+    let top = report.measurements.iter().map(|m| m.threads).max().unwrap_or(1).min(8);
+    let relaxed = report
+        .consistency_cell("relaxed", "-", top)
+        .expect("artifact carries the relaxed consistency cell at the top thread count");
+    let strict = report
+        .cell("compiled", "bitonic", top)
+        .expect("artifact carries the compiled bitonic per-token cell");
+    assert!(
+        relaxed.mops >= 2.0 * strict.mops,
+        "relaxed counter must be at least 2x compiled bitonic at {top} threads: \
+         {:.2} vs {:.2} Mops/s",
+        relaxed.mops,
+        strict.mops
+    );
+    // The v4+ fields survive a serialize/deserialize round trip.
     let back: ThroughputReport =
         json::from_str(&json::to_string_pretty(&report)).expect("round-trips");
     assert_eq!(back, report);
+}
+
+/// The relaxed backend across the socket: concurrent pipelined clients
+/// against a [`RelaxedCounter`]-backed server still receive exactly the
+/// multiset `0..total` — relaxation reorders values between clients but
+/// never invents, drops, or duplicates one, and the transport preserves
+/// that.
+#[test]
+fn relaxed_backend_over_tcp_hands_out_the_exact_multiset() {
+    let threads = 4;
+    let ops_per_thread = 2_500;
+    let mut server = CounterServer::start(
+        "127.0.0.1:0",
+        Arc::new(RelaxedCounter::new(8)),
+        ServerConfig { max_connections: threads, processes: threads, ..ServerConfig::default() },
+    )
+    .expect("bind ephemeral loopback port");
+    let report = run_loadgen(
+        server.local_addr(),
+        &LoadGenConfig {
+            threads,
+            connections: 0,
+            ops_per_thread,
+            batch: 64,
+            mode: LoadGenMode::Pipeline,
+            collect_values: true,
+            route: false,
+        },
+    )
+    .expect("loadgen completes");
+    assert_eq!(report.total_ops, (threads * ops_per_thread) as u64);
+    assert_eq!(
+        report.is_permutation(),
+        Some(true),
+        "relaxed values over the wire must be exactly 0..{}",
+        report.total_ops
+    );
+    server.shutdown();
+    assert_eq!(server.stats().ops, report.total_ops);
 }
 
 /// `next_batch_for` edge cases across the socket: `k = 0` is free (no
