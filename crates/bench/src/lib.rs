@@ -17,7 +17,8 @@ pub mod throughput;
 pub use net::{run_cluster_net_throughput, run_net_throughput, NetThroughputConfig};
 pub use report::{write_json, Table};
 pub use throughput::{
-    run_consistency_sweep, run_throughput_sweep, Measurement, ThroughputConfig, ThroughputReport,
+    run_audit_sweep, run_consistency_sweep, run_throughput_sweep, Measurement, ThroughputConfig,
+    ThroughputReport, AUDIT_SWEEP_POINTS,
 };
 pub use search::{maximize, SearchOutcome, SearchSpace};
 pub use sweeps::{

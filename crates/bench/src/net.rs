@@ -103,29 +103,18 @@ fn measure_net(
         }
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    Ok(Measurement {
-        counter: label.0.to_string(),
-        network: label.1.to_string(),
-        threads,
-        total_ops,
-        seconds: best,
-        mops: total_ops as f64 / best / 1.0e6,
-        audited: false,
-        transport: Measurement::TRANSPORT_TCP.to_string(),
-        batch: match cfg.mode {
-            LoadGenMode::Batch => cfg.batch,
-            LoadGenMode::Pipeline => 1,
-        },
-        oversubscribed: threads > cores,
-        connections,
-        p50_ns: Some(percentiles.0),
-        p99_ns: Some(percentiles.1),
-        p999_ns: Some(percentiles.2),
-        nodes: 1,
-        qqc_max: None,
-        qqc_mean: None,
-        f_nl: None,
-    })
+    let mut m = Measurement::timed(label.0, label.1, threads, total_ops, best);
+    m.transport = Measurement::TRANSPORT_TCP.to_string();
+    m.batch = match cfg.mode {
+        LoadGenMode::Batch => cfg.batch,
+        LoadGenMode::Pipeline => 1,
+    };
+    m.oversubscribed = threads > cores;
+    m.connections = connections;
+    m.p50_ns = Some(percentiles.0);
+    m.p99_ns = Some(percentiles.1);
+    m.p999_ns = Some(percentiles.2);
+    Ok(m)
 }
 
 /// Times one (threads, nodes) cell of the partitioned fabric: the bitonic
@@ -191,26 +180,16 @@ fn measure_cluster(
         }
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    Ok(Measurement {
-        counter: "compiled".to_string(),
-        network: "bitonic".to_string(),
-        threads,
-        total_ops,
-        seconds: best,
-        mops: total_ops as f64 / best / 1.0e6,
-        audited: false,
-        transport: Measurement::TRANSPORT_TCP.to_string(),
-        batch: cfg.batch,
-        oversubscribed: threads > cores,
-        connections,
-        p50_ns: Some(percentiles.0),
-        p99_ns: Some(percentiles.1),
-        p999_ns: Some(percentiles.2),
-        nodes,
-        qqc_max: None,
-        qqc_mean: None,
-        f_nl: None,
-    })
+    let mut m = Measurement::timed("compiled", "bitonic", threads, total_ops, best);
+    m.transport = Measurement::TRANSPORT_TCP.to_string();
+    m.batch = cfg.batch;
+    m.oversubscribed = threads > cores;
+    m.connections = connections;
+    m.p50_ns = Some(percentiles.0);
+    m.p99_ns = Some(percentiles.1);
+    m.p999_ns = Some(percentiles.2);
+    m.nodes = nodes;
+    Ok(m)
 }
 
 /// Runs the partitioned-fabric sweep: for each thread count, the compiled

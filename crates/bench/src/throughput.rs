@@ -15,10 +15,10 @@
 
 use crate::report::Table;
 use cnet_core::trace::{OpEvent, OpSink, StreamingAuditor};
-use cnet_runtime::recorder::{drain_remaining, Traced};
+use cnet_runtime::recorder::{drain_remaining, drive_audited_parallel, Traced};
 use cnet_runtime::{
     CombiningFunnel, DiffractingTree, EliminationCounter, FetchAddCounter, GraphWalkCounter,
-    LockCounter, ProcessCounter, RelaxedCounter, SharedNetworkCounter, TraceRecorder,
+    LockCounter, ProcessCounter, RelaxedCounter, SharedNetworkCounter, TraceRecorder, Workload,
 };
 use cnet_topology::construct::{bitonic, counting_tree, periodic};
 use cnet_util::json::{FromJson, JsonError, ToJson, Value};
@@ -126,6 +126,26 @@ pub struct Measurement {
     /// v6, the Section 5.1 F_nl); `None` for rows measured without the
     /// audited drain.
     pub f_nl: Option<f64>,
+    /// Fraction of the paired un-audited throughput this row retained
+    /// (schema v7): audited rows measure their plain twin *interleaved in
+    /// the same repetition loop*, so scheduler and steal-time drift hits
+    /// both sides equally. `None` for rows measured without a paired
+    /// baseline (every plain row, and pre-v7 audited rows, whose
+    /// retention is reconstructed from separately timed cells by
+    /// [`ThroughputReport::retention`]).
+    pub retention: Option<f64>,
+    /// Audit worker threads stealing ring shards *while the row ran*
+    /// (schema v7): `0` means recording was on but monitors drained off
+    /// the timed path (the pre-v7 audited mode); `k ≥ 1` rows timed the
+    /// full live pipeline — workers plus `k` shard-stealing monitors
+    /// through the merge auditor — to a ready verdict. Absent in older
+    /// artifacts means `0`.
+    pub audit_threads: usize,
+    /// Sampling stride of the recorder (schema v7): `1` records every
+    /// increment, `k > 1` records one in `k` and counts the rest (sound:
+    /// widened intervals only under-report violations). Absent in older
+    /// artifacts means `1`.
+    pub sample_k: usize,
 }
 
 impl Measurement {
@@ -133,6 +153,42 @@ impl Measurement {
     pub const TRANSPORT_MEMORY: &'static str = "memory";
     /// The transport label of `cnet-net` loopback-service rows.
     pub const TRANSPORT_TCP: &'static str = "tcp";
+
+    /// A fresh in-process per-token row with every schema-versioned field
+    /// at its default; callers set the fields that distinguish their cell.
+    /// Centralizing the defaults here means a future schema column is one
+    /// edit, not one per construction site.
+    pub fn timed(
+        counter: &str,
+        network: &str,
+        threads: usize,
+        total_ops: usize,
+        seconds: f64,
+    ) -> Measurement {
+        Measurement {
+            counter: counter.to_string(),
+            network: network.to_string(),
+            threads,
+            total_ops,
+            seconds,
+            mops: total_ops as f64 / seconds / 1.0e6,
+            audited: false,
+            transport: Measurement::TRANSPORT_MEMORY.to_string(),
+            batch: 1,
+            oversubscribed: false,
+            connections: 0,
+            p50_ns: None,
+            p99_ns: None,
+            p999_ns: None,
+            nodes: 1,
+            qqc_max: None,
+            qqc_mean: None,
+            f_nl: None,
+            retention: None,
+            audit_threads: 0,
+            sample_k: 1,
+        }
+    }
 }
 
 // Hand-written (not `json_struct!`) so fields added by later schema
@@ -140,9 +196,10 @@ impl Measurement {
 // `"memory"` (pre-v2 rows), a missing `batch` means `1`, a missing
 // `oversubscribed` means `false` (pre-v3 rows), missing `connections`
 // / latency percentiles mean `0` / `None` (pre-v4 rows), a missing
-// `nodes` means `1` (pre-v5 rows), and missing `qqc_max`/`qqc_mean`/
-// `f_nl` mean `None` (pre-v6 rows) — keeping every previously committed
-// BENCH_throughput.json parseable.
+// `nodes` means `1` (pre-v5 rows), missing `qqc_max`/`qqc_mean`/
+// `f_nl` mean `None` (pre-v6 rows), and missing `retention`/
+// `audit_threads`/`sample_k` mean `None`/`0`/`1` (pre-v7 rows) — keeping
+// every previously committed BENCH_throughput.json parseable.
 impl ToJson for Measurement {
     fn to_json(&self) -> Value {
         Value::Object(vec![
@@ -164,6 +221,9 @@ impl ToJson for Measurement {
             ("qqc_max".to_string(), self.qqc_max.to_json()),
             ("qqc_mean".to_string(), self.qqc_mean.to_json()),
             ("f_nl".to_string(), self.f_nl.to_json()),
+            ("retention".to_string(), self.retention.to_json()),
+            ("audit_threads".to_string(), self.audit_threads.to_json()),
+            ("sample_k".to_string(), self.sample_k.to_json()),
         ])
     }
 }
@@ -207,6 +267,18 @@ impl FromJson for Measurement {
             qqc_max: cnet_util::json::field(v, "qqc_max")?,
             qqc_mean: cnet_util::json::field(v, "qqc_mean")?,
             f_nl: cnet_util::json::field(v, "f_nl")?,
+            // Schema v7: paired retention is optional; the audit-pipeline
+            // columns default to "recording on, no live stealers, no
+            // sampling" — exactly what pre-v7 audited rows measured.
+            retention: cnet_util::json::field(v, "retention")?,
+            audit_threads: match v.get("audit_threads") {
+                Some(a) => FromJson::from_json(a)?,
+                None => 0,
+            },
+            sample_k: match v.get("sample_k") {
+                Some(k) => FromJson::from_json(k)?,
+                None => 1,
+            },
         })
     }
 }
@@ -269,26 +341,7 @@ fn measure<C: ProcessCounter>(
             time_run(&counter, threads, cfg.ops_per_thread)
         })
         .fold(f64::INFINITY, f64::min);
-    Measurement {
-        counter: label.0.to_string(),
-        network: label.1.to_string(),
-        threads,
-        total_ops,
-        seconds,
-        mops: total_ops as f64 / seconds / 1.0e6,
-        audited: false,
-        transport: Measurement::TRANSPORT_MEMORY.to_string(),
-        batch: 1,
-        oversubscribed: false,
-        connections: 0,
-        p50_ns: None,
-        p99_ns: None,
-        p999_ns: None,
-        nodes: 1,
-        qqc_max: None,
-        qqc_mean: None,
-        f_nl: None,
-    }
+    Measurement::timed(label.0, label.1, threads, total_ops, seconds)
 }
 
 /// Times `threads` workers each performing `ops` increments in batched
@@ -326,71 +379,104 @@ fn measure_batched<C: ProcessCounter>(
             time_run_batched(&counter, threads, cfg.ops_per_thread, k)
         })
         .fold(f64::INFINITY, f64::min);
-    Measurement {
-        counter: label.0.to_string(),
-        network: label.1.to_string(),
-        threads,
-        total_ops,
-        seconds,
-        mops: total_ops as f64 / seconds / 1.0e6,
-        audited: false,
-        transport: Measurement::TRANSPORT_MEMORY.to_string(),
-        batch: k,
-        oversubscribed: false,
-        connections: 0,
-        p50_ns: None,
-        p99_ns: None,
-        p999_ns: None,
-        nodes: 1,
-        qqc_max: None,
-        qqc_mean: None,
-        f_nl: None,
-    }
+    let mut m = Measurement::timed(label.0, label.1, threads, total_ops, seconds);
+    m.batch = k;
+    m
 }
 
 /// Like [`measure`], but every increment is recorded into a fresh
-/// [`TraceRecorder`] sized so no event is dropped, and the rings are
-/// drained through a [`StreamingAuditor`] *after* the timed region — the
-/// recorder's hot-path cost is what the row measures, the drain is off the
-/// measured path by design.
-fn measure_audited<C: ProcessCounter>(
+/// [`TraceRecorder`] and the row carries a *paired* retention figure
+/// (schema v7): each repetition times the un-instrumented twin and the
+/// recorded counter back to back — inside one spawned thread set, phase
+/// boundaries marked by barriers ([`time_paired`]) — so scheduler noise
+/// and VM steal-time drift, which dwarf the recorder's few-nanosecond
+/// hot-path cost when the two cells are timed minutes apart, hit both
+/// sides of the ratio equally. Each repetition yields one paired ratio
+/// and retention is the **median** of the per-repetition ratios, which a
+/// single preempted repetition cannot move.
+///
+/// `audit_threads == 0` sizes the recorder so no event drops and drains
+/// the rings through a [`StreamingAuditor`] *after* the timed region (the
+/// recorder's hot-path cost is what the row measures). `audit_threads ≥ 1`
+/// times the full live pipeline instead — workers plus that many
+/// shard-stealing [`cnet_core::trace::ShardMonitor`] workers feeding a
+/// [`cnet_core::trace::MergeAuditor`] — from first increment to a ready
+/// verdict. `sample_k` is the recorder's sound 1-in-k sampling stride.
+fn measure_audited_at<C: ProcessCounter, P: ProcessCounter>(
     label: (&str, &str),
     build: impl Fn(Arc<TraceRecorder>) -> C,
+    build_plain: impl Fn() -> P,
     threads: usize,
+    audit_threads: usize,
+    sample_k: usize,
     cfg: &ThroughputConfig,
 ) -> Measurement {
     let total_ops = threads * cfg.ops_per_thread;
-    let seconds = (0..cfg.repeats.max(1))
-        .map(|_| {
-            let recorder = Arc::new(TraceRecorder::new(threads, cfg.ops_per_thread));
-            let counter = build(Arc::clone(&recorder));
-            let seconds = time_run(&counter, threads, cfg.ops_per_thread);
-            let mut auditor = StreamingAuditor::new();
-            drain_remaining(&recorder, &mut auditor);
-            black_box(auditor.is_linearizable());
-            seconds
-        })
-        .fold(f64::INFINITY, f64::min);
-    Measurement {
-        counter: label.0.to_string(),
-        network: label.1.to_string(),
-        threads,
-        total_ops,
-        seconds,
-        mops: total_ops as f64 / seconds / 1.0e6,
-        audited: true,
-        transport: Measurement::TRANSPORT_MEMORY.to_string(),
-        batch: 1,
-        oversubscribed: false,
-        connections: 0,
-        p50_ns: None,
-        p99_ns: None,
-        p999_ns: None,
-        nodes: 1,
-        qqc_max: None,
-        qqc_mean: None,
-        f_nl: None,
+    // One recorder for all repetitions: each repetition drains it fully,
+    // so reuse is a clean ring continuation — and it keeps the rings'
+    // pages faulted and cache-warm, like the steady-state service the row
+    // models. Rebuilding per repetition would stream several megabytes of
+    // zeroing through the cache immediately before a timed region.
+    let recorder = Arc::new(TraceRecorder::with_sampling(threads, cfg.ops_per_thread, sample_k));
+    let mut best_audited = f64::INFINITY;
+    let mut ratios = Vec::with_capacity(cfg.repeats.max(1));
+    for rep in 0..cfg.repeats.max(1) {
+        let counter = build(Arc::clone(&recorder));
+        // One paired ratio per repetition, the two sides adjacent in time
+        // and their order alternating between repetitions to cancel any
+        // warm-up or cool-down bias.
+        let time_audited = || {
+            if audit_threads == 0 {
+                let seconds = time_run(&counter, threads, cfg.ops_per_thread);
+                let mut auditor = StreamingAuditor::new();
+                drain_remaining(&recorder, &mut auditor);
+                black_box(auditor.is_linearizable());
+                seconds
+            } else {
+                let workload = Workload { threads, increments_per_thread: cfg.ops_per_thread };
+                let start = Instant::now();
+                let run =
+                    drive_audited_parallel(&counter, &recorder, workload, audit_threads, |_| {});
+                let seconds = start.elapsed().as_secs_f64();
+                black_box(run.auditor.is_clean());
+                seconds
+            }
+        };
+        let (plain, audited) = if rep % 2 == 0 {
+            let p = time_run(&build_plain(), threads, cfg.ops_per_thread);
+            (p, time_audited())
+        } else {
+            let a = time_audited();
+            (time_run(&build_plain(), threads, cfg.ops_per_thread), a)
+        };
+        best_audited = best_audited.min(audited);
+        ratios.push(plain / audited);
     }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let mid = ratios.len() / 2;
+    let retention = if ratios.len() % 2 == 1 {
+        ratios[mid]
+    } else {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    };
+    let mut m = Measurement::timed(label.0, label.1, threads, total_ops, best_audited);
+    m.audited = true;
+    m.retention = Some(retention);
+    m.audit_threads = audit_threads;
+    m.sample_k = sample_k;
+    m
+}
+
+/// The default audited row: recording on, monitors drained off the timed
+/// path, no sampling (see [`measure_audited_at`]).
+fn measure_audited<C: ProcessCounter, P: ProcessCounter>(
+    label: (&str, &str),
+    build: impl Fn(Arc<TraceRecorder>) -> C,
+    build_plain: impl Fn() -> P,
+    threads: usize,
+    cfg: &ThroughputConfig,
+) -> Measurement {
+    measure_audited_at(label, build, build_plain, threads, 0, 1, cfg)
 }
 
 /// An [`OpSink`] for the consistency sweep's drain: streams into the full
@@ -481,26 +567,12 @@ fn measure_consistency<C: ProcessCounter>(
                 (sink.auditor.qqc_max(), sink.auditor.qqc_mean(), sink.auditor.f_nl());
         }
     }
-    Measurement {
-        counter: label.0.to_string(),
-        network: label.1.to_string(),
-        threads,
-        total_ops,
-        seconds: best_seconds,
-        mops: total_ops as f64 / best_seconds / 1.0e6,
-        audited: true,
-        transport: Measurement::TRANSPORT_MEMORY.to_string(),
-        batch: 1,
-        oversubscribed: false,
-        connections: 0,
-        p50_ns: None,
-        p99_ns: None,
-        p999_ns: None,
-        nodes: 1,
-        qqc_max: Some(best_stats.0),
-        qqc_mean: Some(best_stats.1),
-        f_nl: Some(best_stats.2),
-    }
+    let mut m = Measurement::timed(label.0, label.1, threads, total_ops, best_seconds);
+    m.audited = true;
+    m.qqc_max = Some(best_stats.0);
+    m.qqc_mean = Some(best_stats.1);
+    m.f_nl = Some(best_stats.2);
+    m
 }
 
 /// The consistency sweep (`cnet bench --sweep consistency`, schema v6):
@@ -571,6 +643,78 @@ pub fn run_consistency_sweep(cfg: &ThroughputConfig, sub_counters: usize) -> Vec
         measurements.push(measure_consistency(
             ("elimination", "bitonic"),
             |rec| EliminationCounter::with_recorder(&net, sub_counters, rec),
+            threads,
+            cfg,
+        ));
+    }
+    for m in &mut measurements {
+        m.oversubscribed = m.threads > cores;
+    }
+    measurements
+}
+
+/// The parallel-audit combinations `cnet bench --sweep audit` measures for
+/// the compiled bitonic engine at each thread count: `(audit_threads,
+/// sample_k)` pairs spanning off-path draining, live shard-stealing at one
+/// and two audit workers, and 1-in-8 sampling both off-path and live.
+pub const AUDIT_SWEEP_POINTS: [(usize, usize); 5] = [(0, 1), (1, 1), (2, 1), (0, 8), (2, 8)];
+
+/// The retention-versus-audit-cost sweep (`cnet bench --sweep audit`,
+/// schema v7): for each thread count, a plain compiled-bitonic baseline
+/// row plus one audited row per [`AUDIT_SWEEP_POINTS`] combination — every
+/// audited row carrying its paired [`Measurement::retention`] — and
+/// plain/audited pairs for the relaxed backends (`relaxed`, `elimination`,
+/// sized by `sub_counters`) so [`ThroughputReport::retention`] resolves
+/// for them too.
+///
+/// # Panics
+///
+/// Panics if `cfg.fan` is not a supported power of two.
+pub fn run_audit_sweep(cfg: &ThroughputConfig, sub_counters: usize) -> Vec<Measurement> {
+    let net = bitonic(cfg.fan).expect("power-of-two fan");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut measurements = Vec::new();
+    for &threads in &cfg.threads {
+        measurements.push(measure(
+            ("compiled", "bitonic"),
+            || SharedNetworkCounter::new(&net),
+            threads,
+            cfg,
+        ));
+        for (audit_threads, sample_k) in AUDIT_SWEEP_POINTS {
+            measurements.push(measure_audited_at(
+                ("compiled", "bitonic"),
+                |rec| SharedNetworkCounter::with_recorder(&net, rec),
+                || SharedNetworkCounter::new(&net),
+                threads,
+                audit_threads,
+                sample_k,
+                cfg,
+            ));
+        }
+        measurements.push(measure(
+            ("relaxed", "-"),
+            || RelaxedCounter::new(sub_counters),
+            threads,
+            cfg,
+        ));
+        measurements.push(measure_audited(
+            ("relaxed", "-"),
+            |rec| RelaxedCounter::with_recorder(sub_counters, rec),
+            || RelaxedCounter::new(sub_counters),
+            threads,
+            cfg,
+        ));
+        measurements.push(measure(
+            ("elimination", "bitonic"),
+            || EliminationCounter::new(&net, sub_counters),
+            threads,
+            cfg,
+        ));
+        measurements.push(measure_audited(
+            ("elimination", "bitonic"),
+            |rec| EliminationCounter::with_recorder(&net, sub_counters, rec),
+            || EliminationCounter::new(&net, sub_counters),
             threads,
             cfg,
         ));
@@ -658,6 +802,7 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
             measurements.push(measure_audited(
                 ("compiled", family),
                 |rec| SharedNetworkCounter::with_recorder(net, rec),
+                || SharedNetworkCounter::new(net),
                 threads,
                 cfg,
             ));
@@ -668,6 +813,7 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
                 DiffractingTree::with_recorder(cfg.fan, PRISM_WIDTH, rec)
                     .expect("power-of-two fan")
             },
+            || DiffractingTree::new(cfg.fan, PRISM_WIDTH).expect("power-of-two fan"),
             threads,
             cfg,
         ));
@@ -677,7 +823,7 @@ pub fn run_throughput_sweep(cfg: &ThroughputConfig) -> ThroughputReport {
         m.oversubscribed = m.threads > cores;
     }
     ThroughputReport {
-        version: 6,
+        version: 7,
         fan: cfg.fan,
         ops_per_thread: cfg.ops_per_thread,
         repeats: cfg.repeats.max(1),
@@ -748,6 +894,8 @@ impl ThroughputReport {
         self.measurements.iter().find(|m| {
             m.audited
                 && m.transport == Measurement::TRANSPORT_MEMORY
+                && m.audit_threads == 0
+                && m.sample_k == 1
                 && m.counter == counter
                 && m.network == network
                 && m.threads == threads
@@ -827,13 +975,60 @@ impl ThroughputReport {
         })
     }
 
+    /// The audited measurement for a specific `(audit_threads, sample_k)`
+    /// parallel-audit combination (schema v7) — the cells of the
+    /// retention-versus-audit-cost curve from `cnet bench --sweep audit`.
+    pub fn audit_cell_at(
+        &self,
+        counter: &str,
+        network: &str,
+        threads: usize,
+        audit_threads: usize,
+        sample_k: usize,
+    ) -> Option<&Measurement> {
+        self.measurements.iter().find(|m| {
+            m.audited
+                && m.audit_threads == audit_threads
+                && m.sample_k == sample_k
+                && m.counter == counter
+                && m.network == network
+                && m.threads == threads
+        })
+    }
+
     /// Fraction of un-audited throughput the audited run retains on the
     /// same cell — `1.0` means the recorder was free, `0.8` is the floor
     /// the observability layer promises (see DESIGN.md).
+    ///
+    /// Prefers the paired [`Measurement::retention`] stored on the
+    /// audited row (schema v7: plain and audited timed interleaved, so
+    /// the ratio is drift-immune). For rows without one — pre-v7
+    /// artifacts, consistency rows — it pairs the audited row with the
+    /// plain row of the *same* transport, batch, connection count, and
+    /// node count, so tcp, cluster, consistency, and relaxed-backend
+    /// cells all resolve, not just plain in-process pairs.
     pub fn retention(&self, counter: &str, network: &str, threads: usize) -> Option<f64> {
-        let audited = self.audited_cell(counter, network, threads)?;
-        let plain = self.cell(counter, network, threads)?;
-        Some(audited.mops / plain.mops)
+        self.measurements
+            .iter()
+            .filter(|m| {
+                m.audited && m.counter == counter && m.network == network && m.threads == threads
+            })
+            .find_map(|audited| {
+                if let Some(r) = audited.retention {
+                    return Some(r);
+                }
+                let plain = self.measurements.iter().find(|m| {
+                    !m.audited
+                        && m.counter == audited.counter
+                        && m.network == audited.network
+                        && m.threads == audited.threads
+                        && m.transport == audited.transport
+                        && m.batch == audited.batch
+                        && m.connections == audited.connections
+                        && m.nodes == audited.nodes
+                })?;
+                Some(audited.mops / plain.mops)
+            })
     }
 
     /// Throughput ratio `a / b` between two counters on the same network
@@ -850,7 +1045,7 @@ impl ThroughputReport {
     /// column per counter/network combination, in Mops/s.
     pub fn summary(&self) -> Table {
         #[allow(clippy::type_complexity)]
-        let mut columns: Vec<(String, String, bool, String, usize, usize, usize, bool)> =
+        let mut columns: Vec<(String, String, bool, String, usize, usize, usize, bool, usize, usize)> =
             Vec::new();
         for m in &self.measurements {
             let key = (
@@ -862,6 +1057,8 @@ impl ThroughputReport {
                 m.connections,
                 m.nodes,
                 m.qqc_max.is_some(),
+                m.audit_threads,
+                m.sample_k,
             );
             if !columns.contains(&key) {
                 columns.push(key);
@@ -869,7 +1066,7 @@ impl ThroughputReport {
         }
         let mut headers = vec!["threads".to_string()];
         headers.extend(columns.iter().map(
-            |(c, n, audited, transport, batch, connections, nodes, qqc)| {
+            |(c, n, audited, transport, batch, connections, nodes, qqc, audit_threads, sample_k)| {
                 let mut label = if n == "-" { c.clone() } else { format!("{c}/{n}") };
                 if *qqc {
                     label.push_str("+qqc");
@@ -889,6 +1086,12 @@ impl ThroughputReport {
                 if *nodes > 1 {
                     label.push_str(&format!(" n{nodes}"));
                 }
+                if *audit_threads > 0 {
+                    label.push_str(&format!(" a{audit_threads}"));
+                }
+                if *sample_k > 1 {
+                    label.push_str(&format!(" s{sample_k}"));
+                }
                 label
             },
         ));
@@ -901,7 +1104,9 @@ impl ThroughputReport {
         }
         for &t in &threads_seen {
             let mut row = vec![t.to_string()];
-            for (c, n, audited, transport, batch, connections, nodes, qqc) in &columns {
+            for (c, n, audited, transport, batch, connections, nodes, qqc, audit_threads, sample_k) in
+                &columns
+            {
                 let cell = self.measurements.iter().find(|m| {
                     m.counter == *c
                         && m.network == *n
@@ -911,6 +1116,8 @@ impl ThroughputReport {
                         && m.connections == *connections
                         && m.nodes == *nodes
                         && m.qqc_max.is_some() == *qqc
+                        && m.audit_threads == *audit_threads
+                        && m.sample_k == *sample_k
                         && m.threads == t
                 });
                 row.push(cell.map_or("-".to_string(), |m| format!("{:.2}", m.mops)));
@@ -967,6 +1174,92 @@ mod tests {
         assert!(r.is_finite() && r > 0.0, "retention {r}");
         assert!(report.retention("graph_walk", "bitonic", 2).is_none());
         assert!(report.retention("compiled", "bitonic", 64).is_none());
+        // Schema v7: the audited row stores the paired ratio directly,
+        // and the accessor prefers it over re-deriving from separate
+        // cells.
+        let audited = report.audited_cell("compiled", "bitonic", 2).unwrap();
+        assert_eq!(Some(r), audited.retention);
+    }
+
+    #[test]
+    fn retention_pairs_tcp_cluster_and_consistency_rows() {
+        let mut report = run_throughput_sweep(&tiny());
+        // A tcp plain/audited pair on a cell with no memory audited row:
+        // retention must match *within* the transport, not across it.
+        let template = report.cell("fetch_add", "-", 2).unwrap().clone();
+        let mut plain_tcp = template.clone();
+        plain_tcp.transport = Measurement::TRANSPORT_TCP.to_string();
+        plain_tcp.mops = 10.0;
+        let mut audited_tcp = plain_tcp.clone();
+        audited_tcp.audited = true;
+        audited_tcp.mops = 8.0;
+        report.measurements.push(plain_tcp);
+        report.measurements.push(audited_tcp);
+        let r = report.retention("fetch_add", "-", 2).unwrap();
+        assert!((r - 0.8).abs() < 1e-12, "tcp retention {r}");
+        // A cluster pair (nodes = 3) for a counter with no other rows.
+        let mut plain_cluster = template.clone();
+        plain_cluster.counter = "cluster".to_string();
+        plain_cluster.transport = Measurement::TRANSPORT_TCP.to_string();
+        plain_cluster.nodes = 3;
+        plain_cluster.mops = 4.0;
+        let mut audited_cluster = plain_cluster.clone();
+        audited_cluster.audited = true;
+        audited_cluster.mops = 3.0;
+        report.measurements.push(plain_cluster);
+        report.measurements.push(audited_cluster);
+        let r = report.retention("cluster", "-", 2).unwrap();
+        assert!((r - 0.75).abs() < 1e-12, "cluster retention {r}");
+        // Consistency rows (audited, no stored retention) pair with the
+        // plain memory cell of the same shape.
+        report.measurements.extend(run_consistency_sweep(&tiny(), 4));
+        assert!(report.retention("diffracting", "tree", 2).is_some());
+    }
+
+    #[test]
+    fn audit_sweep_traces_the_retention_curve() {
+        let rows = run_audit_sweep(&tiny(), 4);
+        // Per thread count: plain compiled + one audited row per sweep
+        // point + plain/audited pairs for relaxed and elimination.
+        assert_eq!(rows.len(), 2 * (1 + AUDIT_SWEEP_POINTS.len() + 4));
+        let mut report = run_throughput_sweep(&tiny());
+        report.measurements = rows;
+        for &(audit_threads, sample_k) in &AUDIT_SWEEP_POINTS {
+            let m = report
+                .audit_cell_at("compiled", "bitonic", 2, audit_threads, sample_k)
+                .unwrap();
+            assert!(m.audited);
+            let r = m.retention.expect("sweep rows store paired retention");
+            assert!(r.is_finite() && r > 0.0, "{m:?}");
+        }
+        // The relaxed backends resolve through the accessor (satellite of
+        // the v7 schema: retention is no longer compiled-only).
+        assert!(report.retention("relaxed", "-", 2).is_some());
+        assert!(report.retention("elimination", "bitonic", 2).is_some());
+        // Live rows are distinct summary columns, labelled by their
+        // audit-thread and sampling parameters.
+        let rendered = report.summary().to_string();
+        assert!(rendered.contains("compiled/bitonic+audit a2"), "{rendered}");
+        assert!(rendered.contains("compiled/bitonic+audit s8"), "{rendered}");
+        assert!(rendered.contains("compiled/bitonic+audit a2 s8"), "{rendered}");
+    }
+
+    #[test]
+    fn pre_v7_rows_default_the_audit_pipeline_columns() {
+        // A schema-v6 audited row: no retention, audit_threads, sample_k.
+        let text = concat!(
+            r#"{"counter":"compiled","network":"bitonic","threads":8,"#,
+            r#""total_ops":160000,"seconds":0.01,"mops":16.0,"audited":true,"#,
+            r#""transport":"memory","batch":1,"oversubscribed":true,"#,
+            r#""connections":0,"p50_ns":null,"p99_ns":null,"p999_ns":null,"#,
+            r#""nodes":1,"qqc_max":null,"qqc_mean":null,"f_nl":null}"#
+        );
+        let m: Measurement = json::from_str(text).expect("v6 row parses");
+        assert_eq!(m.retention, None);
+        assert_eq!(m.audit_threads, 0);
+        assert_eq!(m.sample_k, 1);
+        let back: Measurement = json::from_str(&json::to_string_pretty(&m)).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]
@@ -1008,7 +1301,7 @@ mod tests {
         let text = json::to_string_pretty(&report);
         let back: ThroughputReport = json::from_str(&text).expect("report parses");
         assert_eq!(back, report);
-        assert_eq!(back.version, 6);
+        assert_eq!(back.version, 7);
         assert_eq!(back.fan, 4);
         assert!(back.measurements.iter().any(|m| m.audited));
     }

@@ -38,8 +38,9 @@ pub fn usage() -> String {
      \x20           --threads 1,2,4,8 --batch 1,16,64 --ops --repeats\n\
      \x20           --out <file.json> --sweep consistency (audited qqc rows:\n\
      \x20           the throughput-vs-inconsistency frontier, merged into\n\
-     \x20           --out) --sub-counters K (relaxed bank / elimination slot\n\
-     \x20           count)\n\
+     \x20           --out) --sweep audit (retention-vs-audit-cost curve:\n\
+     \x20           off-path drain, live shard stealers, 1-in-k sampling)\n\
+     \x20           --sub-counters K (relaxed bank / elimination slot count)\n\
      \x20 audit     threaded run through the trace recorder with live online\n\
      \x20           consistency monitors; flags: --backend compiled|graph_walk|\n\
      \x20           combining|diffracting|fetch_add|lock|relaxed|elimination|\n\
@@ -335,8 +336,9 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
     match opts.get("sweep") {
         None => {}
         Some("consistency") => return cmd_bench_consistency(&cfg, sub_counters, &opts),
+        Some("audit") => return cmd_bench_audit(&cfg, sub_counters, &opts),
         Some(other) => {
-            return Err(format!("--sweep expects 'consistency', got '{other}'"));
+            return Err(format!("--sweep expects 'consistency' or 'audit', got '{other}'"));
         }
     }
     let mut report = cnet_bench::run_throughput_sweep(&cfg);
@@ -441,6 +443,116 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `cnet bench <w> --sweep audit`: the schema-v7
+/// retention-versus-audit-cost curve. For each thread count the compiled
+/// bitonic engine runs plain and then audited at every
+/// [`cnet_bench::AUDIT_SWEEP_POINTS`] `(audit_threads, sample_k)`
+/// combination — off-path draining, live shard-stealing, and 1-in-k
+/// sampling — with each audited row carrying its paired retention; the
+/// relaxed backends contribute plain/audited pairs so their retention
+/// resolves too. With `--out` the rows are merged into the existing
+/// artifact (replacing prior rows for the same cells) and the report
+/// version is bumped to 7.
+fn cmd_bench_audit(
+    cfg: &cnet_bench::ThroughputConfig,
+    sub_counters: usize,
+    opts: &Options,
+) -> Result<String, String> {
+    let rows = cnet_bench::run_audit_sweep(cfg, sub_counters);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut curve = cnet_bench::Table::new(vec![
+        "threads".to_string(),
+        "backend".to_string(),
+        "audit".to_string(),
+        "sample".to_string(),
+        "Mops/s".to_string(),
+        "retention".to_string(),
+    ]);
+    for m in &rows {
+        let label = if m.network == "-" {
+            m.counter.clone()
+        } else {
+            format!("{}/{}", m.counter, m.network)
+        };
+        curve.row(vec![
+            m.threads.to_string(),
+            label,
+            if !m.audited {
+                "off".to_string()
+            } else if m.audit_threads == 0 {
+                "drain".to_string()
+            } else {
+                format!("live x{}", m.audit_threads)
+            },
+            if m.sample_k > 1 { format!("1/{}", m.sample_k) } else { "all".to_string() },
+            format!("{:.2}", m.mops),
+            m.retention.map_or("-".to_string(), |r| format!("{:.1}%", r * 100.0)),
+        ]);
+    }
+    let mut out = format!(
+        "== audit sweep (retention vs audit cost): w={}, {} ops/thread, best of {}, \
+         {} cores ==\n\n{}",
+        cfg.fan, cfg.ops_per_thread, cfg.repeats, cores, curve
+    );
+    let top = *cfg.threads.iter().max().expect("at least one thread count");
+    if let Some(m) = rows.iter().find(|m| {
+        m.audited
+            && m.audit_threads == 0
+            && m.sample_k == 1
+            && m.counter == "compiled"
+            && m.threads == top
+    }) {
+        if let Some(r) = m.retention {
+            let _ = writeln!(
+                out,
+                "\nfully audited compiled B({}) at {top} threads retains {:.1}% of \
+                 un-audited throughput (paired interleaved measurement)",
+                cfg.fan,
+                r * 100.0,
+            );
+        }
+    }
+    if let Some(path) = opts.get("out") {
+        let p = std::path::Path::new(path);
+        let mut report: cnet_bench::ThroughputReport = match std::fs::read_to_string(p) {
+            Ok(text) => cnet_util::json::from_str(&text)
+                .map_err(|e| format!("{path}: not a throughput report: {e}"))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                cnet_bench::ThroughputReport {
+                    version: 7,
+                    fan: cfg.fan,
+                    ops_per_thread: cfg.ops_per_thread,
+                    repeats: cfg.repeats,
+                    cores,
+                    measurements: Vec::new(),
+                }
+            }
+            Err(e) => return Err(format!("read {path}: {e}")),
+        };
+        // Replace any prior row for the same cell (same counter, network,
+        // threads, audited flag, and audit-pipeline parameters); qqc-
+        // bearing consistency rows and tcp/cluster rows are untouched.
+        report.measurements.retain(|m| {
+            m.qqc_max.is_some()
+                || m.transport != cnet_bench::Measurement::TRANSPORT_MEMORY
+                || !rows.iter().any(|r| {
+                    r.counter == m.counter
+                        && r.network == m.network
+                        && r.threads == m.threads
+                        && r.audited == m.audited
+                        && r.batch == m.batch
+                        && r.audit_threads == m.audit_threads
+                        && r.sample_k == m.sample_k
+                })
+        });
+        report.measurements.extend(rows);
+        report.version = report.version.max(7);
+        cnet_bench::write_json(p, &report).map_err(|e| format!("write {path}: {e}"))?;
+        let _ = writeln!(out, "audit rows merged into {path} (schema v{})", report.version);
+    }
+    Ok(out)
+}
+
 /// `cnet bench <w> --sweep consistency`: the schema-v6
 /// throughput-versus-inconsistency frontier. Every backend — strict and
 /// relaxed — runs audited through the QQC lateness meter, and the rows
@@ -448,7 +560,7 @@ fn cmd_bench(args: &[String]) -> Result<String, String> {
 /// throughput was timed on. With `--out` the rows are merged into the
 /// existing artifact (replacing prior qqc-bearing rows for the same
 /// cells, preserving everything else) and the report version is bumped
-/// to 6.
+/// to at least 6.
 fn cmd_bench_consistency(
     cfg: &cnet_bench::ThroughputConfig,
     sub_counters: usize,
@@ -512,7 +624,7 @@ fn cmd_bench_consistency(
                 .map_err(|e| format!("{path}: not a throughput report: {e}"))?,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 cnet_bench::ThroughputReport {
-                    version: 6,
+                    version: 7,
                     fan: cfg.fan,
                     ops_per_thread: cfg.ops_per_thread,
                     repeats: cfg.repeats,
@@ -532,7 +644,7 @@ fn cmd_bench_consistency(
                 })
         });
         report.measurements.extend(rows);
-        report.version = report.version.max(6);
+        report.version = report.version.max(7);
         cnet_bench::write_json(p, &report).map_err(|e| format!("write {path}: {e}"))?;
         let _ = writeln!(out, "consistency rows merged into {path} (schema v{})", report.version);
     }
@@ -591,7 +703,8 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         return Err(
             "expected: cnet serve <w> [--backend B] [--family F] [--addr HOST:PORT] \
              [--max-conns N] [--processes N] [--reactors N] [--backpressure reject|block] \
-             [--audit 0/1] [--port-file file] [--cluster K/N --peers ADDR]"
+             [--audit 0/1] [--audit-threads N] [--audit-sample k] [--port-file file] \
+             [--cluster K/N --peers ADDR]"
                 .to_string(),
         );
     };
@@ -606,6 +719,8 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         "reactors",
         "backpressure",
         "audit",
+        "audit-threads",
+        "audit-sample",
         "port-file",
         "cluster",
         "peers",
@@ -628,7 +743,70 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     };
     let cluster_position = opts.get("cluster").map(parse_cluster_position).transpose()?;
     let audit = opts.usize_or("audit", 0)? != 0;
-    let recorder = audit.then(|| Arc::new(TraceRecorder::new(max_connections, 1 << 16)));
+    let audit_threads = opts.usize_or("audit-threads", 0)?;
+    let sample_k = opts.usize_or("audit-sample", 1)?.max(1);
+    if (audit_threads > 0 || sample_k > 1) && !audit {
+        return Err("--audit-threads/--audit-sample only make sense with --audit 1".to_string());
+    }
+    let recorder =
+        audit.then(|| Arc::new(TraceRecorder::with_sampling(max_connections, 1 << 16, sample_k)));
+    // The parallel audit pipeline: `--audit-threads N` workers steal ring
+    // shards *while the server runs*, folding each shard into its own
+    // `ShardMonitor`. The exact global verdict is assembled lazily after
+    // shutdown by merging the final frontiers — the verdict is
+    // bit-identical to the sequential drain on the same streams.
+    let audit_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let audit_workers: Vec<_> = match &recorder {
+        Some(rec) if audit_threads > 0 => (0..audit_threads.min(rec.shards()))
+            .map(|worker| {
+                let rec = Arc::clone(rec);
+                let stop = Arc::clone(&audit_stop);
+                let stride = audit_threads.min(rec.shards());
+                std::thread::spawn(move || {
+                    use cnet_core::trace::{RawOp, ShardMonitor};
+                    let shards: Vec<usize> =
+                        (worker..rec.shards()).step_by(stride).collect();
+                    let mut monitors: Vec<ShardMonitor> =
+                        shards.iter().map(|&s| ShardMonitor::new(s)).collect();
+                    let mut seen = vec![(0u64, 0u64); shards.len()];
+                    let mut stolen = 0usize;
+                    loop {
+                        // Read the flag *before* pulling: when it is set the
+                        // final flush already happened, so a dry pass after
+                        // seeing it means the shard is truly drained.
+                        let stopped = stop.load(std::sync::atomic::Ordering::Acquire);
+                        let mut moved = 0usize;
+                        for (i, &sh) in shards.iter().enumerate() {
+                            let mon = &mut monitors[i];
+                            moved += rec.pull_shard(sh, |enter_ns, exit_ns, value| {
+                                mon.observe(RawOp {
+                                    process: sh,
+                                    enter_ns,
+                                    exit_ns,
+                                    value,
+                                });
+                            });
+                            let (d, k) = (rec.dropped_on(sh), rec.skipped_on(sh));
+                            mon.add_dropped(d - seen[i].0);
+                            mon.add_skipped(k - seen[i].1);
+                            seen[i] = (d, k);
+                        }
+                        stolen += moved;
+                        if moved == 0 {
+                            if stopped {
+                                break;
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                    }
+                    let frontiers: Vec<_> =
+                        monitors.iter_mut().map(|m| m.take_frontier(true)).collect();
+                    (frontiers, stolen)
+                })
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
     let mut server = match cluster_position {
         Some((node, nodes)) => {
             // A cluster node *is* a partition of the compiled network — the
@@ -703,9 +881,36 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         stats.reactor_events,
     );
     if let Some(rec) = &recorder {
-        let mut auditor = cnet_core::trace::StreamingAuditor::new();
-        cnet_runtime::drain_remaining(rec, &mut auditor);
-        let _ = writeln!(out, "audit: {}", auditor.summary());
+        if audit_workers.is_empty() {
+            let mut auditor = cnet_core::trace::StreamingAuditor::new();
+            cnet_runtime::drain_remaining(rec, &mut auditor);
+            let _ = writeln!(out, "audit: {}", auditor.summary());
+        } else {
+            // Writers are quiescent once `shutdown()` has joined the
+            // reactors: settle every partial sampling window and publish
+            // the tails, then let the stealers take one last dry pass.
+            for sh in 0..rec.shards() {
+                rec.flush(sh);
+            }
+            audit_stop.store(true, std::sync::atomic::Ordering::Release);
+            let mut merged = cnet_core::trace::MergeAuditor::new(rec.shards());
+            let mut stolen = 0usize;
+            for handle in audit_workers {
+                let (frontiers, worker_stolen) = handle.join().expect("audit worker panicked");
+                stolen += worker_stolen;
+                for frontier in frontiers {
+                    merged.ingest(frontier);
+                }
+            }
+            let _ = writeln!(
+                out,
+                "audit pipeline: {audit_threads} worker(s), {stolen} event(s) stolen live, \
+                 {} dropped, {} skipped by 1-in-{sample_k} sampling",
+                merged.dropped(),
+                merged.skipped(),
+            );
+            let _ = writeln!(out, "audit: {}", merged.summary());
+        }
     }
     Ok(out)
 }
@@ -714,7 +919,7 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     let opts = Options::parse(args)?;
     opts.allow(&[
         "addr", "threads", "connections", "ops", "batch", "mode", "check", "shutdown", "out",
-        "label", "network", "cluster",
+        "label", "network", "cluster", "audit-sample",
     ])?;
     let addr = opts.get("addr").ok_or("loadgen needs --addr HOST:PORT")?.to_string();
     let threads = opts.usize_or("threads", 4)?.max(1);
@@ -820,29 +1025,29 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
     }
     if let Some(path) = opts.get("out") {
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let row = cnet_bench::Measurement {
-            counter: opts.get("label").unwrap_or("fetch_add").to_string(),
-            network: opts.get("network").unwrap_or("-").to_string(),
+        let mut row = cnet_bench::Measurement::timed(
+            opts.get("label").unwrap_or("fetch_add"),
+            opts.get("network").unwrap_or("-"),
             threads,
-            total_ops: report.total_ops as usize,
-            seconds: report.seconds,
-            mops: report.ops_per_sec() / 1.0e6,
-            audited: false,
-            transport: cnet_bench::Measurement::TRANSPORT_TCP.to_string(),
-            batch: match mode {
-                cnet_net::LoadGenMode::Batch => batch,
-                cnet_net::LoadGenMode::Pipeline => 1,
-            },
-            oversubscribed: threads > cores,
-            connections: report.connections,
-            p50_ns: Some(p50),
-            p99_ns: Some(p99),
-            p999_ns: Some(p999),
-            nodes,
-            qqc_max: None,
-            qqc_mean: None,
-            f_nl: None,
+            report.total_ops as usize,
+            report.seconds,
+        );
+        row.mops = report.ops_per_sec() / 1.0e6;
+        row.transport = cnet_bench::Measurement::TRANSPORT_TCP.to_string();
+        row.batch = match mode {
+            cnet_net::LoadGenMode::Batch => batch,
+            cnet_net::LoadGenMode::Pipeline => 1,
         };
+        row.oversubscribed = threads > cores;
+        row.connections = report.connections;
+        row.p50_ns = Some(p50);
+        row.p99_ns = Some(p99);
+        row.p999_ns = Some(p999);
+        row.nodes = nodes;
+        // Row metadata only: the sampling stride is a *server-side* knob
+        // (`serve --audit-sample k`); tagging the row keeps the artifact
+        // honest about what the audited server was actually recording.
+        row.sample_k = opts.usize_or("audit-sample", 1)?.max(1);
         merge_net_row(std::path::Path::new(path), row)?;
         let _ = writeln!(out, "tcp throughput row merged into {path}");
     }
@@ -850,8 +1055,8 @@ fn cmd_loadgen(args: &[String]) -> Result<String, String> {
 }
 
 /// Appends (or replaces) a networked-throughput row in a
-/// `BENCH_throughput.json` report (schema v2 through v6), creating a
-/// minimal v6 report when the file does not exist yet. Row identity
+/// `BENCH_throughput.json` report (schema v2 through v7), creating a
+/// minimal v7 report when the file does not exist yet. Row identity
 /// includes the connection count and the cluster node count, so
 /// connection-scaling and node-scaling sweeps keep one row per cell
 /// instead of overwriting.
@@ -863,7 +1068,7 @@ fn merge_net_row(
         Ok(text) => cnet_util::json::from_str(&text)
             .map_err(|e| format!("{}: not a throughput report: {e}", path.display()))?,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => cnet_bench::ThroughputReport {
-            version: 6,
+            version: 7,
             fan: 0,
             ops_per_thread: 0,
             repeats: 1,
@@ -885,32 +1090,97 @@ fn merge_net_row(
     cnet_bench::write_json(path, &report).map_err(|e| format!("write {}: {e}", path.display()))
 }
 
+/// The common shape of a serial or parallel audited run, as rendered by
+/// `cnet audit`: the exact global auditor plus the coverage accounting
+/// (recorded / ring-dropped / sampling-skipped, and per-shard drops so a
+/// hot shard can be named).
+struct CliAuditRun {
+    auditor: cnet_core::trace::StreamingAuditor,
+    recorded: usize,
+    dropped: u64,
+    skipped: u64,
+    per_shard_dropped: Vec<u64>,
+}
+
 /// Drives an audited run, collecting a bounded set of "live" lines each
-/// time the in-flight auditor's violation counts grow.
+/// time the in-flight auditor's violation counts grow. With
+/// `audit_threads > 0` the run goes through the sharded steal pipeline
+/// ([`cnet_runtime::drive_audited_parallel`]); the merged verdict is
+/// bit-identical to the serial drain on the same streams.
 fn audit_workload<C: ProcessCounter>(
     counter: &C,
     recorder: &TraceRecorder,
     workload: Workload,
+    audit_threads: usize,
     live: &mut Vec<String>,
-) -> (AuditedRun, usize) {
+) -> (CliAuditRun, usize) {
     let mut batches = 0usize;
     let mut seen = (0usize, 0usize);
-    let run = drive_audited(counter, recorder, workload, |a| {
-        batches += 1;
-        let now = (a.non_linearizable(), a.non_sequentially_consistent());
+    let mut live_line = |ops: usize, nl: usize, nsc: usize, f_nl: f64, f_nsc: f64| {
+        let now = (nl, nsc);
         if now > seen && live.len() < 8 {
             live.push(format!(
-                "  [live @ {} ops] non-linearizable: {}  non-SC: {}  F_nl={:.4} F_nsc={:.4}",
-                a.operations(),
-                now.0,
-                now.1,
-                a.f_nl(),
-                a.f_nsc()
+                "  [live @ {ops} ops] non-linearizable: {nl}  non-SC: {nsc}  \
+                 F_nl={f_nl:.4} F_nsc={f_nsc:.4}"
             ));
             seen = now;
         }
-    });
-    (run, batches)
+    };
+    if audit_threads == 0 {
+        let run: AuditedRun = drive_audited(counter, recorder, workload, |a| {
+            batches += 1;
+            live_line(
+                a.operations(),
+                a.non_linearizable(),
+                a.non_sequentially_consistent(),
+                a.f_nl(),
+                a.f_nsc(),
+            );
+        });
+        let per_shard_dropped =
+            (0..recorder.shards()).map(|s| recorder.dropped_on(s)).collect();
+        (
+            CliAuditRun {
+                auditor: run.auditor,
+                recorded: run.recorded,
+                dropped: run.dropped,
+                skipped: recorder.skipped(),
+                per_shard_dropped,
+            },
+            batches,
+        )
+    } else {
+        let run = cnet_runtime::drive_audited_parallel(
+            counter,
+            recorder,
+            workload,
+            audit_threads,
+            |m| {
+                batches += 1;
+                let a = m.auditor();
+                live_line(
+                    a.operations(),
+                    a.non_linearizable(),
+                    a.non_sequentially_consistent(),
+                    a.f_nl(),
+                    a.f_nsc(),
+                );
+            },
+        );
+        let mut merged = run.auditor;
+        merged.merge();
+        let per_shard_dropped = merged.shard_stats().iter().map(|s| s.dropped).collect();
+        (
+            CliAuditRun {
+                auditor: merged.auditor().clone(),
+                recorded: run.recorded,
+                dropped: run.dropped,
+                skipped: run.skipped,
+                per_shard_dropped,
+            },
+            batches,
+        )
+    }
 }
 
 /// Fetches every node's recorded trace shards over the wire, remaps them
@@ -921,8 +1191,12 @@ fn audit_workload<C: ProcessCounter>(
 /// All nodes must share one machine clock for the merged verdict to be
 /// meaningful — the trace stamps are node-local monotonic nanoseconds.
 fn cmd_audit_cluster(opts: &Options) -> Result<String, String> {
-    use cnet_core::trace::{EventMerger, RawOp, StreamingAuditor};
+    use cnet_core::trace::ShardFrontier;
 
+    let inject: Option<u64> = opts
+        .get("inject")
+        .map(|s| s.parse().map_err(|_| format!("--inject expects a numeric seed, got '{s}'")))
+        .transpose()?;
     let addrs: Vec<String> = opts
         .get("addr")
         .ok_or("backend cluster needs --addr ADDR1,ADDR2,...")?
@@ -963,60 +1237,138 @@ fn cmd_audit_cluster(opts: &Options) -> Result<String, String> {
         }
     }
     let mut out = format!("== cnet audit: backend=cluster, {chain} node(s) ==\n\n");
-    // Fetch each node's shards in chunks until the stream stays dry over
+    // Fetch each node's shard frontiers until every stream stays dry over
     // a settle delay (the server's close-time flush is asynchronous).
-    let mut per_node: Vec<Vec<cnet_net::wire::TraceEvent>> = Vec::new();
-    for (info, client, addr) in &members {
-        let mut events = Vec::new();
+    // Frontiers carry lifetime totals (drops, sampling skips) and the
+    // shard's locally witnessed partial verdict alongside the buffered
+    // events, so all of them are kept and folded in fetch order — the
+    // MergeAuditor's "latest frontier wins" rule keeps the stats exact.
+    let shards_per_node: Vec<usize> =
+        members.iter().map(|(info, _, _)| info.shards as usize).collect();
+    let mut fetched: Vec<(usize, ShardFrontier)> = Vec::new();
+    for (node, (info, client, addr)) in members.iter().enumerate() {
+        let mut events = 0usize;
         let mut settle = 0;
         while info.shards > 0 && settle < 2 {
-            let chunk = client
-                .fetch_trace(cnet_net::wire::MAX_TRACE_EVENTS)
-                .map_err(|e| format!("trace fetch {addr}: {e}"))?;
-            if chunk.is_empty() {
+            let mut moved = 0usize;
+            for shard in 0..info.shards {
+                let frontier = client
+                    .fetch_frontier(shard, cnet_net::wire::MAX_FRONTIER_OPS)
+                    .map_err(|e| format!("frontier fetch {addr}: {e}"))?;
+                moved += frontier.ops.len();
+                fetched.push((node, frontier));
+            }
+            if moved == 0 {
                 settle += 1;
                 std::thread::sleep(std::time::Duration::from_millis(100));
             } else {
                 settle = 0;
-                events.extend(chunk);
+                events += moved;
             }
         }
         let _ = writeln!(
             out,
             "node {} @ {addr}: {} shard(s), {} event(s) fetched",
-            info.node,
-            info.shards,
-            events.len()
+            info.node, info.shards, events
         );
-        per_node.push(events);
     }
-    // Global shard space: node k's local shard s becomes offset(k) + s,
-    // where offset is the shard total of all earlier nodes.
-    let total_shards: usize = members.iter().map(|(i, _, _)| i.shards as usize).sum();
-    let mut merger = EventMerger::new(total_shards.max(1));
-    // Per-shard clamp: within a shard events arrive enter-ordered, but a
-    // chunk boundary could expose a sub-batch stamp regression the
-    // server-side drain clamps only within one call.
-    let mut last_enter = vec![0u64; total_shards.max(1)];
-    let mut offset = 0usize;
-    for ((info, _, _), events) in members.iter().zip(&per_node) {
-        for e in events {
-            let shard = offset + e.shard as usize;
-            let enter = e.enter_ns.max(last_enter[shard]);
-            last_enter[shard] = enter;
-            merger.push(
-                shard,
-                RawOp { process: shard, enter_ns: enter, exit_ns: e.exit_ns.max(enter), value: e.value },
+    // `--inject SEED`: deterministically re-stamp one fetched op past the
+    // end of the run. The victim is seed-chosen among the ops that some
+    // *other* shard outvalues, so the corrupted history provably contains
+    // a larger value whose interval completed before the victim's — the
+    // audit MUST come back non-linearizable, and a clean verdict here
+    // means the pipeline lost the violation (the regression this guards).
+    if let Some(seed) = inject {
+        let offsets: Vec<usize> = shards_per_node
+            .iter()
+            .scan(0usize, |acc, &n| {
+                let o = *acc;
+                *acc += n;
+                Some(o)
+            })
+            .collect();
+        let mut shard_max = vec![0u64; shards_per_node.iter().sum::<usize>().max(1)];
+        let mut max_stamp = 0u64;
+        for (node, f) in &fetched {
+            let g = offsets[*node] + f.shard;
+            for op in &f.ops {
+                shard_max[g] = shard_max[g].max(op.value);
+                max_stamp = max_stamp.max(op.exit_ns);
+            }
+        }
+        let mut victims: Vec<(usize, usize)> = Vec::new();
+        for (i, (node, f)) in fetched.iter().enumerate() {
+            let g = offsets[*node] + f.shard;
+            let other_max =
+                shard_max.iter().enumerate().filter(|&(s, _)| s != g).map(|(_, &v)| v).max();
+            if let Some(other_max) = other_max {
+                for (j, op) in f.ops.iter().enumerate() {
+                    if op.value < other_max {
+                        victims.push((i, j));
+                    }
+                }
+            }
+        }
+        if victims.is_empty() {
+            return Err("--inject: no fetched op is outvalued by another shard — \
+                        nothing to corrupt"
+                .to_string());
+        }
+        let (fi, oj) = victims[(seed as usize) % victims.len()];
+        let op = &mut fetched[fi].1.ops[oj];
+        op.enter_ns = max_stamp + 1_000_000_000;
+        op.exit_ns = op.enter_ns + 100;
+        let _ = writeln!(
+            out,
+            "fault injection (seed {seed}): op value {} re-stamped 1s past the end of the run",
+            op.value
+        );
+    }
+    // Global shard space: node k's local shard s becomes offset(k) + s.
+    // The collector remaps shards and process ids and folds every frontier
+    // into one exact merged verdict — bit-identical to the sequential
+    // auditor on the same per-shard streams.
+    let mut collector = cnet_net::FrontierCollector::new(&shards_per_node);
+    for (node, frontier) in fetched {
+        collector.ingest(node, frontier);
+    }
+    collector.finish();
+    let audited_ops: u64 = collector
+        .merged()
+        .shard_stats()
+        .iter()
+        .map(|s| s.observed as u64 + s.dropped + s.skipped)
+        .sum();
+    for (node, (info, _, _)) in members.iter().enumerate() {
+        let range = collector.offset(node)..collector.offset(node) + info.shards as usize;
+        let stats = &collector.merged().shard_stats()[range];
+        let dropped: u64 = stats.iter().map(|s| s.dropped).sum();
+        let skipped: u64 = stats.iter().map(|s| s.skipped).sum();
+        if dropped > 0 || skipped > 0 {
+            let _ = writeln!(
+                out,
+                "node {} coverage: {} dropped, {} skipped by sampling",
+                info.node, dropped, skipped
             );
         }
-        offset += info.shards as usize;
     }
-    let mut auditor = StreamingAuditor::new();
-    for shard in 0..total_shards.max(1) {
-        merger.finish(shard);
+    let dropped = collector.merged().dropped();
+    if dropped * 1000 > audited_ops.max(1) {
+        let _ = writeln!(
+            out,
+            "warning: ring overflow dropped {dropped} of {audited_ops} events (>0.1%) — \
+             a clean verdict covers only the surviving trace"
+        );
     }
-    merger.drain_into(&mut auditor);
+    let auditor = collector.merged().auditor();
     let _ = writeln!(out, "\noperations audited:      {}", auditor.operations());
+    if collector.merged().skipped() > 0 {
+        let _ = writeln!(
+            out,
+            "sampling skipped:        {} (server-side --audit-sample)",
+            collector.merged().skipped()
+        );
+    }
     let _ = writeln!(out, "linearizable:            {}", auditor.is_linearizable());
     if let Some(v) = auditor.linearizability_violation() {
         let _ = writeln!(out, "  first lin violation:   op #{} -> op #{}", v.earlier, v.later);
@@ -1047,37 +1399,54 @@ fn cmd_audit(args: &[String]) -> Result<String, String> {
         return Err(
             "expected: cnet audit <w> [--backend compiled|graph_walk|diffracting|fetch_add|lock|\
              relaxed|elimination|remote|cluster] [--family F] [--threads N] [--ops N] \
-             [--sub-counters K] [--addr HOST:PORT]"
+             [--sub-counters K] [--addr HOST:PORT] [--audit-threads N] [--audit-sample k] \
+             [--inject SEED (cluster only)]"
                 .to_string(),
         );
     };
     let fan: usize = w.parse().map_err(|_| format!("'{w}' is not a valid width"))?;
     let opts = Options::parse(flags)?;
-    opts.allow(&["backend", "family", "threads", "ops", "addr", "sub-counters"])?;
+    opts.allow(&[
+        "backend",
+        "family",
+        "threads",
+        "ops",
+        "addr",
+        "sub-counters",
+        "audit-threads",
+        "audit-sample",
+        "inject",
+    ])?;
     let backend = opts.get("backend").unwrap_or("compiled").to_string();
     if backend == "cluster" {
         return cmd_audit_cluster(&opts);
     }
+    if opts.get("inject").is_some() {
+        return Err("--inject only makes sense with --backend cluster".to_string());
+    }
     let family = opts.get("family").unwrap_or("bitonic").to_string();
     let threads = opts.usize_or("threads", 1)?.max(1);
     let ops = opts.usize_or("ops", 10_000)?.max(1);
+    let audit_threads = opts.usize_or("audit-threads", 0)?;
+    let sample_k = opts.usize_or("audit-sample", 1)?.max(1);
     let workload = Workload { threads, increments_per_thread: ops };
     // One ring per thread, sized to the whole run: zero drops by
-    // construction, so the audit sees every operation.
-    let recorder = Arc::new(TraceRecorder::new(threads, ops));
+    // construction, so the audit sees every operation (or, with
+    // `--audit-sample k`, exactly the 1-in-k sound sample of it).
+    let recorder = Arc::new(TraceRecorder::with_sampling(threads, ops, sample_k));
     let mut live: Vec<String> = Vec::new();
     let (run, batches) = match backend.as_str() {
         "compiled" => {
             let net = parse_network(&family, w)?;
             let counter =
                 cnet_runtime::SharedNetworkCounter::with_recorder(&net, Arc::clone(&recorder));
-            audit_workload(&counter, &recorder, workload, &mut live)
+            audit_workload(&counter, &recorder, workload, audit_threads, &mut live)
         }
         "graph_walk" => {
             let net = parse_network(&family, w)?;
             let counter =
                 Traced::new(cnet_runtime::GraphWalkCounter::new(&net), Arc::clone(&recorder));
-            audit_workload(&counter, &recorder, workload, &mut live)
+            audit_workload(&counter, &recorder, workload, audit_threads, &mut live)
         }
         "combining" => {
             let net = parse_network(&family, w)?;
@@ -1088,27 +1457,27 @@ fn cmd_audit(args: &[String]) -> Result<String, String> {
                 ),
                 Arc::clone(&recorder),
             );
-            audit_workload(&counter, &recorder, workload, &mut live)
+            audit_workload(&counter, &recorder, workload, audit_threads, &mut live)
         }
         "diffracting" => {
             let counter =
                 cnet_runtime::DiffractingTree::with_recorder(fan, 4, Arc::clone(&recorder))?;
-            audit_workload(&counter, &recorder, workload, &mut live)
+            audit_workload(&counter, &recorder, workload, audit_threads, &mut live)
         }
         "fetch_add" => {
             let counter =
                 Traced::new(cnet_runtime::FetchAddCounter::new(), Arc::clone(&recorder));
-            audit_workload(&counter, &recorder, workload, &mut live)
+            audit_workload(&counter, &recorder, workload, audit_threads, &mut live)
         }
         "lock" => {
             let counter = Traced::new(cnet_runtime::LockCounter::new(), Arc::clone(&recorder));
-            audit_workload(&counter, &recorder, workload, &mut live)
+            audit_workload(&counter, &recorder, workload, audit_threads, &mut live)
         }
         "relaxed" => {
             let sub =
                 opts.usize_or("sub-counters", cnet_runtime::DEFAULT_SUB_COUNTERS)?.max(1);
             let counter = cnet_runtime::RelaxedCounter::with_recorder(sub, Arc::clone(&recorder));
-            audit_workload(&counter, &recorder, workload, &mut live)
+            audit_workload(&counter, &recorder, workload, audit_threads, &mut live)
         }
         "elimination" => {
             let sub =
@@ -1116,7 +1485,7 @@ fn cmd_audit(args: &[String]) -> Result<String, String> {
             let net = parse_network(&family, w)?;
             let counter =
                 cnet_runtime::EliminationCounter::with_recorder(&net, sub, Arc::clone(&recorder));
-            audit_workload(&counter, &recorder, workload, &mut live)
+            audit_workload(&counter, &recorder, workload, audit_threads, &mut live)
         }
         // Audits a *live socket*: each audit thread drives its own pooled
         // connection to a running `cnet serve`, and the recorded intervals
@@ -1126,7 +1495,7 @@ fn cmd_audit(args: &[String]) -> Result<String, String> {
             let remote = cnet_net::RemoteCounter::connect(addr, threads)
                 .map_err(|e| format!("connect {addr}: {e}"))?;
             let counter = Traced::new(remote, Arc::clone(&recorder));
-            audit_workload(&counter, &recorder, workload, &mut live)
+            audit_workload(&counter, &recorder, workload, audit_threads, &mut live)
         }
         other => {
             return Err(format!(
@@ -1159,7 +1528,39 @@ fn cmd_audit(args: &[String]) -> Result<String, String> {
     }
     let _ = writeln!(out, "events recorded:         {}", run.recorded);
     let _ = writeln!(out, "events dropped:          {}", run.dropped);
+    if sample_k > 1 {
+        let _ = writeln!(
+            out,
+            "events skipped:          {} (1-in-{sample_k} sampling)",
+            run.skipped
+        );
+    }
+    if audit_threads > 0 {
+        let _ = writeln!(out, "audit workers:           {audit_threads}");
+    }
     let _ = writeln!(out, "live drain batches:      {batches}");
+    // Coverage accounting: a clean verdict over a silently truncated
+    // trace would overstate what was checked, so drops are named per
+    // shard and anything past 0.1% of the workload is called out loud.
+    if run.dropped > 0 {
+        let shards: Vec<String> = run
+            .per_shard_dropped
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(s, &d)| format!("shard {s}: {d}"))
+            .collect();
+        let _ = writeln!(out, "  per-shard drops:       {}", shards.join(", "));
+        let total_ops = (threads * ops) as u64;
+        if run.dropped * 1000 > total_ops {
+            let _ = writeln!(
+                out,
+                "  warning: ring overflow dropped {} of {total_ops} events (>0.1%) — \
+                 a clean verdict covers only the surviving trace",
+                run.dropped
+            );
+        }
+    }
     let _ = writeln!(out, "operations audited:      {}", a.operations());
     let _ = writeln!(out, "linearizable:            {}", a.is_linearizable());
     if let Some(v) = a.linearizability_violation() {
@@ -1561,6 +1962,98 @@ mod tests {
         let _ = std::fs::remove_file(&head_pf);
     }
 
+    /// The parallel audit pipeline end to end through the CLI: a server
+    /// with `--audit-threads 2` steals shards while traffic runs, and the
+    /// post-shutdown merge of the workers' frontiers covers every op.
+    #[test]
+    fn serve_with_audit_threads_steals_and_merges_every_op() {
+        let pf = std::env::temp_dir().join("cnet_cli_test_par_audit.port");
+        let _ = std::fs::remove_file(&pf);
+        let server = std::thread::spawn({
+            let pf = pf.to_str().unwrap().to_string();
+            move || {
+                call(&[
+                    "serve", "8", "--audit", "1", "--audit-threads", "2", "--max-conns", "4",
+                    "--port-file", &pf,
+                ])
+            }
+        });
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&pf) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "serve never wrote the port");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+        let out = call(&[
+            "loadgen", "--addr", &addr, "--threads", "2", "--ops", "2000", "--shutdown", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("permutation 0..2000: true"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("audit pipeline: 2 worker(s)"), "{served}");
+        // Everything the workers did not steal live is swept up by the
+        // final flush + dry pass: the merged verdict covers all 2000 ops.
+        assert!(served.contains("audit: 2000 ops audited"), "{served}");
+        let _ = std::fs::remove_file(&pf);
+    }
+
+    /// The sticky regression for the audit pipeline: a cluster audit with
+    /// server-side sampling must still *fail closed* on a corrupted
+    /// history. `--inject SEED` re-stamps one sampled op past the end of
+    /// the run, and the exit code must go nonzero.
+    #[test]
+    fn cluster_audit_with_sampling_fails_closed_on_injected_violation() {
+        let pf = std::env::temp_dir().join("cnet_cli_test_inject.port");
+        let _ = std::fs::remove_file(&pf);
+        let server = std::thread::spawn({
+            let pf = pf.to_str().unwrap().to_string();
+            move || {
+                call(&[
+                    "serve", "8", "--audit", "1", "--audit-sample", "4", "--max-conns", "4",
+                    "--port-file", &pf,
+                ])
+            }
+        });
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&pf) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "serve never wrote the port");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+        // Pipelined single increments: batched frames are sampled
+        // all-or-nothing per batch, so a 64-op batch would defeat a 1-in-4
+        // stride. Singles exercise the per-op countdown.
+        let out = call(&[
+            "loadgen", "--addr", &addr, "--threads", "4", "--ops", "2000", "--mode", "pipeline",
+        ])
+        .unwrap();
+        assert!(out.contains("permutation 0..2000: true"), "{out}");
+        let report = call(&[
+            "audit", "8", "--backend", "cluster", "--addr", &addr, "--inject", "42",
+        ])
+        .unwrap_err();
+        assert!(report.contains("fault injection (seed 42)"), "{report}");
+        assert!(report.contains("audit verdict: violations detected"), "{report}");
+        // 1-in-4 sampling really was on server-side: skips crossed the wire.
+        assert!(report.contains("sampling skipped:"), "{report}");
+        let out = call(&["loadgen", "--addr", &addr, "--ops", "0", "--shutdown", "1"]).unwrap();
+        assert!(out.contains("shutdown requested and acknowledged"), "{out}");
+        let _ = server.join().unwrap();
+        let _ = std::fs::remove_file(&pf);
+    }
+
     #[test]
     fn bench_sweeps_and_writes_the_artifact() {
         let path = std::env::temp_dir().join("cnet_cli_test_bench.json");
@@ -1578,8 +2071,11 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let report: cnet_bench::ThroughputReport = cnet_util::json::from_str(&text).unwrap();
         assert_eq!(report.fan, 4);
-        assert_eq!(report.version, 6);
+        assert_eq!(report.version, 7);
         assert_eq!(report.measurements.len(), 2 * 14);
+        // Schema v7: the audited rows carry their paired retention.
+        let audited = report.audited_cell("compiled", "bitonic", 2).unwrap();
+        assert!(audited.retention.is_some());
         // The consistency sweep merges its qqc rows into the same
         // artifact without disturbing the plain rows.
         let out = call(&[
@@ -1604,12 +2100,33 @@ mod tests {
         assert!(out.contains(&format!("consistency rows merged into {path_str}")), "{out}");
         let text = std::fs::read_to_string(&path).unwrap();
         let report: cnet_bench::ThroughputReport = cnet_util::json::from_str(&text).unwrap();
-        assert_eq!(report.version, 6);
+        assert_eq!(report.version, 7);
         assert_eq!(report.measurements.len(), 2 * 14 + 2 * 7);
         assert!(report.cell("compiled", "bitonic", 2).is_some());
         let c = report.consistency_cell("relaxed", "-", 2).unwrap();
         assert!(c.qqc_max.is_some() && c.f_nl.is_some());
         assert!(report.consistency_cell("elimination", "bitonic", 1).is_some());
+        // The audit sweep merges the retention-vs-cost curve into the
+        // same artifact: plain cells are replaced in place, qqc and
+        // batched rows survive, live and sampled rows are new cells.
+        let out = call(&[
+            "bench", "4", "--threads", "1,2", "--ops", "200", "--repeats", "1", "--sweep",
+            "audit", "--sub-counters", "4", "--out", path_str,
+        ])
+        .unwrap();
+        assert!(out.contains("audit sweep"), "{out}");
+        assert!(out.contains("retention"), "{out}");
+        assert!(out.contains(&format!("audit rows merged into {path_str}")), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report: cnet_bench::ThroughputReport = cnet_util::json::from_str(&text).unwrap();
+        assert_eq!(report.version, 7);
+        // 28 sweep rows + 14 consistency rows, minus the 2 plain compiled
+        // + 2 audited compiled cells the audit sweep replaces, plus
+        // 2 × 10 audit-sweep rows.
+        assert_eq!(report.measurements.len(), 2 * 14 + 2 * 7 - 4 + 2 * 10);
+        assert!(report.audit_cell_at("compiled", "bitonic", 2, 2, 8).is_some());
+        assert!(report.retention("relaxed", "-", 2).is_some());
+        assert!(report.consistency_cell("relaxed", "-", 2).is_some());
         let _ = std::fs::remove_file(path);
     }
 

@@ -74,6 +74,7 @@ pub use consistency::{is_linearizable, is_sequentially_consistent};
 pub use fractions::{non_linearizability_fraction, non_sequential_consistency_fraction};
 pub use op::Op;
 pub use trace::{
-    EventMerger, OpEvent, OpSink, StreamingAuditor, StreamingFractionMeter, StreamingLinMonitor,
-    StreamingQqcMeter, StreamingScMonitor,
+    EventMerger, MergeAuditor, OpEvent, OpSink, ShardFrontier, ShardMonitor, ShardStats,
+    StreamingAuditor, StreamingFractionMeter, StreamingLinMonitor, StreamingQqcMeter,
+    StreamingScMonitor,
 };

@@ -886,6 +886,372 @@ impl EventMerger {
     }
 }
 
+/// Local QQC bookkeeping for one shard: the same floor-compaction trick as
+/// [`StreamingQqcMeter`], restricted to the values this shard has seen
+/// finish. Because one shard only ever observes a (sparse) subset of the
+/// global 0..n value range, the floor rarely advances and most finished
+/// values live in the sparse tree — that is fine: the shard verdict is a
+/// *candidate* (sound lower bound), the exact distribution comes from the
+/// [`MergeAuditor`]'s global pass.
+#[derive(Clone, Debug, Default)]
+struct ShardQqc {
+    floor: u64,
+    above: BTreeMap<u64, u64>,
+}
+
+impl ShardQqc {
+    fn finish(&mut self, v: u64) {
+        if v != self.floor {
+            *self.above.entry(v).or_insert(0) += 1;
+            return;
+        }
+        self.floor += 1;
+        while let Some(&c) = self.above.get(&self.floor) {
+            self.above.remove(&self.floor);
+            if c > 1 {
+                self.above.insert(self.floor, c - 1);
+            }
+            self.floor += 1;
+        }
+    }
+
+    fn finished_greater(&self, v: u64) -> u64 {
+        let interval = if v < self.floor { self.floor - 1 - v } else { 0 };
+        let sparse: u64 = self.above.range((Excluded(v), Unbounded)).map(|(_, c)| c).sum();
+        interval + sparse
+    }
+}
+
+/// One shard's contribution to a merged audit: its buffered events (still
+/// raw — no global sequence numbers yet), its release watermark, and the
+/// partial verdict its [`ShardMonitor`] computed locally. This is the unit
+/// a cluster node ships over the wire (instead of raw stamps alone) and
+/// the unit an audit worker hands to the [`MergeAuditor`] at an epoch
+/// boundary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardFrontier {
+    /// The (merger-)shard index these events belong to.
+    pub shard: usize,
+    /// Buffered events in shard order (nondecreasing `enter_ns`).
+    pub ops: Vec<RawOp>,
+    /// Enter time of the shard's latest event, if any: future events from
+    /// this shard are at or after this instant.
+    pub watermark: Option<u64>,
+    /// Whether the shard's stream is complete (no further events).
+    pub finished: bool,
+    /// Events this shard's recorder ring lost to overflow.
+    pub dropped: u64,
+    /// Events deliberately not recorded by the 1-in-k sampling mode (they
+    /// widen neighbouring intervals instead; see the recorder docs).
+    pub skipped: u64,
+    /// Locally witnessed non-linearizable events (sound lower bound: a
+    /// precedence inside one shard is a genuine real-time precedence).
+    pub candidate_non_lin: usize,
+    /// Locally witnessed per-process value inversions. When sharding is
+    /// per process — the recorder's layout — this is *exact*, not a bound.
+    pub non_sc: usize,
+    /// The shard's local QQC floor: every value below it has been seen
+    /// finishing on this shard.
+    pub qqc_floor: u64,
+    /// Largest locally witnessed QQC lateness (sound lower bound on the
+    /// global `qqc_max`).
+    pub candidate_qqc_max: u64,
+}
+
+/// The per-shard half of the parallel audit pipeline: consumes one
+/// recorder ring shard **in place** (no global k-way merge on the hot
+/// path) and maintains a local partial verdict — local SC order, candidate
+/// linearizability inversions, a local QQC floor — while buffering the
+/// events for the lazy global merge.
+///
+/// Soundness of the partial verdict: operations recorded on one shard are
+/// in genuine program/real-time order, so any inversion witnessed locally
+/// is a real violation of the global history too (the converse is not
+/// true — cross-shard inversions only show up in the [`MergeAuditor`]'s
+/// exact pass). With the recorder's one-shard-per-process layout the SC
+/// count is exact, because sequential consistency only constrains
+/// per-process order.
+///
+/// # Example
+///
+/// ```
+/// use cnet_core::trace::{MergeAuditor, RawOp, ShardMonitor};
+///
+/// let mut mon = ShardMonitor::new(0);
+/// mon.observe(RawOp { process: 0, enter_ns: 0, exit_ns: 1, value: 5 });
+/// mon.observe(RawOp { process: 0, enter_ns: 2, exit_ns: 3, value: 1 });
+/// let f = mon.take_frontier(false);
+/// assert_eq!(f.candidate_non_lin, 1); // 5 finished before 1 entered
+/// assert_eq!(f.non_sc, 1); // same process, value decreased
+/// let mut merged = MergeAuditor::new(1);
+/// merged.ingest(f);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardMonitor {
+    shard: usize,
+    ops: Vec<RawOp>,
+    watermark: Option<u64>,
+    dropped: u64,
+    skipped: u64,
+    /// Locally pending ops: `(exit_ns, value)` min-heap, popped as later
+    /// ops enter.
+    pending: BinaryHeap<Reverse<(u64, u64)>>,
+    candidate_non_lin: usize,
+    /// Per process: the previous value observed (adjacent-pair SC check).
+    prev: HashMap<usize, u64>,
+    non_sc: usize,
+    qqc: ShardQqc,
+    candidate_qqc_max: u64,
+    observed: usize,
+}
+
+impl ShardMonitor {
+    /// A fresh monitor for (merger-)shard `shard`.
+    pub fn new(shard: usize) -> ShardMonitor {
+        ShardMonitor {
+            shard,
+            ops: Vec::new(),
+            watermark: None,
+            dropped: 0,
+            skipped: 0,
+            pending: BinaryHeap::new(),
+            candidate_non_lin: 0,
+            prev: HashMap::new(),
+            non_sc: 0,
+            qqc: ShardQqc::default(),
+            candidate_qqc_max: 0,
+            observed: 0,
+        }
+    }
+
+    /// The shard index this monitor consumes.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Events observed over the monitor's lifetime.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Events currently buffered for the next frontier.
+    pub fn buffered(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Consumes one raw event from the shard's stream. Enter times that
+    /// regress within the stream (impossible from the recorder, possible
+    /// from a hostile or buggy wire peer) are clamped up to the watermark —
+    /// a pure widening, so no precedence is ever fabricated by the repair.
+    pub fn observe(&mut self, op: RawOp) {
+        let enter_ns = op.enter_ns.max(self.watermark.unwrap_or(0));
+        let exit_ns = op.exit_ns.max(enter_ns);
+        let op = RawOp { enter_ns, exit_ns, ..op };
+        self.watermark = Some(enter_ns);
+        self.observed += 1;
+        // Local partial verdict: pop locally finished ops (strictly earlier
+        // exits only — a tie reads as overlap, same rule as the merger).
+        while let Some(&Reverse((exit, value))) = self.pending.peek() {
+            if exit < enter_ns {
+                self.pending.pop();
+                self.qqc.finish(value);
+            } else {
+                break;
+            }
+        }
+        let late = self.qqc.finished_greater(op.value);
+        if late > 0 {
+            self.candidate_non_lin += 1;
+            self.candidate_qqc_max = self.candidate_qqc_max.max(late);
+        }
+        match self.prev.insert(op.process, op.value) {
+            Some(pv) if pv > op.value => self.non_sc += 1,
+            _ => {}
+        }
+        self.pending.push(Reverse((exit_ns, op.value)));
+        self.ops.push(op);
+    }
+
+    /// Account `n` events lost to ring overflow on this shard.
+    pub fn add_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
+    /// Account `n` events skipped by the sampling mode on this shard.
+    pub fn add_skipped(&mut self, n: u64) {
+        self.skipped += n;
+    }
+
+    /// Takes the current frontier: buffered events move out, the partial
+    /// verdict (counts, watermark, drop/skip accounting) is *carried* —
+    /// each frontier reports lifetime totals, so the latest frontier wins
+    /// when the [`MergeAuditor`] folds them in.
+    pub fn take_frontier(&mut self, finished: bool) -> ShardFrontier {
+        ShardFrontier {
+            shard: self.shard,
+            ops: std::mem::take(&mut self.ops),
+            watermark: self.watermark,
+            finished,
+            dropped: self.dropped,
+            skipped: self.skipped,
+            candidate_non_lin: self.candidate_non_lin,
+            non_sc: self.non_sc,
+            qqc_floor: self.qqc.floor,
+            candidate_qqc_max: self.candidate_qqc_max,
+        }
+    }
+}
+
+/// Per-shard lifetime totals as folded into a [`MergeAuditor`] (latest
+/// frontier wins — frontiers report running totals, not deltas).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Events ingested from this shard.
+    pub observed: usize,
+    /// Events the shard's ring dropped on overflow.
+    pub dropped: u64,
+    /// Events the sampling mode skipped on this shard.
+    pub skipped: u64,
+    /// The shard's locally witnessed non-linearizable count (lower bound).
+    pub candidate_non_lin: usize,
+    /// The shard's locally witnessed SC inversions.
+    pub non_sc: usize,
+    /// The shard's local QQC floor.
+    pub qqc_floor: u64,
+    /// Largest locally witnessed QQC lateness.
+    pub candidate_qqc_max: u64,
+}
+
+/// The lazy half of the parallel audit pipeline: folds [`ShardFrontier`]s
+/// (or direct per-shard event streams) into one exact global verdict.
+///
+/// Internally this is exactly the sequential pipeline — an [`EventMerger`]
+/// feeding a [`StreamingAuditor`] — so the verdict is **bit-identical** to
+/// what the sequential auditor produces on the same per-shard streams: the
+/// merger's release rule is deterministic in the stream contents (the
+/// earliest front is released first, ties by shard index, sequence numbers
+/// assigned at release), independent of how pushes and drains interleave
+/// in time. Shards merge only at epoch boundaries ([`ingest`](Self::ingest)
+/// / [`merge`](Self::merge)) and on [`summary`](Self::summary) — never on
+/// the recording hot path. The watermark rule is the merger's: an event is
+/// released once every unfinished shard's frontier has advanced past its
+/// enter time (watermark = min enter stamp of the latest event across
+/// shards), so no straggler can precede it.
+#[derive(Clone, Debug)]
+pub struct MergeAuditor {
+    merger: EventMerger,
+    auditor: StreamingAuditor,
+    stats: Vec<ShardStats>,
+}
+
+impl MergeAuditor {
+    /// A merged auditor over `shards` input streams.
+    pub fn new(shards: usize) -> MergeAuditor {
+        MergeAuditor {
+            merger: EventMerger::new(shards),
+            auditor: StreamingAuditor::new(),
+            stats: vec![ShardStats::default(); shards],
+        }
+    }
+
+    /// The number of input shards.
+    pub fn shard_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Folds one shard frontier in: its buffered events join the merge
+    /// (with the same regression clamp as [`ShardMonitor::observe`]), its
+    /// lifetime totals replace the shard's stats, and every event that has
+    /// become safe is released into the auditor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frontier.shard` is out of range.
+    pub fn ingest(&mut self, frontier: ShardFrontier) -> usize {
+        let shard = frontier.shard;
+        for op in frontier.ops {
+            self.push(shard, op);
+        }
+        let st = &mut self.stats[shard];
+        st.dropped = frontier.dropped;
+        st.skipped = frontier.skipped;
+        st.candidate_non_lin = frontier.candidate_non_lin;
+        st.non_sc = frontier.non_sc;
+        st.qqc_floor = frontier.qqc_floor;
+        st.candidate_qqc_max = frontier.candidate_qqc_max;
+        if frontier.finished {
+            self.merger.finish(shard);
+        }
+        self.merge()
+    }
+
+    /// Appends one raw event to a shard's stream (regressing enter times
+    /// are clamped up, a pure widening). Does not merge; call
+    /// [`merge`](Self::merge) at the epoch boundary.
+    pub fn push(&mut self, shard: usize, op: RawOp) {
+        let floor = self.merger.shards[shard].watermark.unwrap_or(0);
+        let enter_ns = op.enter_ns.max(floor);
+        let exit_ns = op.exit_ns.max(enter_ns);
+        self.stats[shard].observed += 1;
+        self.merger.push(shard, RawOp { enter_ns, exit_ns, ..op });
+    }
+
+    /// Declares a shard's stream complete.
+    pub fn finish_shard(&mut self, shard: usize) {
+        self.merger.finish(shard);
+    }
+
+    /// Releases every event no straggler can precede into the auditor;
+    /// returns how many were released.
+    pub fn merge(&mut self) -> usize {
+        self.merger.drain_into(&mut self.auditor)
+    }
+
+    /// Events still buffered awaiting a watermark advance.
+    pub fn buffered(&self) -> usize {
+        self.merger.buffered()
+    }
+
+    /// The exact global auditor (events merged so far).
+    pub fn auditor(&self) -> &StreamingAuditor {
+        &self.auditor
+    }
+
+    /// Per-shard lifetime totals.
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.stats
+    }
+
+    /// Total ring-overflow drops across shards.
+    pub fn dropped(&self) -> u64 {
+        self.stats.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Total sampling skips across shards.
+    pub fn skipped(&self) -> u64 {
+        self.stats.iter().map(|s| s.skipped).sum()
+    }
+
+    /// Events the exact auditor has consumed.
+    pub fn operations(&self) -> usize {
+        self.auditor.operations()
+    }
+
+    /// Whether the merged history so far is clean (both linearizable and
+    /// sequentially consistent).
+    pub fn is_clean(&self) -> bool {
+        self.auditor.is_clean()
+    }
+
+    /// Merges everything releasable, then renders the sequential auditor's
+    /// one-line verdict — byte-for-byte the string the sequential pipeline
+    /// would print on the same streams.
+    pub fn summary(&mut self) -> String {
+        self.merge();
+        self.auditor.summary()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1192,6 +1558,123 @@ mod tests {
         };
         let back: OpEvent = json::from_str(&json::to_string(&ev)).unwrap();
         assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn shard_monitor_partial_verdict_is_local_and_sound() {
+        let mut mon = ShardMonitor::new(0);
+        // Two ops of process 0 in order, then a genuine local inversion.
+        mon.observe(RawOp { process: 0, enter_ns: 0, exit_ns: 10, value: 4 });
+        mon.observe(RawOp { process: 0, enter_ns: 20, exit_ns: 30, value: 7 });
+        mon.observe(RawOp { process: 0, enter_ns: 40, exit_ns: 50, value: 2 });
+        assert_eq!(mon.observed(), 3);
+        let f = mon.take_frontier(false);
+        assert_eq!(f.candidate_non_lin, 1, "7 finished before 2 entered");
+        assert_eq!(f.non_sc, 1, "process 0 decreased");
+        assert_eq!(f.watermark, Some(40));
+        assert_eq!(f.ops.len(), 3);
+        assert!(!f.finished);
+        // The buffer moved out; the verdict carries (lifetime totals).
+        assert_eq!(mon.buffered(), 0);
+        let f2 = mon.take_frontier(true);
+        assert_eq!(f2.candidate_non_lin, 1);
+        assert!(f2.finished && f2.ops.is_empty());
+    }
+
+    #[test]
+    fn shard_monitor_tied_stamps_read_as_overlap() {
+        // exit == next enter must NOT count as local precedence (the same
+        // one-nanosecond rule the merger applies globally).
+        let mut mon = ShardMonitor::new(0);
+        mon.observe(RawOp { process: 0, enter_ns: 0, exit_ns: 10, value: 9 });
+        mon.observe(RawOp { process: 1, enter_ns: 10, exit_ns: 20, value: 0 });
+        let f = mon.take_frontier(true);
+        assert_eq!(f.candidate_non_lin, 0);
+    }
+
+    #[test]
+    fn shard_monitor_clamps_regressing_wire_streams() {
+        // A hostile/buggy peer sends a regressing enter: the monitor widens
+        // instead of panicking, and the repaired stream still merges.
+        let mut mon = ShardMonitor::new(0);
+        mon.observe(RawOp { process: 0, enter_ns: 50, exit_ns: 60, value: 0 });
+        mon.observe(RawOp { process: 0, enter_ns: 10, exit_ns: 20, value: 1 });
+        let f = mon.take_frontier(true);
+        assert_eq!(f.ops[1].enter_ns, 50, "clamped up to the watermark");
+        assert_eq!(f.ops[1].exit_ns, 50, "exit dragged along");
+        let mut merged = MergeAuditor::new(1);
+        merged.ingest(f);
+        assert_eq!(merged.operations(), 2);
+        assert!(merged.is_clean());
+    }
+
+    #[test]
+    fn merge_auditor_verdict_is_bit_identical_to_sequential() {
+        // The same two per-shard streams through (a) the sequential
+        // EventMerger -> StreamingAuditor pipeline and (b) ShardMonitor
+        // frontiers folded into a MergeAuditor, with an interleave-varying
+        // epoch structure. Summaries must match byte for byte.
+        let s0 = [
+            RawOp { process: 0, enter_ns: 0, exit_ns: 10, value: 5 },
+            RawOp { process: 0, enter_ns: 12, exit_ns: 18, value: 2 }, // non-SC + non-lin
+            RawOp { process: 0, enter_ns: 40, exit_ns: 50, value: 6 },
+        ];
+        let s1 = [
+            RawOp { process: 1, enter_ns: 5, exit_ns: 30, value: 1 },
+            RawOp { process: 1, enter_ns: 35, exit_ns: 45, value: 3 },
+        ];
+        let mut merger = EventMerger::new(2);
+        let mut seq = StreamingAuditor::new();
+        for op in s0 {
+            merger.push(0, op);
+        }
+        for op in s1 {
+            merger.push(1, op);
+        }
+        merger.finish(0);
+        merger.finish(1);
+        merger.drain_into(&mut seq);
+
+        let mut m0 = ShardMonitor::new(0);
+        let mut m1 = ShardMonitor::new(1);
+        let mut merged = MergeAuditor::new(2);
+        m0.observe(s0[0]);
+        m0.observe(s0[1]);
+        merged.ingest(m0.take_frontier(false)); // epoch 1: shard 0 only
+        m1.observe(s1[0]);
+        merged.ingest(m1.take_frontier(false));
+        m0.observe(s0[2]);
+        m1.observe(s1[1]);
+        merged.ingest(m1.take_frontier(true));
+        merged.ingest(m0.take_frontier(true));
+        assert_eq!(merged.summary(), seq.summary());
+        assert_eq!(merged.operations(), 5);
+        assert!(!merged.is_clean());
+        // The local candidates are sound: no shard claims more than the
+        // exact global count.
+        let local: usize =
+            merged.shard_stats().iter().map(|s| s.candidate_non_lin).sum();
+        assert!(local <= merged.auditor().non_linearizable());
+        let local_sc: usize = merged.shard_stats().iter().map(|s| s.non_sc).sum();
+        assert_eq!(local_sc, merged.auditor().non_sequentially_consistent());
+    }
+
+    #[test]
+    fn merge_auditor_tracks_drop_and_skip_accounting() {
+        let mut mon = ShardMonitor::new(1);
+        mon.observe(RawOp { process: 1, enter_ns: 0, exit_ns: 1, value: 0 });
+        mon.add_dropped(3);
+        mon.add_skipped(7);
+        let mut merged = MergeAuditor::new(2);
+        merged.ingest(mon.take_frontier(false));
+        // Totals carry, latest frontier wins (no double counting).
+        mon.add_skipped(1);
+        merged.ingest(mon.take_frontier(true));
+        merged.finish_shard(0);
+        assert_eq!(merged.dropped(), 3);
+        assert_eq!(merged.skipped(), 8);
+        assert_eq!(merged.shard_stats()[1].skipped, 8);
+        assert_eq!(merged.shard_stats()[0].observed, 0);
     }
 
     #[test]

@@ -370,6 +370,25 @@ impl RemoteCounter {
         })
     }
 
+    /// Fetches one shard's audit frontier — up to `max` buffered events
+    /// plus the serving node's partial verdict — for the cluster-wide
+    /// merged audit. An empty `ops` list means the shard is currently
+    /// dry (re-poll until it settles, like [`fetch_trace`](Self::fetch_trace)).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a non-`Frontier` answer.
+    pub fn fetch_frontier(
+        &self,
+        shard: u32,
+        max: u32,
+    ) -> io::Result<cnet_core::trace::ShardFrontier> {
+        self.with_conn(0, |conn| match conn.call(&Request::Frontier { shard, max })? {
+            Response::Frontier { frontier } => Ok(frontier),
+            other => Err(response_error(&other)),
+        })
+    }
+
     /// Fetches the server's aggregated statistics.
     ///
     /// # Errors

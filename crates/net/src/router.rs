@@ -30,6 +30,7 @@
 
 use crate::client::response_error;
 use crate::wire::{read_frame, write_request, Request, Response};
+use cnet_core::trace::{MergeAuditor, ShardFrontier};
 use cnet_runtime::{CompiledNetwork, ProcessCounter, SharedNetworkCounter};
 use cnet_topology::{Network, Partition, PartitionError};
 use cnet_util::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -478,6 +479,97 @@ impl ClusterNode {
     }
 }
 
+/// The cluster-wide audit merger: folds [`ShardFrontier`]s fetched from
+/// every node ([`Request::Frontier`] / `RemoteCounter::fetch_frontier`)
+/// into one [`MergeAuditor`], remapping each node's local shard space into
+/// a disjoint global one (node `k`'s shard `s` becomes `offset(k) + s`).
+///
+/// This is what "per-node shard monitors merged across the wire" means
+/// concretely: each node ships its monitors' partial verdicts and buffered
+/// events, and the collector's merged verdict is bit-identical to what the
+/// sequential auditor would produce on the concatenated per-shard streams
+/// — the [`MergeAuditor`]'s release rule is deterministic in stream
+/// contents, independent of fetch interleaving.
+///
+/// All nodes must share one machine clock for the merged verdict to be
+/// meaningful — the stamps are node-local monotonic nanoseconds.
+#[derive(Debug)]
+pub struct FrontierCollector {
+    merged: MergeAuditor,
+    offsets: Vec<usize>,
+    shards_per_node: Vec<usize>,
+}
+
+impl FrontierCollector {
+    /// A collector over a chain whose node `k` serves
+    /// `shards_per_node[k]` recorder shards.
+    pub fn new(shards_per_node: &[usize]) -> FrontierCollector {
+        let mut offsets = Vec::with_capacity(shards_per_node.len());
+        let mut total = 0usize;
+        for &n in shards_per_node {
+            offsets.push(total);
+            total += n;
+        }
+        FrontierCollector {
+            merged: MergeAuditor::new(total.max(1)),
+            offsets,
+            shards_per_node: shards_per_node.to_vec(),
+        }
+    }
+
+    /// The global shard-space size (sum over nodes).
+    pub fn total_shards(&self) -> usize {
+        self.shards_per_node.iter().sum()
+    }
+
+    /// Node `node`'s offset into the global shard space.
+    pub fn offset(&self, node: usize) -> usize {
+        self.offsets[node]
+    }
+
+    /// Folds one frontier fetched from `node` (its `shard` still local to
+    /// that node) into the merged audit; returns how many events became
+    /// releasable. The op `process` ids are remapped along with the shard,
+    /// so per-process SC checks stay per-global-shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` or the frontier's local shard is out of range.
+    pub fn ingest(&mut self, node: usize, mut frontier: ShardFrontier) -> usize {
+        assert!(
+            frontier.shard < self.shards_per_node[node],
+            "node {node} frontier for local shard {} of {}",
+            frontier.shard,
+            self.shards_per_node[node]
+        );
+        let global = self.offsets[node] + frontier.shard;
+        frontier.shard = global;
+        for op in &mut frontier.ops {
+            op.process = global;
+        }
+        self.merged.ingest(frontier)
+    }
+
+    /// Declares every shard's stream complete and releases everything
+    /// still buffered (call once all nodes report dry).
+    pub fn finish(&mut self) {
+        for shard in 0..self.merged.shard_count() {
+            self.merged.finish_shard(shard);
+        }
+        self.merged.merge();
+    }
+
+    /// The merged auditor (exact global verdict + per-shard stats).
+    pub fn merged(&self) -> &MergeAuditor {
+        &self.merged
+    }
+
+    /// Mutable access, e.g. for [`MergeAuditor::summary`].
+    pub fn merged_mut(&mut self) -> &mut MergeAuditor {
+        &mut self.merged
+    }
+}
+
 impl ProcessCounter for ClusterNode {
     /// Panics on peer-link failures — the trait is infallible; the server
     /// uses the fallible [`ClusterNode::ingress`] path instead.
@@ -538,6 +630,74 @@ mod tests {
             (0..24).map(|i| tail.step(0, i as u64, i % 8).unwrap()).collect();
         values.sort_unstable();
         assert_eq!(values, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn frontier_collector_matches_the_sequential_auditor() {
+        use cnet_core::trace::{RawOp, ShardMonitor, StreamingAuditor};
+
+        // Two nodes, two shards each; interleaved clean streams.
+        let mk = |shard: usize, base: u64| {
+            let mut mon = ShardMonitor::new(shard);
+            for i in 0..50u64 {
+                let t = base + 4 * i;
+                mon.observe(RawOp {
+                    process: shard,
+                    enter_ns: t,
+                    exit_ns: t + 2,
+                    value: base + i,
+                });
+            }
+            mon.take_frontier(true)
+        };
+        let mut collector = FrontierCollector::new(&[2, 2]);
+        assert_eq!(collector.total_shards(), 4);
+        assert_eq!(collector.offset(1), 2);
+        collector.ingest(0, mk(0, 0));
+        collector.ingest(0, mk(1, 1));
+        collector.ingest(1, mk(0, 2));
+        collector.ingest(1, mk(1, 3));
+        collector.finish();
+        assert_eq!(collector.merged().operations(), 200);
+        // The same events through the sequential pipeline, global shards.
+        let mut seq = cnet_core::trace::EventMerger::new(4);
+        for g in 0..4usize {
+            for i in 0..50u64 {
+                let t = g as u64 + 4 * i;
+                seq.push(
+                    g,
+                    RawOp { process: g, enter_ns: t, exit_ns: t + 2, value: g as u64 + i },
+                );
+            }
+            seq.finish(g);
+        }
+        let mut auditor = StreamingAuditor::new();
+        seq.drain_into(&mut auditor);
+        assert_eq!(collector.merged_mut().summary(), auditor.summary());
+    }
+
+    #[test]
+    fn frontier_collector_remaps_shards_and_carries_stats() {
+        use cnet_core::trace::{RawOp, ShardFrontier};
+
+        let mut collector = FrontierCollector::new(&[1, 3]);
+        let f = ShardFrontier {
+            shard: 2,
+            ops: vec![RawOp { process: 2, enter_ns: 5, exit_ns: 6, value: 0 }],
+            watermark: Some(5),
+            finished: true,
+            dropped: 7,
+            skipped: 11,
+            ..Default::default()
+        };
+        collector.ingest(1, f);
+        collector.finish();
+        let stats = collector.merged().shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats[3].dropped, 7); // node 1 shard 2 -> global 3
+        assert_eq!(stats[3].skipped, 11);
+        assert_eq!(collector.merged().dropped(), 7);
+        assert_eq!(collector.merged().skipped(), 11);
     }
 
     #[test]

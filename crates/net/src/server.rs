@@ -77,8 +77,9 @@
 use crate::router::ClusterNode;
 use crate::wire::{
     write_response, ErrorCode, FrameDecoder, NodeInfo, Request, Response, StatsSnapshot,
-    TraceEvent, MAX_BATCH, MAX_TRACE_EVENTS,
+    TraceEvent, MAX_BATCH, MAX_FRONTIER_OPS, MAX_TRACE_EVENTS,
 };
+use cnet_core::trace::{RawOp, ShardMonitor};
 use cnet_runtime::drain::Drain;
 use cnet_runtime::{ProcessCounter, TraceRecorder};
 use cnet_util::poll::{Interest, Poller, Waker};
@@ -145,6 +146,29 @@ struct Gate {
     active: usize,
 }
 
+/// One recorder shard's server-side audit state for the frontier protocol
+/// ([`Request::Frontier`]): the node-local monitor (partial verdict), the
+/// buffered tail a `max`-bounded response could not carry, and the
+/// lifetime drop/skip totals already folded into the monitor.
+#[derive(Debug)]
+struct AuditShard {
+    monitor: ShardMonitor,
+    pending: VecDeque<RawOp>,
+    seen_dropped: u64,
+    seen_skipped: u64,
+}
+
+impl AuditShard {
+    fn new(shard: usize) -> AuditShard {
+        AuditShard {
+            monitor: ShardMonitor::new(shard),
+            pending: VecDeque::new(),
+            seen_dropped: 0,
+            seen_skipped: 0,
+        }
+    }
+}
+
 /// The acceptor-facing side of one reactor thread.
 struct ReactorShared {
     /// Interrupts the reactor's `epoll_wait` (new connection, shutdown).
@@ -169,6 +193,11 @@ struct Shared {
     /// Recorder events drained but not yet shipped by a [`Request::Trace`]
     /// conversation; the lock serializes drains (single-drainer contract).
     trace_pending: Mutex<VecDeque<TraceEvent>>,
+    /// Per-shard monitors for the frontier protocol ([`Request::Frontier`]);
+    /// one entry per recorder shard (empty when auditing is off). Each
+    /// shard's lock serializes its pullers (the recorder's
+    /// one-puller-per-shard contract).
+    audit_shards: Box<[Mutex<AuditShard>]>,
     cfg: ServerConfig,
     /// Stop serving: acceptor and reactors exit, handlers refuse
     /// increments.
@@ -330,12 +359,17 @@ impl CounterServer {
                 });
             }
         }
+        let audit_shards = recorder
+            .as_ref()
+            .map(|r| (0..r.shards()).map(|s| Mutex::new(AuditShard::new(s))).collect())
+            .unwrap_or_default();
         let shared = Arc::new(Shared {
             backend,
             recorder,
             cluster,
             advertise: addr.to_string(),
             trace_pending: Mutex::new(VecDeque::new()),
+            audit_shards,
             cfg,
             stop: AtomicBool::new(false),
             shutdown_requested: AtomicBool::new(false),
@@ -922,6 +956,54 @@ fn execute(shared: &Shared, conn: &mut Conn, seq: u32, version: u8, req: Request
             }
             Response::Trace { events }.encode_versioned(seq, version, &mut conn.out);
         }
+        Request::Frontier { shard, max } => {
+            let resp = match &shared.recorder {
+                Some(rec) if (shard as usize) < shared.audit_shards.len() => {
+                    let sh = shard as usize;
+                    let state = &mut *shared.audit_shards[sh].lock();
+                    // Pull published events only — shards of closed
+                    // connections were flushed in `close_conn`, a live
+                    // shard's partial batch arrives on a later pull.
+                    rec.pull_shard(sh, |enter_ns, exit_ns, value| {
+                        state.monitor.observe(RawOp {
+                            process: sh,
+                            enter_ns,
+                            exit_ns,
+                            value,
+                        });
+                    });
+                    let (dropped, skipped) = (rec.dropped_on(sh), rec.skipped_on(sh));
+                    state.monitor.add_dropped(dropped - state.seen_dropped);
+                    state.monitor.add_skipped(skipped - state.seen_skipped);
+                    state.seen_dropped = dropped;
+                    state.seen_skipped = skipped;
+                    let mut f = state.monitor.take_frontier(false);
+                    state.pending.extend(f.ops.drain(..));
+                    let take =
+                        (max.min(MAX_FRONTIER_OPS) as usize).min(state.pending.len());
+                    f.ops = state.pending.drain(..take).collect();
+                    if !state.pending.is_empty() {
+                        // Ops held back for the next response bound what
+                        // the peer may assume about the future: only the
+                        // last *shipped* enter is a sound watermark.
+                        f.watermark = f.ops.last().map(|op| op.enter_ns);
+                    }
+                    Response::Frontier { frontier: f }
+                }
+                // Auditing off: an empty, finished frontier tells the
+                // puller it will never see events from this shard.
+                None => Response::Frontier {
+                    frontier: cnet_core::trace::ShardFrontier {
+                        shard: shard as usize,
+                        finished: true,
+                        ..Default::default()
+                    },
+                },
+                // Shard out of range on an audited server: a client bug.
+                Some(_) => Response::Error(ErrorCode::Malformed),
+            };
+            resp.encode_versioned(seq, version, &mut conn.out);
+        }
         Request::Ping => Response::Pong.encode_versioned(seq, version, &mut conn.out),
         Request::Stats => {
             Response::Stats(snapshot(shared)).encode_versioned(seq, version, &mut conn.out);
@@ -1393,6 +1475,78 @@ mod tests {
         values.sort_unstable();
         assert_eq!(values, (0..10).collect::<Vec<_>>());
         assert!(got.iter().all(|e| e.exit_ns >= e.enter_ns));
+    }
+
+    #[test]
+    fn frontier_chunks_carry_the_partial_verdict_over_the_wire() {
+        // Sampling on (1-in-2): the frontier must carry skip accounting.
+        let recorder = Arc::new(TraceRecorder::with_sampling(4, 1024, 2));
+        let server = CounterServer::with_recorder(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            Arc::clone(&recorder),
+            ServerConfig { max_connections: 4, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        {
+            // Singles, not a batch: sampling gates whole batches together,
+            // so only the single path exercises the 1-in-k alternation.
+            let mut c = Raw::connect(addr);
+            for _ in 0..20 {
+                c.send(&Request::Next);
+                c.recv();
+            }
+        } // disconnect flushes the slot's shard (and settles the window)
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut ops = Vec::new();
+        let mut skipped = 0;
+        while ops.len() < 10 && std::time::Instant::now() < deadline {
+            let mut c = Raw::connect(addr);
+            for shard in 0..4u32 {
+                // Chunked fetch: 4 ops at a time until the shard runs dry.
+                loop {
+                    c.send(&Request::Frontier { shard, max: 4 });
+                    let (_, resp) = c.recv();
+                    let Response::Frontier { frontier } = resp else { panic!("{resp:?}") };
+                    assert_eq!(frontier.shard, shard as usize);
+                    assert!(frontier.ops.len() <= 4);
+                    skipped = skipped.max(frontier.skipped);
+                    if frontier.ops.is_empty() {
+                        break;
+                    }
+                    ops.extend(frontier.ops);
+                }
+            }
+            if ops.len() < 10 {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        // 20 increments at 1-in-2 sampling: 10 recorded, 10 skipped.
+        let mut values: Vec<u64> = ops.iter().map(|op| op.value).collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..20).filter(|v| v % 2 == 1).collect::<Vec<u64>>());
+        assert_eq!(skipped, 10);
+        // Out-of-range shard on an audited server is refused.
+        let mut c = Raw::connect(addr);
+        c.send(&Request::Frontier { shard: 99, max: 4 });
+        let (_, resp) = c.recv();
+        assert!(matches!(resp, Response::Error(ErrorCode::Malformed)), "{resp:?}");
+    }
+
+    #[test]
+    fn frontier_without_a_recorder_reports_a_finished_empty_shard() {
+        let server = CounterServer::start(
+            "127.0.0.1:0",
+            Arc::new(FetchAddCounter::new()),
+            ServerConfig { max_connections: 2, ..ServerConfig::default() },
+        )
+        .unwrap();
+        let mut c = Raw::connect(server.local_addr());
+        c.send(&Request::Frontier { shard: 0, max: 16 });
+        let (_, resp) = c.recv();
+        let Response::Frontier { frontier } = resp else { panic!("{resp:?}") };
+        assert!(frontier.finished && frontier.ops.is_empty());
     }
 
     #[test]

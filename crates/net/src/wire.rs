@@ -31,6 +31,7 @@
 //! | `0x08` | → server  | [`Request::NodeInfo`] | — |
 //! | `0x09` | → peer    | [`Request::Announce`] | `node: u32`, `head: u16 LE + UTF-8` |
 //! | `0x0A` | → server  | [`Request::Trace`] | `max: u32` |
+//! | `0x0B` | → server  | [`Request::Frontier`] | `shard: u32`, `max: u32` |
 //! | `0x81` | ← server  | [`Response::Value`] | `value: u64 LE` |
 //! | `0x82` | ← server  | [`Response::Batch`] | `n: u32 LE`, `n × u64 LE` |
 //! | `0x83` | ← server  | [`Response::Pong`] | — |
@@ -39,6 +40,7 @@
 //! | `0x86` | ← server  | [`Response::Error`] | `code: u8` ([`ErrorCode`]) |
 //! | `0x87` | ← server  | [`Response::NodeInfo`] | 4 × `u32 LE`, `head: u16 LE + UTF-8` |
 //! | `0x88` | ← server  | [`Response::Trace`] | `n: u32 LE`, `n ×` [`TraceEvent`] (28 B) |
+//! | `0x89` | ← server  | [`Response::Frontier`] | [`FRONTIER_HEADER_LEN`] B header, `n ×` ops (28 B) |
 //!
 //! Integers are little-endian throughout. Decoding is strict: unknown
 //! versions and opcodes, truncated bodies, and trailing bytes are all
@@ -55,6 +57,7 @@
 //! inside a v1 frame is a [`WireError::BadOpcode`]: old clients never see
 //! half-understood cluster traffic.
 
+use cnet_core::trace::{RawOp, ShardFrontier};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -142,6 +145,19 @@ pub enum Request {
         /// Upper bound on events returned in one response frame.
         max: u32,
     },
+    /// Fetches one recorder shard's audit frontier — buffered events plus
+    /// the node-local [`ShardMonitor`](cnet_core::trace::ShardMonitor)'s
+    /// partial verdict and drop/skip accounting — for the cluster-wide
+    /// merged audit; answered with [`Response::Frontier`]. Repeated
+    /// requests drain the shard; an empty-`ops` frontier means the shard
+    /// is currently dry. An audit session should use either `Frontier` or
+    /// [`Trace`](Self::Trace), not both: both consume the same recorder.
+    Frontier {
+        /// The node-local recorder shard to pull.
+        shard: u32,
+        /// Upper bound on events returned in one response frame.
+        max: u32,
+    },
 }
 
 /// A response frame, server to client, echoing the request's `seq`.
@@ -173,6 +189,16 @@ pub enum Response {
     Trace {
         /// The drained events, in per-shard record order.
         events: Vec<TraceEvent>,
+    },
+    /// One shard's audit frontier (answer to [`Request::Frontier`]): a
+    /// chunk of buffered events in shard order plus the serving node's
+    /// lifetime partial verdict for the shard. Shipping frontiers instead
+    /// of raw stamps lets the client fold each node's local monitoring
+    /// into a [`MergeAuditor`](cnet_core::trace::MergeAuditor) without
+    /// re-deriving the per-shard state.
+    Frontier {
+        /// The shard frontier, `shard` still in the node-local space.
+        frontier: ShardFrontier,
     },
 }
 
@@ -214,6 +240,19 @@ pub const TRACE_EVENT_LEN: usize = 28;
 /// Hard cap on events per [`Response::Trace`] frame (keeps the frame
 /// comfortably under [`MAX_FRAME`]).
 pub const MAX_TRACE_EVENTS: u32 = 1 << 14;
+
+/// Wire size of a [`Response::Frontier`] body before its ops: `shard:
+/// u32`, `flags: u8` (bit 0 = finished, bit 1 = watermark present),
+/// `watermark`, `dropped`, `skipped`, `candidate_non_lin`, `non_sc`,
+/// `qqc_floor`, `candidate_qqc_max` (seven `u64`s), `n: u32`.
+pub const FRONTIER_HEADER_LEN: usize = 4 + 1 + 7 * 8 + 4;
+
+/// Wire size of one frontier op: `process: u32`, then three `u64`s.
+pub const FRONTIER_OP_LEN: usize = 28;
+
+/// Hard cap on ops per [`Response::Frontier`] frame (keeps the frame
+/// comfortably under [`MAX_FRAME`]).
+pub const MAX_FRONTIER_OPS: u32 = 1 << 14;
 
 /// Why a request was refused.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -429,6 +468,11 @@ impl Request {
                 put_header(out, VERSION, 0x0A, seq, 4);
                 out.extend_from_slice(&max.to_le_bytes());
             }
+            Request::Frontier { shard, max } => {
+                put_header(out, VERSION, 0x0B, seq, 8);
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&max.to_le_bytes());
+            }
         }
     }
 
@@ -514,6 +558,13 @@ impl Request {
                 body_exactly(opcode, body, 4)?;
                 Request::Trace { max: u32::from_le_bytes(body.try_into().expect("4 bytes")) }
             }
+            0x0B => {
+                body_exactly(opcode, body, 8)?;
+                Request::Frontier {
+                    shard: u32::from_le_bytes(body[..4].try_into().expect("4 bytes")),
+                    max: u32::from_le_bytes(body[4..8].try_into().expect("4 bytes")),
+                }
+            }
             other => return Err(WireError::BadOpcode(other)),
         };
         Ok((seq, version, req))
@@ -538,7 +589,11 @@ impl Response {
     /// v1 request.
     pub fn encode_versioned(&self, seq: u32, version: u8, out: &mut Vec<u8>) {
         debug_assert!(
-            version >= 2 || !matches!(self, Response::NodeInfo(_) | Response::Trace { .. }),
+            version >= 2
+                || !matches!(
+                    self,
+                    Response::NodeInfo(_) | Response::Trace { .. } | Response::Frontier { .. }
+                ),
             "cluster response in a v{version} frame"
         );
         match self {
@@ -590,6 +645,31 @@ impl Response {
                     out.extend_from_slice(&e.enter_ns.to_le_bytes());
                     out.extend_from_slice(&e.exit_ns.to_le_bytes());
                     out.extend_from_slice(&e.value.to_le_bytes());
+                }
+            }
+            Response::Frontier { frontier: f } => {
+                put_header(
+                    out,
+                    version,
+                    0x89,
+                    seq,
+                    FRONTIER_HEADER_LEN + FRONTIER_OP_LEN * f.ops.len(),
+                );
+                out.extend_from_slice(&(f.shard as u32).to_le_bytes());
+                out.push(u8::from(f.finished) | (u8::from(f.watermark.is_some()) << 1));
+                out.extend_from_slice(&f.watermark.unwrap_or(0).to_le_bytes());
+                out.extend_from_slice(&f.dropped.to_le_bytes());
+                out.extend_from_slice(&f.skipped.to_le_bytes());
+                out.extend_from_slice(&(f.candidate_non_lin as u64).to_le_bytes());
+                out.extend_from_slice(&(f.non_sc as u64).to_le_bytes());
+                out.extend_from_slice(&f.qqc_floor.to_le_bytes());
+                out.extend_from_slice(&f.candidate_qqc_max.to_le_bytes());
+                out.extend_from_slice(&(f.ops.len() as u32).to_le_bytes());
+                for op in &f.ops {
+                    out.extend_from_slice(&(op.process as u32).to_le_bytes());
+                    out.extend_from_slice(&op.enter_ns.to_le_bytes());
+                    out.extend_from_slice(&op.exit_ns.to_le_bytes());
+                    out.extend_from_slice(&op.value.to_le_bytes());
                 }
             }
         }
@@ -689,6 +769,50 @@ impl Response {
                     })
                     .collect();
                 Response::Trace { events }
+            }
+            0x89 => {
+                if body.len() < FRONTIER_HEADER_LEN {
+                    return Err(WireError::Truncated {
+                        opcode,
+                        got: body.len(),
+                        want: FRONTIER_HEADER_LEN,
+                    });
+                }
+                let u64_at = |i: usize| {
+                    u64::from_le_bytes(body[i..i + 8].try_into().expect("8 bytes"))
+                };
+                let shard = u32::from_le_bytes(body[..4].try_into().expect("4 bytes"));
+                let flags = body[4];
+                let n = u32::from_le_bytes(
+                    body[FRONTIER_HEADER_LEN - 4..FRONTIER_HEADER_LEN]
+                        .try_into()
+                        .expect("4 bytes"),
+                ) as usize;
+                body_exactly(opcode, &body[FRONTIER_HEADER_LEN..], FRONTIER_OP_LEN * n)?;
+                let ops = body[FRONTIER_HEADER_LEN..]
+                    .chunks_exact(FRONTIER_OP_LEN)
+                    .map(|c| RawOp {
+                        process: u32::from_le_bytes(c[..4].try_into().expect("4 bytes"))
+                            as usize,
+                        enter_ns: u64::from_le_bytes(c[4..12].try_into().expect("8 bytes")),
+                        exit_ns: u64::from_le_bytes(c[12..20].try_into().expect("8 bytes")),
+                        value: u64::from_le_bytes(c[20..28].try_into().expect("8 bytes")),
+                    })
+                    .collect();
+                Response::Frontier {
+                    frontier: ShardFrontier {
+                        shard: shard as usize,
+                        ops,
+                        watermark: (flags & 0b10 != 0).then(|| u64_at(5)),
+                        finished: flags & 0b01 != 0,
+                        dropped: u64_at(13),
+                        skipped: u64_at(21),
+                        candidate_non_lin: u64_at(29) as usize,
+                        non_sc: u64_at(37) as usize,
+                        qqc_floor: u64_at(45),
+                        candidate_qqc_max: u64_at(53),
+                    },
+                }
             }
             other => return Err(WireError::BadOpcode(other)),
         };
@@ -850,6 +974,7 @@ mod tests {
             Request::Announce { node: 0, head: String::new() },
             Request::Announce { node: 1, head: "127.0.0.1:4040".to_string() },
             Request::Trace { max: MAX_TRACE_EVENTS },
+            Request::Frontier { shard: 3, max: MAX_FRONTIER_OPS },
         ]
     }
 
@@ -888,6 +1013,24 @@ mod tests {
                     TraceEvent { shard: 0, enter_ns: 10, exit_ns: 20, value: 0 },
                     TraceEvent { shard: 3, enter_ns: 15, exit_ns: 35, value: 1 },
                 ],
+            },
+            Response::Frontier { frontier: ShardFrontier::default() },
+            Response::Frontier {
+                frontier: ShardFrontier {
+                    shard: 5,
+                    ops: vec![
+                        RawOp { process: 5, enter_ns: 10, exit_ns: 20, value: 3 },
+                        RawOp { process: 5, enter_ns: 15, exit_ns: 35, value: 1 },
+                    ],
+                    watermark: Some(15),
+                    finished: true,
+                    dropped: 2,
+                    skipped: 40,
+                    candidate_non_lin: 1,
+                    non_sc: 1,
+                    qqc_floor: 4,
+                    candidate_qqc_max: 2,
+                },
             },
         ]
     }

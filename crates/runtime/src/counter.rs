@@ -163,6 +163,7 @@ impl SharedNetworkCounter {
 }
 
 impl ProcessCounter for SharedNetworkCounter {
+    #[inline]
     fn next_for(&self, process: usize) -> u64 {
         match &self.recorder {
             None => self.increment_from(process % self.engine.fan_in()),

@@ -71,7 +71,10 @@ pub use counter::{GraphWalkCounter, SharedNetworkCounter};
 pub use diffracting::DiffractingTree;
 pub use drain::Drain;
 pub use history::{drive, RecordedOp, Workload};
-pub use recorder::{drain_remaining, drive_audited, AuditedRun, TraceRecorder, Traced};
+pub use recorder::{
+    drain_remaining, drain_remaining_parallel, drive_audited, drive_audited_parallel, AuditedRun,
+    ParallelAuditedRun, TraceRecorder, Traced,
+};
 pub use message_passing::MessagePassingCounter;
 pub use paced::LocallyPacedCounter;
 pub use relaxed::{EliminationCounter, RelaxedCounter, DEFAULT_SUB_COUNTERS};

@@ -129,6 +129,65 @@ fi
 wait "$serve_pid"
 rm -f "$port_file"
 
+# Parallel-audit smoke: a served run with `--audit-threads 2` steals ring
+# shards into per-shard monitors *while traffic runs*, then merges the
+# final frontiers after shutdown. The fetch_add backend is linearizable
+# and recorded intervals only ever widen, so the merged verdict must be
+# clean — and the pipeline line must confirm both workers ran.
+port_file=$(mktemp); serve_log=$(mktemp)
+rm -f "$port_file"
+cargo run -q --release --offline -p cnet-cli -- \
+    serve 8 --backend fetch_add --audit 1 --audit-threads 2 --audit-sample 4 \
+    --max-conns 8 --port-file "$port_file" > "$serve_log" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$port_file" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "error: cnet serve (parallel-audit smoke) exited before binding" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ ! -s "$port_file" ]; then
+    echo "error: cnet serve (parallel-audit smoke) never wrote its port file" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+addr=$(cat "$port_file")
+par_out=$(cargo run -q --release --offline -p cnet-cli -- \
+    loadgen --addr "$addr" --threads 4 --ops 20000 --mode pipeline \
+    --check 1 --shutdown 1)
+if ! echo "$par_out" | grep -q "permutation 0..20000: true"; then
+    echo "error: parallel-audit smoke values were not a permutation of 0..n" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+drained=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        drained=1
+        break
+    fi
+    sleep 0.1
+done
+if [ "$drained" -ne 1 ]; then
+    echo "error: cnet serve (parallel-audit smoke) failed to drain" >&2
+    kill -9 "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+wait "$serve_pid" || true
+cat "$serve_log"
+if ! grep -q "audit pipeline: 2 worker(s)" "$serve_log"; then
+    echo "error: serve did not run the 2-worker parallel audit pipeline" >&2
+    exit 1
+fi
+if ! grep -Eq "audit: .* — clean" "$serve_log"; then
+    echo "error: parallel-audit merged verdict was not clean" >&2
+    exit 1
+fi
+rm -f "$port_file" "$serve_log"
+echo "parallel-audit smoke: ok (2 stealer workers, 1-in-4 sampling, clean merged verdict)"
+
 # Reactor smoke: the sharded epoll reactor must hold 256 mostly-idle
 # pooled connections from 4 loadgen workers and still hand out an exact
 # permutation, then report its reactor counters and drain on Shutdown.
@@ -306,10 +365,10 @@ if ! echo "$batch_out" | grep -q "batched traversal (k=64)"; then
     exit 1
 fi
 
-# Consistency-sweep smoke: the schema-v6 throughput-vs-inconsistency
-# frontier must run every backend (relaxed and elimination included)
-# through the QQC meter, assert the exact 0..n multiset on each row,
-# and merge qqc-bearing rows into the artifact at version 6.
+# Consistency-sweep smoke: the throughput-vs-inconsistency frontier must
+# run every backend (relaxed and elimination included) through the QQC
+# meter, assert the exact 0..n multiset on each row, and merge
+# qqc-bearing rows into the artifact at schema version 7.
 sweep_json=$(mktemp)
 rm -f "$sweep_json"
 sweep_out=$(cargo run -q --release --offline -p cnet-cli -- \
@@ -320,8 +379,8 @@ if ! echo "$sweep_out" | grep -q "consistency rows merged into"; then
     echo "error: cnet bench --sweep consistency did not merge its rows" >&2
     exit 1
 fi
-if ! grep -q '"version": 6' "$sweep_json"; then
-    echo "error: consistency-sweep artifact is not schema v6" >&2
+if ! grep -q '"version": 7' "$sweep_json"; then
+    echo "error: consistency-sweep artifact is not schema v7" >&2
     exit 1
 fi
 if ! grep -q '"qqc_max"' "$sweep_json"; then
@@ -329,6 +388,30 @@ if ! grep -q '"qqc_max"' "$sweep_json"; then
     exit 1
 fi
 rm -f "$sweep_json"
+
+# Audit-sweep smoke: the schema-v7 retention-vs-audit-cost curve must run
+# the compiled engine plain and audited (off-path drain, live stealing,
+# 1-in-k sampling), store the paired retention on every audited row, and
+# merge the rows into the artifact at version 7.
+audit_json=$(mktemp)
+rm -f "$audit_json"
+audit_sweep_out=$(cargo run -q --release --offline -p cnet-cli -- \
+    bench 4 --threads 1,2 --ops 2000 --repeats 1 --sweep audit \
+    --sub-counters 4 --out "$audit_json")
+echo "$audit_sweep_out" | tail -n 4
+if ! echo "$audit_sweep_out" | grep -q "audit rows merged into"; then
+    echo "error: cnet bench --sweep audit did not merge its rows" >&2
+    exit 1
+fi
+if ! grep -q '"version": 7' "$audit_json"; then
+    echo "error: audit-sweep artifact is not schema v7" >&2
+    exit 1
+fi
+if ! grep -q '"retention"' "$audit_json"; then
+    echo "error: audit-sweep artifact carries no retention column" >&2
+    exit 1
+fi
+rm -f "$audit_json"
 
 # Relaxed-service smoke: a RelaxedCounter-backed serve on an ephemeral
 # port must hand an exact permutation to a concurrent loadgen (ordering
@@ -390,14 +473,16 @@ if ! echo "$relaxed_audit" | grep -q "qqc lateness: max"; then
 fi
 echo "relaxed smoke: ok (permutation over tcp, measured-lateness audit)"
 
-# The committed benchmark artifact must parse under the schema-v6 reader
+# The committed benchmark artifact must parse under the schema-v7 reader
 # (transport-tagged networked rows, width-k batch rows, oversubscription
 # flags, connection counts, latency percentiles, node counts, qqc
-# columns) and carry the acceptance rows: batch=64 >= 3x batch=1 on the
-# compiled bitonic at 8 threads, the 64/1024/10000-connection tcp rows
-# with p99(1024) <= 2*p99(64), the two-node `"nodes": 2` cluster rows at
-# >= 25% of their single-node tcp cells, and the consistency rows with
-# the relaxed counter at >= 2x the compiled bitonic per-token cell.
+# columns, retention/audit_threads/sample_k columns) and carry the
+# acceptance rows: batch=64 >= 3x batch=1 on the compiled bitonic at 8
+# threads, the 64/1024/10000-connection tcp rows with p99(1024) <=
+# 2*p99(64), the two-node `"nodes": 2` cluster rows at >= 25% of their
+# single-node tcp cells, the consistency rows with the relaxed counter
+# at >= 2x the compiled bitonic per-token cell, and the audit-sweep rows
+# with the best audit-mode retention >= 97% at the top thread count.
 cargo test -q --release --offline -p cnet-bench --test net_roundtrip \
-    committed_bench_artifact_parses_as_schema_v6
+    committed_bench_artifact_parses_as_schema_v7
 echo "verify: ok"

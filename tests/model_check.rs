@@ -588,3 +588,130 @@ fn elimination_exchange_is_exactly_once_under_all_schedules() {
         "some schedule must exercise the toggle fallback path"
     );
 }
+
+// ---------------------------------------------------------------------
+// Scenario 5: two recorder writers and two shard-stealing auditors —
+// the parallel audit pipeline's steal path under all bounded schedules.
+// ---------------------------------------------------------------------
+
+struct StealState {
+    rec: TraceRecorder,
+    /// One monitor per shard, each owned (locked) by its stealer — the
+    /// one-puller-per-shard contract, made explicit.
+    monitors: [Mutex<cnet_core::trace::ShardMonitor>; 2],
+    /// Every stolen event, for the precedence-soundness sweep.
+    stolen: Mutex<Vec<cnet_core::trace::RawOp>>,
+    seq: AtomicU64,
+    spans: Mutex<HashMap<u64, (u64, u64)>>,
+}
+
+const STEAL_OPS: u64 = 2;
+
+fn steal_state() -> StealState {
+    StealState {
+        rec: TraceRecorder::new(2, 4),
+        monitors: [
+            Mutex::new(cnet_core::trace::ShardMonitor::new(0)),
+            Mutex::new(cnet_core::trace::ShardMonitor::new(1)),
+        ],
+        stolen: Mutex::new(Vec::new()),
+        seq: AtomicU64::new(0),
+        spans: Mutex::new(HashMap::new()),
+    }
+}
+
+fn steal_pull(s: &StealState, shard: usize) {
+    let mut mon = s.monitors[shard].lock().unwrap();
+    s.rec.pull_shard(shard, |enter_ns, exit_ns, value| {
+        let op = cnet_core::trace::RawOp { process: shard, enter_ns, exit_ns, value };
+        s.stolen.lock().unwrap().push(op);
+        mon.observe(op);
+    });
+}
+
+fn steal_run(s: &StealState, tid: usize) {
+    if tid < 2 {
+        for i in 0..STEAL_OPS {
+            let value = tid as u64 * 100 + i;
+            let start = s.seq.fetch_add(1, Ordering::Relaxed);
+            let end = s.seq.fetch_add(1, Ordering::Relaxed);
+            s.spans.lock().unwrap().insert(value, (start, end));
+            assert!(s.rec.record(tid, value), "ring must not overflow");
+        }
+        s.rec.flush(tid);
+    } else {
+        // Stealer `tid - 2` owns shard `tid - 2` and races its writer:
+        // partial steals must observe only published, well-formed events.
+        for _ in 0..2 {
+            steal_pull(s, tid - 2);
+        }
+    }
+}
+
+fn steal_check(s: &StealState) {
+    // Writers are quiescent here: settle and take the final frontiers,
+    // exactly the post-shutdown merge the serve pipeline performs.
+    let mut merged = cnet_core::trace::MergeAuditor::new(2);
+    for shard in 0..2 {
+        s.rec.flush(shard);
+        steal_pull(s, shard);
+        merged.ingest(s.monitors[shard].lock().unwrap().take_frontier(true));
+    }
+    merged.merge();
+    assert_eq!(s.rec.dropped(), 0, "no schedule may overflow the ring");
+    let total = 2 * STEAL_OPS as usize;
+    assert_eq!(
+        merged.operations(),
+        total,
+        "every recorded op reaches the merged auditor exactly once"
+    );
+    let observed: usize = merged.shard_stats().iter().map(|st| st.observed).sum();
+    assert_eq!(observed, total, "per-shard coverage accounting is exact");
+    // Per-shard streams are per-writer: program order survives the steal,
+    // so the merged history must be sequentially consistent.
+    assert!(
+        merged.auditor().is_sequentially_consistent(),
+        "stealing fabricated a same-process inversion"
+    );
+    // Soundness: any precedence the merged auditor could conclude from
+    // the stolen intervals must be a true precedence — stealing early,
+    // late, or mid-batch only ever widens, never fabricates.
+    let stolen = s.stolen.lock().unwrap();
+    let mut values: Vec<u64> = stolen.iter().map(|op| op.value).collect();
+    values.sort_unstable();
+    let expected: Vec<u64> =
+        (0..2u64).flat_map(|w| (0..STEAL_OPS).map(move |i| w * 100 + i)).collect();
+    assert_eq!(values, expected, "every op stolen exactly once");
+    let spans = s.spans.lock().unwrap();
+    for a in stolen.iter() {
+        assert!(a.enter_ns <= a.exit_ns, "malformed stolen interval {a:?}");
+        for b in stolen.iter() {
+            // The monitors' strict precedence rule: exit before enter.
+            if a.exit_ns < b.enter_ns {
+                let (_, a_end) = spans[&a.value];
+                let (b_start, _) = spans[&b.value];
+                assert!(
+                    a_end < b_start,
+                    "steal fabricated a precedence: {} (true end {a_end}) \
+                     stolen before {} (true start {b_start})",
+                    a.value,
+                    b.value
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_steal_pipeline_is_exact_under_all_schedules() {
+    let stats = model::explore(4, 2, steal_state, steal_run, steal_check);
+    eprintln!(
+        "model_check: steal_2w2s: {} schedules, {} points, depth {}",
+        stats.schedules, stats.points, stats.max_depth
+    );
+    assert!(
+        stats.schedules >= 2_000,
+        "expected >= 2000 schedules, got {}",
+        stats.schedules
+    );
+}

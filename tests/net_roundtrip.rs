@@ -311,19 +311,20 @@ fn graceful_shutdown_answers_inflight_frames_before_bye() {
     assert_eq!(server.stats().ops, 8);
 }
 
-/// The committed benchmark artifact must parse as schema v6 — including
+/// The committed benchmark artifact must parse as schema v7 — including
 /// rows that predate the `transport` field (absent means `"memory"`), the
 /// `batch`/`oversubscribed` fields (absent means `1`/`false`), the
 /// `connections`/percentile fields (absent means `0`/`null`), the
-/// `nodes` field (absent means `1`), or the `qqc_max`/`qqc_mean`/`f_nl`
-/// fields (absent means `null`) — and the v6 fields must round-trip
-/// through cnet-util JSON.
+/// `nodes` field (absent means `1`), the `qqc_max`/`qqc_mean`/`f_nl`
+/// fields (absent means `null`), or the v7 `retention`/`audit_threads`/
+/// `sample_k` columns (absent means `null`/`0`/`1`) — and the fields must
+/// round-trip through cnet-util JSON.
 #[test]
-fn committed_bench_artifact_parses_as_schema_v6() {
+fn committed_bench_artifact_parses_as_schema_v7() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json");
     let text = std::fs::read_to_string(path).expect("BENCH_throughput.json is committed");
-    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v6");
-    assert_eq!(report.version, 6);
+    let report: ThroughputReport = json::from_str(&text).expect("artifact parses as schema v7");
+    assert_eq!(report.version, 7);
     assert!(!report.measurements.is_empty());
     for m in &report.measurements {
         assert!(
@@ -449,6 +450,39 @@ fn committed_bench_artifact_parses_as_schema_v6() {
          {:.2} vs {:.2} Mops/s",
         relaxed.mops,
         strict.mops
+    );
+    // The v7 audit-sweep acceptance rows: the parallel audit pipeline on
+    // the compiled bitonic B(8) at the top thread count. Every sweep row
+    // carries its paired retention; the *best* audit mode — on this
+    // single-core host that is the 1-in-8 sampling mode, whose skip path
+    // is a load, a branch, and a store — retains at least 97% of the
+    // un-audited throughput (the ISSUE's floor; target 99%).
+    let audit_rows: Vec<_> = report
+        .measurements
+        .iter()
+        .filter(|m| m.audited && m.retention.is_some() && m.counter == "compiled")
+        .collect();
+    assert!(!audit_rows.is_empty(), "artifact carries audit-sweep rows");
+    let top_audit = audit_rows.iter().map(|m| m.threads).max().unwrap_or(1);
+    for m in &audit_rows {
+        let r = m.retention.expect("retention");
+        assert!(r.is_finite() && r > 0.0, "retention must be positive: {m:?}");
+        assert!(m.sample_k >= 1, "sample_k is a stride: {m:?}");
+    }
+    let best = audit_rows
+        .iter()
+        .filter(|m| m.threads == top_audit)
+        .map(|m| m.retention.expect("retention"))
+        .fold(0.0f64, f64::max);
+    assert!(
+        best >= 0.97,
+        "best audit-mode row at {top_audit} threads must retain >=97% of the \
+         un-audited throughput, got {best:.4}"
+    );
+    // Sampled rows really sampled: some row carries a stride above 1.
+    assert!(
+        audit_rows.iter().any(|m| m.sample_k > 1),
+        "audit sweep covers the always-on sampling mode"
     );
     // The v4+ fields survive a serialize/deserialize round trip.
     let back: ThroughputReport =

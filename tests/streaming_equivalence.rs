@@ -179,3 +179,118 @@ proptest! {
         prop_assert!(!auditor.is_sequentially_consistent());
     }
 }
+
+/// Random per-shard streams with nondecreasing enter stamps — the shape
+/// the recorder's rings actually produce — plus a seed that drives the
+/// chunking and interleaving of the sharded pipeline.
+fn random_shard_streams() -> impl Strategy<Value = Vec<Vec<cnet_core::trace::RawOp>>> {
+    prop::collection::vec(
+        prop::collection::vec((0u64..50, 0u64..40, 0u64..200), 0..40),
+        1..5,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(shard, stream)| {
+                let mut t = 0u64;
+                stream
+                    .into_iter()
+                    .map(|(delta, duration, value)| {
+                        t += delta;
+                        cnet_core::trace::RawOp {
+                            process: shard,
+                            enter_ns: t,
+                            exit_ns: t + duration,
+                            value,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The parallel audit pipeline's load-bearing property: shard
+    /// monitors chunked at arbitrary frontier boundaries and merged in an
+    /// arbitrary interleaving produce a verdict **bit-identical** to the
+    /// sequential merger + auditor on the same per-shard streams, and the
+    /// frontiers' local candidate counts are sound lower bounds on the
+    /// global counts. Failing seeds are logged by the harness; replay
+    /// with `CNET_PROPTEST_SEED=<seed>`.
+    #[test]
+    fn merge_auditor_matches_the_sequential_auditor(
+        streams in random_shard_streams(),
+        seed in 1u64..u64::MAX,
+    ) {
+        use cnet_core::trace::{EventMerger, MergeAuditor, ShardMonitor};
+
+        // The sequential reference: whole streams, one merger, one drain.
+        let mut merger = EventMerger::new(streams.len());
+        for (shard, stream) in streams.iter().enumerate() {
+            for &op in stream {
+                merger.push(shard, op);
+            }
+            merger.finish(shard);
+        }
+        let mut reference = StreamingAuditor::new();
+        merger.drain_into(&mut reference);
+
+        // The sharded pipeline: each shard consumed by its own monitor,
+        // cut into frontiers at xorshift-chosen boundaries, ingested in a
+        // xorshift-shuffled shard order.
+        let mut x = seed;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut monitors: Vec<ShardMonitor> =
+            (0..streams.len()).map(ShardMonitor::new).collect();
+        let mut cursors = vec![0usize; streams.len()];
+        let mut merged = MergeAuditor::new(streams.len());
+        loop {
+            let alive: Vec<usize> =
+                (0..streams.len()).filter(|&s| cursors[s] < streams[s].len()).collect();
+            if alive.is_empty() {
+                break;
+            }
+            let s = alive[(rng() as usize) % alive.len()];
+            let take = 1 + (rng() as usize) % (streams[s].len() - cursors[s]);
+            for &op in &streams[s][cursors[s]..cursors[s] + take] {
+                monitors[s].observe(op);
+            }
+            cursors[s] += take;
+            let finished = cursors[s] == streams[s].len();
+            merged.ingest(monitors[s].take_frontier(finished));
+        }
+        for (shard, stream) in streams.iter().enumerate() {
+            if stream.is_empty() {
+                merged.finish_shard(shard);
+            }
+        }
+
+        // Bit-identical verdict (the summary covers ops, both violation
+        // counts, both fractions, and the whole QQC lateness profile).
+        prop_assert_eq!(merged.summary(), reference.summary());
+        let audited = merged.auditor();
+        prop_assert_eq!(audited.operations(), reference.operations());
+        prop_assert_eq!(audited.is_linearizable(), reference.is_linearizable());
+        prop_assert_eq!(
+            audited.is_sequentially_consistent(),
+            reference.is_sequentially_consistent()
+        );
+        // Nothing fell between frontiers: per-shard coverage is exact.
+        let observed: usize = merged.shard_stats().iter().map(|st| st.observed).sum();
+        let total: usize = streams.iter().map(Vec::len).sum();
+        prop_assert_eq!(observed, total);
+        // Local candidates never overclaim: a shard-local precedence is a
+        // genuine global precedence, so the lower bounds must hold.
+        let local_nl: usize =
+            merged.shard_stats().iter().map(|st| st.candidate_non_lin).sum();
+        prop_assert!(local_nl <= audited.non_linearizable());
+    }
+}
